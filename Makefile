@@ -1,0 +1,22 @@
+# Convenience targets; everything is plain `go` underneath (stdlib only).
+
+.PHONY: test race bench harness run verify
+
+test:            ## full test suite
+	go build ./... && go vet ./... && go test ./...
+
+race:            ## test suite under the race detector
+	go test -race ./...
+
+bench:           ## every benchmark (one per paper table/figure + package benches)
+	go test -bench=. -benchmem ./...
+
+harness:         ## regenerate every paper artifact (EXPERIMENTS.md numbers)
+	go run ./cmd/benchharness
+
+run:             ## live dashboard on :8080 over a small simulated cluster
+	go run ./cmd/dashboard -small
+
+verify: test     ## CI-style: tests + recorded outputs
+	go test ./... 2>&1 | tee test_output.txt
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt

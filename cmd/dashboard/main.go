@@ -1,0 +1,104 @@
+// Command dashboard runs the full stack: a simulated Slurm cluster with a
+// continuously evolving workload, the news feed, the storage database, and
+// the Open OnDemand-style dashboard web server on top.
+//
+// Usage:
+//
+//	dashboard [-addr :8080] [-small] [-seed 42] [-warp 60]
+//
+// Open http://localhost:8080/ with an X-Remote-User header (any generated
+// user, e.g. user001) to browse the dashboard; the JSON API lives under
+// /api/. The -warp factor compresses simulated time: with -warp 60, one
+// wall-clock second advances the cluster by a minute, so job churn is
+// visible while you watch.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ooddash/internal/workload"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8080", "dashboard listen address")
+		small = flag.Bool("small", false, "use the small workload (fast startup)")
+		seed  = flag.Int64("seed", 42, "workload generator seed")
+		warp  = flag.Duration("warp", time.Minute, "simulated time advanced per wall-clock second")
+	)
+	flag.Parse()
+
+	spec := workload.DefaultSpec()
+	if *small {
+		spec = workload.SmallSpec()
+	}
+	spec.Seed = *seed
+
+	log.Printf("building workload (seed %d)...", spec.Seed)
+	start := time.Now()
+	env, err := workload.Build(spec)
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+	log.Printf("workload ready in %v: %d accounting records, %d live jobs",
+		time.Since(start).Round(time.Millisecond),
+		env.Cluster.DBD.JobCount(), env.Cluster.Ctl.ActiveJobCount())
+
+	// News feed on its own listener, as a separate service (Figure 1).
+	newsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("news listener: %v", err)
+	}
+	newsURL := fmt.Sprintf("http://%s/", newsLn.Addr())
+	go func() {
+		if err := http.Serve(newsLn, env.Feed); err != nil {
+			log.Printf("news server: %v", err)
+		}
+	}()
+	log.Printf("news API at %s", newsURL)
+
+	server, err := env.NewServer(newsURL)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+
+	// Drive the cluster forward in (warped) real time with fresh traffic.
+	go func() {
+		rng := rand.New(rand.NewSource(spec.Seed + 1))
+		perSec := float64(spec.JobsPerDay) / (24 * 3600) * (*warp).Seconds()
+		for range time.Tick(time.Second) {
+			env.Clock.Advance(*warp)
+			n := int(perSec)
+			if rng.Float64() < perSec-float64(n) {
+				n++
+			}
+			env.SubmitRandom(rng, n)
+		}
+	}()
+
+	log.Printf("dashboard listening on %s (users %s..%s; send X-Remote-User)",
+		*addr, env.UserNames[0], env.UserNames[len(env.UserNames)-1])
+	srv := &http.Server{Addr: *addr, Handler: server}
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("shutting down...")
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatalf("dashboard: %v", err)
+	}
+}

@@ -1,0 +1,110 @@
+// Command loadgen load-tests a running dashboard (cmd/dashboard or a real
+// deployment) the way the paper's scale concern frames it: N users with
+// their own browser-side caches reloading the homepage on an interval. It
+// reports per-reload latency percentiles and how many widget paints were
+// served instantly from the client cache — the live counterpart of the
+// §2.4 cache-load experiment.
+//
+// Usage:
+//
+//	loadgen [-url http://localhost:8080] [-users 50] [-duration 30s]
+//	        [-interval 5s] [-userprefix user] [-usercount 40]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ooddash/internal/browser"
+)
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8080", "dashboard base URL")
+		users     = flag.Int("users", 50, "concurrent simulated browsers")
+		duration  = flag.Duration("duration", 30*time.Second, "test duration")
+		interval  = flag.Duration("interval", 5*time.Second, "per-user reload interval")
+		prefix    = flag.String("userprefix", "user", "username prefix (userNNN)")
+		userCount = flag.Int("usercount", 40, "distinct usernames to rotate through")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	type sample struct {
+		netTime time.Duration
+		instant int
+		fetches int
+		failed  int
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		wg      sync.WaitGroup
+	)
+	deadline := time.Now().Add(*duration)
+	log.Printf("load: %d browsers against %s for %v (reload every %v)",
+		*users, *url, *duration, *interval)
+
+	for i := 0; i < *users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("%s%03d", *prefix, i%*userCount+1)
+			b := browser.New(name, *url, client, realClock{})
+			for time.Now().Before(deadline) {
+				load := b.LoadHomepage()
+				mu.Lock()
+				samples = append(samples, sample{
+					netTime: load.NetworkTime,
+					instant: load.InstantPaints,
+					fetches: load.NetworkFetches,
+					failed:  load.Failed,
+				})
+				mu.Unlock()
+				time.Sleep(*interval)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if len(samples) == 0 {
+		log.Fatal("no samples collected — is the dashboard running?")
+	}
+	var (
+		lats           []time.Duration
+		totalInstant   int
+		totalFetches   int
+		totalFailed    int
+		widgetsPainted int
+	)
+	for _, s := range samples {
+		lats = append(lats, s.netTime)
+		totalInstant += s.instant
+		totalFetches += s.fetches
+		totalFailed += s.failed
+		widgetsPainted += s.instant + s.fetches
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		return lats[int(p*float64(len(lats)-1))]
+	}
+
+	fmt.Printf("\npage loads:              %d\n", len(samples))
+	fmt.Printf("widget paints:           %d\n", widgetsPainted)
+	fmt.Printf("  instant (client cache): %d (%.1f%%)\n",
+		totalInstant, 100*float64(totalInstant)/float64(widgetsPainted))
+	fmt.Printf("  network fetches:        %d\n", totalFetches)
+	fmt.Printf("  failed widgets:         %d\n", totalFailed)
+	fmt.Printf("network time per reload: p50=%v p90=%v p99=%v max=%v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+}

@@ -1,0 +1,55 @@
+// Command slurmsim builds a simulated cluster with a replayed workload and
+// runs Slurm query commands against it — a REPL-free way to poke at the
+// substrate the dashboard sits on.
+//
+// Usage:
+//
+//	slurmsim [-small] [-seed 42] <command> [args...]
+//
+// where <command> is any emulated Slurm command, e.g.:
+//
+//	slurmsim squeue -u user001
+//	slurmsim sinfo
+//	slurmsim sacct -u user001 --format JobID,JobName,State,Elapsed
+//	slurmsim scontrol show node a001
+//	slurmsim -small scontrol show partition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ooddash/internal/workload"
+)
+
+func main() {
+	var (
+		small = flag.Bool("small", false, "use the small workload (fast startup)")
+		seed  = flag.Int64("seed", 42, "workload generator seed")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: slurmsim [-small] [-seed N] <squeue|sinfo|sacct|scontrol|scancel> [args...]")
+		os.Exit(2)
+	}
+
+	spec := workload.DefaultSpec()
+	if *small {
+		spec = workload.SmallSpec()
+	}
+	spec.Seed = *seed
+	env, err := workload.Build(spec)
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+
+	out, err := env.Runner.Run(args[0], args[1:]...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

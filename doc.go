@@ -1,0 +1,12 @@
+// Package ooddash is a from-scratch Go reproduction of "A Modular,
+// Responsive, and Accessible HPC Dashboard Built upon Open OnDemand"
+// (Tan & Jin, SC Workshops '25): the dashboard backend (internal/core) over
+// a simulated Slurm workload manager (internal/slurm, internal/slurmcli),
+// with the paper's dual-layer caching (internal/cache, internal/clientcache)
+// and helper services (internal/newsfeed, internal/storagedb,
+// internal/auth). See README.md for the layout and EXPERIMENTS.md for the
+// reproduced evaluation.
+//
+// The root package holds the benchmark suite: one benchmark per table and
+// figure of the paper (bench_test.go), built on internal/experiments.
+package ooddash

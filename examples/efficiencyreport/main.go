@@ -1,0 +1,127 @@
+// Efficiencyreport: the §4.3/§5 workflow — audit how efficiently users
+// request resources. It pulls Job Performance Metrics for every generated
+// user over a time range and prints a report flagging chronic
+// over-requesters, plus concrete per-job warnings for the worst offender
+// (the messages the My Jobs table shows inline).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/workload"
+)
+
+func main() {
+	rng := flag.String("range", "7d", "time range: 24h, 7d, 30d, 90d, all")
+	flag.Parse()
+
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+	newsSrv := httptest.NewServer(env.Feed)
+	defer newsSrv.Close()
+	server, err := env.NewServer(newsSrv.URL)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	webSrv := httptest.NewServer(server)
+	defer webSrv.Close()
+
+	fetch := func(user, path string, out any) bool {
+		req, _ := http.NewRequest("GET", webSrv.URL+path, nil)
+		req.Header.Set(auth.UserHeader, user)
+		resp, err := webSrv.Client().Do(req)
+		if err != nil {
+			log.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			return false
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			log.Fatalf("decode %s: %v", path, err)
+		}
+		return true
+	}
+
+	type userReport struct {
+		User      string
+		Jobs      int
+		CPUEff    float64
+		MemEff    float64
+		TimeEff   float64
+		GPUHours  float64
+		WallHours float64
+	}
+	var reports []userReport
+	for _, user := range env.UserNames {
+		var perf struct {
+			TotalJobs int     `json:"total_jobs"`
+			CPU       float64 `json:"avg_cpu_efficiency"`
+			Mem       float64 `json:"avg_memory_efficiency"`
+			Time      float64 `json:"avg_time_efficiency"`
+			GPUHours  float64 `json:"total_gpu_hours"`
+			Wall      int64   `json:"total_wall_seconds"`
+		}
+		if !fetch(user, "/api/jobperf?range="+*rng, &perf) || perf.TotalJobs == 0 {
+			continue
+		}
+		reports = append(reports, userReport{
+			User: user, Jobs: perf.TotalJobs,
+			CPUEff: perf.CPU, MemEff: perf.Mem, TimeEff: perf.Time,
+			GPUHours: perf.GPUHours, WallHours: float64(perf.Wall) / 3600,
+		})
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].CPUEff < reports[j].CPUEff })
+
+	fmt.Printf("=== cluster efficiency report (%s, %d active users) ===\n\n", *rng, len(reports))
+	fmt.Printf("%-10s %5s %9s %9s %9s %10s %10s\n",
+		"user", "jobs", "cpu eff", "mem eff", "time eff", "gpu hours", "wall hours")
+	for _, r := range reports {
+		flagStr := ""
+		if r.CPUEff < 25 {
+			flagStr = "  << chronic CPU over-requesting"
+		}
+		fmt.Printf("%-10s %5d %8.1f%% %8.1f%% %8.1f%% %10.1f %10.1f%s\n",
+			r.User, r.Jobs, r.CPUEff, r.MemEff, r.TimeEff, r.GPUHours, r.WallHours, flagStr)
+	}
+	if len(reports) == 0 {
+		log.Fatal("no active users in range")
+	}
+
+	// Drill into the least efficient user's concrete warnings.
+	worst := reports[0].User
+	var table struct {
+		Jobs []struct {
+			JobID    string   `json:"job_id"`
+			Name     string   `json:"name"`
+			Warnings []string `json:"warnings"`
+		} `json:"jobs"`
+	}
+	fetch(worst, "/api/myjobs?range="+*rng+"&mine=1", &table)
+	fmt.Printf("\nInline warnings shown to %s in the My Jobs table:\n", worst)
+	shown := 0
+	for _, j := range table.Jobs {
+		for _, w := range j.Warnings {
+			fmt.Printf("  job %s (%s):\n    %s\n", j.JobID, j.Name, w)
+			shown++
+			if shown >= 5 {
+				fmt.Println("  ...")
+				return
+			}
+		}
+	}
+	if shown == 0 {
+		fmt.Println("  (none — their jobs are efficient)")
+	}
+}

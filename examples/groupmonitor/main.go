@@ -1,0 +1,117 @@
+// Groupmonitor: the workflow §4.2 of the paper motivates — a group manager
+// monitoring their allocation's usage. It loads the My Jobs charts (job
+// state distribution and GPU hours per user), the live account usage, and
+// downloads the CSV export a PI would hand to their grant report.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/workload"
+)
+
+func main() {
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+	newsSrv := httptest.NewServer(env.Feed)
+	defer newsSrv.Close()
+	server, err := env.NewServer(newsSrv.URL)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	webSrv := httptest.NewServer(server)
+	defer webSrv.Close()
+
+	// Act as the first member of the first group.
+	manager := env.UserNames[0]
+	mu, _ := env.Users.Lookup(manager)
+	group := mu.Accounts[0]
+	fmt.Printf("=== group monitor: %s acting for allocation %q ===\n\n", manager, group)
+
+	fetch := func(path string) []byte {
+		req, _ := http.NewRequest("GET", webSrv.URL+path, nil)
+		req.Header.Set(auth.UserHeader, manager)
+		resp, err := webSrv.Client().Do(req)
+		if err != nil {
+			log.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			log.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+		}
+		return body
+	}
+
+	// Job state distribution per user (the stacked bar chart of §4.2).
+	var charts struct {
+		StateDistribution []struct {
+			User   string         `json:"user"`
+			Total  int            `json:"total"`
+			States map[string]int `json:"states"`
+		} `json:"state_distribution"`
+		GPUHours []struct {
+			User  string  `json:"user"`
+			Hours float64 `json:"gpu_hours"`
+		} `json:"gpu_hours"`
+	}
+	if err := json.Unmarshal(fetch("/api/myjobs/charts?range=7d&account="+group), &charts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Job state distribution (7 days, stacked bars):")
+	for _, bar := range charts.StateDistribution {
+		segments := make([]string, 0, len(bar.States))
+		for _, state := range []string{"COMPLETED", "RUNNING", "PENDING", "FAILED", "TIMEOUT", "CANCELLED"} {
+			if n := bar.States[state]; n > 0 {
+				segments = append(segments, fmt.Sprintf("%s=%d", strings.ToLower(state), n))
+			}
+		}
+		fmt.Printf("  %-10s %3d jobs  %s\n", bar.User, bar.Total, strings.Join(segments, " "))
+	}
+
+	fmt.Println("\nGPU hours by user (7 days):")
+	if len(charts.GPUHours) == 0 {
+		fmt.Println("  (no GPU usage)")
+	}
+	for _, row := range charts.GPUHours {
+		fmt.Printf("  %-10s %7.1f GPU-hours  %s\n", row.User, row.Hours,
+			strings.Repeat("#", int(row.Hours/4)+1))
+	}
+
+	// Live allocation pressure from the Accounts widget.
+	var accounts struct {
+		Accounts []struct {
+			Account     string `json:"account"`
+			CPUsInUse   int    `json:"cpus_in_use"`
+			CPUsQueued  int    `json:"cpus_queued"`
+			GrpCPULimit int    `json:"grp_cpu_limit"`
+		} `json:"accounts"`
+	}
+	if err := json.Unmarshal(fetch("/api/accounts"), &accounts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nLive allocation pressure:")
+	for _, a := range accounts.Accounts {
+		if a.Account != group {
+			continue
+		}
+		fmt.Printf("  %s: %d CPUs running + %d queued of %d group limit\n",
+			a.Account, a.CPUsInUse, a.CPUsQueued, a.GrpCPULimit)
+	}
+
+	// The §3.4 per-user breakdown export.
+	csv := fetch("/api/accounts/" + group + "/export.csv")
+	fmt.Printf("\nCSV export of %s usage breakdown:\n", group)
+	for _, line := range strings.Split(strings.TrimSpace(string(csv)), "\n") {
+		fmt.Println("  " + line)
+	}
+}

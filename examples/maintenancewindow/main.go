@@ -1,0 +1,147 @@
+// Maintenancewindow: the cross-feature walkthrough of a planned outage.
+// The center announces next week's maintenance; the same window is
+// registered with the scheduler as a reservation, so the Announcements
+// widget, the System Status widget, squeue reasons, and node states all
+// tell users one consistent story — before, during, and after the window.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/newsfeed"
+	"ooddash/internal/slurm"
+	"ooddash/internal/workload"
+)
+
+func main() {
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+	newsSrv := httptest.NewServer(env.Feed)
+	defer newsSrv.Close()
+	server, err := env.NewServer(newsSrv.URL)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	webSrv := httptest.NewServer(server)
+	defer webSrv.Close()
+
+	user := env.UserNames[0]
+	get := func(path string, out any) {
+		req, _ := http.NewRequest("GET", webSrv.URL+path, nil)
+		req.Header.Set(auth.UserHeader, user)
+		resp, err := webSrv.Client().Do(req)
+		if err != nil {
+			log.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			log.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 1. The center schedules Tuesday's maintenance: one announcement for
+	// humans, one reservation for the scheduler.
+	start := env.Clock.Now().Add(36 * time.Hour)
+	end := start.Add(8 * time.Hour)
+	env.Feed.Publish(newsfeed.Article{
+		Title:    "Full-cluster maintenance Tuesday",
+		Body:     "All nodes will be unavailable while we upgrade the fabric.",
+		Category: newsfeed.CategoryMaintenance,
+		StartsAt: start, EndsAt: end,
+	})
+	if _, err := env.Cluster.Ctl.ScheduleMaintenance("fabric-upgrade", start, end, nil,
+		"Full-cluster maintenance Tuesday"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled: fabric-upgrade %s – %s\n\n", start.Format("Mon 15:04"), end.Format("Mon 15:04"))
+
+	showStatus := func(label string) {
+		var status struct {
+			Partitions []struct {
+				Name       string  `json:"name"`
+				CPUPercent float64 `json:"cpu_percent"`
+			} `json:"partitions"`
+			Maintenance []struct {
+				Name   string `json:"name"`
+				Active bool   `json:"active"`
+			} `json:"maintenance"`
+		}
+		get("/api/system_status", &status)
+		fmt.Printf("== %s ==\n", label)
+		for _, m := range status.Maintenance {
+			state := "upcoming"
+			if m.Active {
+				state = "IN PROGRESS"
+			}
+			fmt.Printf("  maintenance %q: %s\n", m.Name, state)
+		}
+		if len(status.Maintenance) == 0 {
+			fmt.Println("  no maintenance scheduled")
+		}
+		busy := 0.0
+		for _, p := range status.Partitions {
+			busy += p.CPUPercent
+		}
+		fmt.Printf("  mean partition cpu utilization: %.1f%%\n", busy/float64(len(status.Partitions)))
+	}
+
+	// 2. Before the window: a long job can't start (it would overlap), a
+	// short one sails through.
+	acct := ""
+	if u, ok := env.Users.Lookup(user); ok {
+		acct = u.Accounts[0]
+	}
+	long, err := env.Cluster.Ctl.Submit(slurm.SubmitRequest{
+		Name: "too-long", User: user, Account: acct, Partition: "cpu", QOS: "normal",
+		ReqTRES: slurm.TRES{CPUs: 4, MemMB: 4096}, TimeLimit: 72 * time.Hour,
+		Profile: slurm.UsageProfile{ActualDuration: 48 * time.Hour, CPUUtilization: 0.8, MemUtilization: 0.5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	short, err := env.Cluster.Ctl.Submit(slurm.SubmitRequest{
+		Name: "fits-before", User: user, Account: acct, Partition: "cpu", QOS: "normal",
+		ReqTRES: slurm.TRES{CPUs: 4, MemMB: 4096}, TimeLimit: 4 * time.Hour,
+		Profile: slurm.UsageProfile{ActualDuration: 2 * time.Hour, CPUUtilization: 0.8, MemUtilization: 0.5},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env.Cluster.Ctl.Tick()
+	showStatus("T-36h (before the window)")
+	jl, js := env.Cluster.Ctl.Job(long), env.Cluster.Ctl.Job(short)
+	fmt.Printf("  job %q (72h limit): %s (%s)\n", jl.Name, jl.State, jl.Reason)
+	fmt.Printf("  job %q (4h limit):  %s\n\n", js.Name, js.State)
+
+	// 3. During the window: every node is in maintenance.
+	env.Clock.Advance(37 * time.Hour)
+	env.Cluster.Ctl.Tick()
+	showStatus("T+1h into the window")
+	maint := 0
+	for _, n := range env.Cluster.Ctl.Nodes() {
+		if n.EffectiveState() == slurm.NodeMaint {
+			maint++
+		}
+	}
+	fmt.Printf("  nodes in MAINT: %d/%d\n\n", maint, len(env.Cluster.Ctl.Nodes()))
+
+	// 4. After the window: nodes recover and the blocked job finally runs.
+	env.Clock.Advance(9 * time.Hour)
+	env.Cluster.Ctl.Tick()
+	showStatus("after the window")
+	jl = env.Cluster.Ctl.Job(long)
+	fmt.Printf("  job %q now: %s on %v\n", jl.Name, jl.State, jl.Nodes)
+}

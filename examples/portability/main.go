@@ -1,0 +1,109 @@
+// Portability: the §2.3/§8 migration story. Another HPC center adopts only
+// two widgets from the dashboard — Recent Jobs and System Status — by
+// mounting them on its own existing mux, next to its own handlers. The
+// example shows the widget registry, the isolated mount, and that a widget
+// whose backing service breaks fails alone without taking down the rest.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/workload"
+)
+
+func main() {
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+	newsSrv := httptest.NewServer(env.Feed)
+	server, err := env.NewServer(newsSrv.URL)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+
+	// 1. Inspect the widget registry: each feature is one route + one TTL.
+	fmt.Println("=== widget registry (template + API route pairs) ===")
+	for _, w := range server.Widgets() {
+		fmt.Printf("  %-16s %-42s ttl=%-6s source: %s\n", w.Name, w.Route, w.TTL, w.DataSource)
+	}
+
+	// 2. The adopting site's own mux, with its own pages already on it.
+	siteMux := http.NewServeMux()
+	siteMux.HandleFunc("GET /about", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "Some Other HPC Center")
+	})
+	// Adopt exactly two widgets.
+	if err := server.Mount(siteMux, "recent_jobs", "system_status"); err != nil {
+		log.Fatalf("mount: %v", err)
+	}
+	site := httptest.NewServer(siteMux)
+	defer site.Close()
+
+	get := func(path string) (int, string) {
+		req, _ := http.NewRequest("GET", site.URL+path, nil)
+		req.Header.Set(auth.UserHeader, env.UserNames[0])
+		resp, err := site.Client().Do(req)
+		if err != nil {
+			log.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	fmt.Println("\n=== adopted widgets on the other center's mux ===")
+	for _, path := range []string{"/about", "/api/recent_jobs", "/api/system_status", "/api/storage"} {
+		status, body := get(path)
+		note := ""
+		if path == "/api/storage" && status == 404 {
+			note = " (not adopted — correctly absent)"
+		}
+		fmt.Printf("  GET %-22s -> %d%s\n", path, status, note)
+		if status == 200 && path == "/api/system_status" {
+			var resp struct {
+				Partitions []struct {
+					Name       string  `json:"name"`
+					CPUPercent float64 `json:"cpu_percent"`
+				} `json:"partitions"`
+			}
+			if err := json.Unmarshal([]byte(body), &resp); err == nil {
+				for _, p := range resp.Partitions {
+					fmt.Printf("      %-10s %.1f%% cpu\n", p.Name, p.CPUPercent)
+				}
+			}
+		}
+	}
+
+	// 3. Failure isolation: kill the news service. On the full dashboard,
+	// announcements now fails — but every other widget keeps working.
+	full := httptest.NewServer(server)
+	defer full.Close()
+	newsSrv.Close()
+
+	getFull := func(path string) int {
+		req, _ := http.NewRequest("GET", full.URL+path, nil)
+		req.Header.Set(auth.UserHeader, env.UserNames[0])
+		resp, err := full.Client().Do(req)
+		if err != nil {
+			log.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	fmt.Println("\n=== failure isolation: news backend is now down ===")
+	for _, path := range []string{"/api/announcements", "/api/recent_jobs", "/api/system_status", "/api/storage"} {
+		status := getFull(path)
+		note := "still serving"
+		if status != 200 {
+			note = "degraded alone"
+		}
+		fmt.Printf("  GET %-22s -> %d (%s)\n", path, status, note)
+	}
+}

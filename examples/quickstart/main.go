@@ -1,0 +1,144 @@
+// Quickstart: boot the whole stack (simulated cluster, news feed, storage
+// database, dashboard server), then fetch every homepage widget the way the
+// frontend does and print a one-screen summary — the dashboard homepage
+// (Figure 2 of the paper) in text form.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/workload"
+)
+
+func main() {
+	// 1. Build a small simulated environment: cluster, users, history.
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+	fmt.Printf("cluster %q: %d nodes, %d accounting records, %d live jobs\n\n",
+		env.Cluster.Name, len(env.Cluster.Ctl.Nodes()),
+		env.Cluster.DBD.JobCount(), env.Cluster.Ctl.ActiveJobCount())
+
+	// 2. Serve the news feed and the dashboard.
+	newsSrv := httptest.NewServer(env.Feed)
+	defer newsSrv.Close()
+	server, err := env.NewServer(newsSrv.URL)
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	webSrv := httptest.NewServer(server)
+	defer webSrv.Close()
+
+	// 3. Fetch each homepage widget as the first generated user.
+	user := env.UserNames[0]
+	get := func(path string, out any) {
+		req, _ := http.NewRequest("GET", webSrv.URL+path, nil)
+		req.Header.Set(auth.UserHeader, user)
+		resp, err := webSrv.Client().Do(req)
+		if err != nil {
+			log.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			log.Fatalf("GET %s: %d: %s", path, resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, out); err != nil {
+			log.Fatalf("GET %s: %v", path, err)
+		}
+	}
+
+	fmt.Printf("=== dashboard homepage for %s ===\n\n", user)
+
+	var ann struct {
+		Announcements []struct {
+			Title  string `json:"title"`
+			Color  string `json:"color"`
+			Active bool   `json:"active"`
+		} `json:"announcements"`
+	}
+	get("/api/announcements", &ann)
+	fmt.Println("Announcements:")
+	for i, a := range ann.Announcements {
+		if i == 3 {
+			fmt.Printf("  ... and %d more\n", len(ann.Announcements)-3)
+			break
+		}
+		style := "past"
+		if a.Active {
+			style = "active"
+		}
+		fmt.Printf("  [%s/%s] %s\n", a.Color, style, a.Title)
+	}
+
+	var jobs struct {
+		Jobs []struct {
+			JobID     string    `json:"job_id"`
+			Name      string    `json:"name"`
+			State     string    `json:"state"`
+			TimeLabel string    `json:"time_label"`
+			Timestamp time.Time `json:"timestamp"`
+		} `json:"jobs"`
+	}
+	get("/api/recent_jobs", &jobs)
+	fmt.Println("\nRecent Jobs:")
+	if len(jobs.Jobs) == 0 {
+		fmt.Println("  (no recent jobs)")
+	}
+	for _, j := range jobs.Jobs {
+		fmt.Printf("  #%s %-28s %-10s %s %s\n", j.JobID, j.Name, j.State, j.TimeLabel, j.Timestamp.Format("15:04"))
+	}
+
+	var status struct {
+		Partitions []struct {
+			Name       string  `json:"name"`
+			CPUPercent float64 `json:"cpu_percent"`
+			GPUPercent float64 `json:"gpu_percent"`
+			Color      string  `json:"color"`
+		} `json:"partitions"`
+	}
+	get("/api/system_status", &status)
+	fmt.Println("\nSystem Status:")
+	for _, p := range status.Partitions {
+		fmt.Printf("  %-10s cpu %5.1f%%  gpu %5.1f%%  [%s]\n", p.Name, p.CPUPercent, p.GPUPercent, p.Color)
+	}
+
+	var accounts struct {
+		Accounts []struct {
+			Account      string  `json:"account"`
+			CPUsInUse    int     `json:"cpus_in_use"`
+			CPUsQueued   int     `json:"cpus_queued"`
+			GrpCPULimit  int     `json:"grp_cpu_limit"`
+			GPUHoursUsed float64 `json:"gpu_hours_used"`
+		} `json:"accounts"`
+	}
+	get("/api/accounts", &accounts)
+	fmt.Println("\nAccounts:")
+	for _, a := range accounts.Accounts {
+		fmt.Printf("  %-8s cpus %d in use / %d queued (limit %d), %.1f GPU-hours used\n",
+			a.Account, a.CPUsInUse, a.CPUsQueued, a.GrpCPULimit, a.GPUHoursUsed)
+	}
+
+	var storage struct {
+		Directories []struct {
+			Path         string  `json:"path"`
+			UsagePercent float64 `json:"usage_percent"`
+			FileCount    int64   `json:"file_count"`
+			Color        string  `json:"color"`
+		} `json:"directories"`
+	}
+	get("/api/storage", &storage)
+	fmt.Println("\nStorage:")
+	for _, d := range storage.Directories {
+		fmt.Printf("  %-20s %5.1f%% used, %d files [%s]\n", d.Path, d.UsagePercent, d.FileCount, d.Color)
+	}
+	fmt.Println("\nDone. Run `go run ./cmd/dashboard -small` for the live web version.")
+}

@@ -1,0 +1,90 @@
+package ooddash
+
+// Smoke tests that build and run every example and CLI entry point as a
+// subprocess, so the runnable documentation can't rot. Skipped with -short.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// runGo executes `go run <pkg> <args...>` with a deadline and returns its
+// combined output.
+func runGo(t *testing.T, timeout time.Duration, pkg string, args ...string) string {
+	t.Helper()
+	argv := append([]string{"run", pkg}, args...)
+	cmd := exec.Command("go", argv...)
+	done := make(chan struct{})
+	var out []byte
+	var err error
+	go func() {
+		out, err = cmd.CombinedOutput()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		<-done
+		t.Fatalf("go run %s timed out after %v\n%s", pkg, timeout, out)
+	}
+	if err != nil {
+		t.Fatalf("go run %s: %v\n%s", pkg, err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests")
+	}
+	cases := []struct {
+		pkg  string
+		want string // substring that proves the example did its job
+	}{
+		{"./examples/quickstart", "System Status:"},
+		{"./examples/groupmonitor", "CSV export of"},
+		{"./examples/efficiencyreport", "cluster efficiency report"},
+		{"./examples/portability", "failure isolation"},
+		{"./examples/adminreport", "cluster accounting overview"},
+		{"./examples/maintenancewindow", "MAINT"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.pkg, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out := runGo(t, 2*time.Minute, tc.pkg)
+			if !strings.Contains(out, tc.want) {
+				t.Fatalf("output missing %q:\n%.600s", tc.want, out)
+			}
+		})
+	}
+}
+
+func TestSlurmsimCLIRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests")
+	}
+	out := runGo(t, 2*time.Minute, "./cmd/slurmsim", "-small", "sinfo")
+	if !strings.Contains(out, "PARTITION") {
+		t.Fatalf("sinfo output:\n%s", out)
+	}
+	out = runGo(t, 2*time.Minute, "./cmd/slurmsim", "-small", "sdiag")
+	if !strings.Contains(out, "slurmctld statistics") {
+		t.Fatalf("sdiag output:\n%s", out)
+	}
+}
+
+func TestBenchharnessSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess smoke tests")
+	}
+	out := runGo(t, 3*time.Minute, "./cmd/benchharness", "-small", "-experiment", "privacy")
+	if !strings.Contains(out, "violations") || strings.Contains(out, "VIOLATION:") {
+		t.Fatalf("privacy experiment output:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module ooddash
+
+go 1.23

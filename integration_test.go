@@ -1,0 +1,214 @@
+package ooddash
+
+// End-to-end smoke test: boot the full stack (simulated cluster, news,
+// storage, dashboard) and walk every page, asset, and API route once as a
+// regular user and as an admin. Complements the per-package suites by
+// verifying the assembled system, the way a deployment health check would.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/experiments"
+	"ooddash/internal/slurm"
+	"ooddash/internal/workload"
+)
+
+func TestEndToEndEveryRoute(t *testing.T) {
+	stack, err := experiments.NewStack(workload.SmallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	stack.Env.Users.AddUser(auth.User{Name: "staff", Admin: true})
+
+	sub, err := stack.PickSubjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	logOwner := sub.User
+	if j := stack.Env.Cluster.DBD.Job(sub.LogJobID); j != nil {
+		logOwner = j.User
+	}
+	arrayOwner := sub.User
+	if j := stack.Env.Cluster.DBD.Job(sub.ArrayJobID); j != nil {
+		arrayOwner = j.User
+	}
+
+	routes := []struct {
+		user string
+		path string
+	}{
+		// Pages.
+		{sub.User, "/"},
+		{sub.User, "/myjobs"},
+		{sub.User, "/jobperf"},
+		{sub.User, "/clusterstatus"},
+		{sub.User, "/node/" + sub.Node},
+		{sub.User, fmt.Sprintf("/job/%d", sub.JobID)},
+		{sub.User, "/news"},
+		{sub.User, "/insights"},
+		// Assets.
+		{sub.User, "/assets/dashboard.css"},
+		{sub.User, "/assets/cache.js"},
+		{sub.User, "/assets/widgets.js"},
+		// Widget APIs (Table 1).
+		{sub.User, "/api/announcements"},
+		{sub.User, "/api/recent_jobs"},
+		{sub.User, "/api/system_status"},
+		{sub.User, "/api/accounts"},
+		{sub.User, "/api/accounts/" + sub.Account + "/export.csv"},
+		{sub.User, "/api/storage"},
+		{sub.User, "/api/myjobs?range=7d"},
+		{sub.User, "/api/myjobs?range=7d&limit=5&offset=5"},
+		{sub.User, "/api/myjobs/charts?range=7d"},
+		{sub.User, "/api/myjobs/export.csv?range=7d&mine=1"},
+		{sub.User, "/api/jobperf?range=all"},
+		{sub.User, "/api/cluster_status?search=cpu&sort=cpu_load&order=desc"},
+		{sub.User, "/api/node/" + sub.Node},
+		{sub.User, "/api/node/" + sub.Node + "/jobs"},
+		{sub.User, fmt.Sprintf("/api/job/%d", sub.JobID)},
+		{logOwner, fmt.Sprintf("/api/job/%d/logs?stream=out", sub.LogJobID)},
+		{arrayOwner, fmt.Sprintf("/api/job/%d/array", sub.ArrayJobID)},
+		// §9 extension APIs.
+		{sub.User, "/api/events?tail=1"},
+		{sub.User, "/api/events"},
+		{sub.User, "/api/insights?range=all"},
+		{sub.User, "/api/jobperf/timeseries?range=7d&bucket=hour"},
+		{"staff", "/api/admin/overview?range=all"},
+		{"staff", "/api/admin/health"},
+	}
+	for _, rt := range routes {
+		status, bytes, _, err := stack.Get(rt.user, rt.path)
+		if err != nil {
+			t.Fatalf("GET %s as %s: %v", rt.path, rt.user, err)
+		}
+		if status != 200 {
+			t.Errorf("GET %s as %s: status %d", rt.path, rt.user, status)
+		}
+		if bytes == 0 {
+			t.Errorf("GET %s as %s: empty body", rt.path, rt.user)
+		}
+	}
+}
+
+// TestPaperClaimsEndToEnd re-asserts the paper's three §2.4 design claims
+// through the assembled stack (the per-package suites verify them in
+// detail; this is the one-glance summary check).
+func TestPaperClaimsEndToEnd(t *testing.T) {
+	stack, err := experiments.NewStack(workload.SmallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+
+	// Performance: cached request volume does not reach slurmctld.
+	user := stack.User(0)
+	if _, _, err := stack.MustGet(user, "/api/recent_jobs"); err != nil {
+		t.Fatal(err)
+	}
+	before := stack.Env.Cluster.Ctl.Stats().Total()
+	for i := 0; i < 10; i++ {
+		if _, _, err := stack.MustGet(user, "/api/recent_jobs"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := stack.Env.Cluster.Ctl.Stats().Total() - before; got != 0 {
+		t.Errorf("performance claim: %d controller RPCs for cached requests", got)
+	}
+
+	// Privacy: an unrelated user cannot open someone else's job.
+	jobs := stack.Env.Cluster.DBD.Jobs(slurm.JobFilter{Limit: 50}, stack.Env.Clock.Now())
+	checked := false
+	for _, j := range jobs {
+		for i := 0; i < len(stack.Env.UserNames); i++ {
+			viewer := stack.User(i)
+			vu, _ := stack.Env.Users.Lookup(viewer)
+			if vu == nil || viewer == j.User || vu.MemberOf(j.Account) {
+				continue
+			}
+			status, _, _, err := stack.Get(viewer, fmt.Sprintf("/api/job/%d", j.ID))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if status != 403 {
+				t.Errorf("privacy claim: %s opened %s's job (%d)", viewer, j.User, status)
+			}
+			checked = true
+			break
+		}
+		if checked {
+			break
+		}
+	}
+	if !checked {
+		t.Fatal("privacy claim never exercised")
+	}
+
+	// Responsiveness: a warm browser repaints the homepage with no network.
+	b := stack.Browser(user)
+	b.LoadHomepage()
+	warm := b.LoadHomepage()
+	if warm.NetworkFetches != 0 || warm.InstantPaints != 5 {
+		t.Errorf("responsiveness claim: warm load = %+v", warm)
+	}
+	if warm.NetworkTime != 0 {
+		t.Errorf("responsiveness claim: network time %v", warm.NetworkTime)
+	}
+}
+
+// TestSimulatedDayIsStable drives the assembled stack through a simulated
+// day of live traffic and checks the queue neither wedges nor leaks.
+func TestSimulatedDayIsStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak")
+	}
+	stack, err := experiments.NewStack(workload.SmallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stack.Close()
+	env := stack.Env
+
+	recordsBefore := env.Cluster.DBD.JobCount()
+	rng := newDeterministicRand(99)
+	for hour := 0; hour < 24; hour++ {
+		env.SubmitRandom(rng, 8)
+		for step := 0; step < 12; step++ {
+			env.Clock.Advance(5 * time.Minute)
+			env.Cluster.Ctl.Tick()
+		}
+		// The dashboard stays responsive throughout.
+		if _, _, err := stack.MustGet(stack.User(hour), "/api/system_status"); err != nil {
+			t.Fatalf("hour %d: %v", hour, err)
+		}
+	}
+	if env.Cluster.DBD.JobCount() <= recordsBefore {
+		t.Fatal("no new accounting records after a day of traffic")
+	}
+	// The live queue is bounded: retention purges finished jobs.
+	if active := env.Cluster.Ctl.ActiveJobCount(); active > 5000 {
+		t.Fatalf("controller memory grew unboundedly: %d jobs", active)
+	}
+	// Residual check on a quiet cluster: step time forward with no new
+	// submissions until every queued job has started and finished, then
+	// verify every node's allocation returns to zero (no leaked resources).
+	for i := 0; i < 40; i++ {
+		env.Clock.Advance(6 * time.Hour)
+		env.Cluster.Ctl.Tick()
+	}
+	for _, n := range env.Cluster.Ctl.Nodes() {
+		if n.Alloc.CPUs != 0 || n.Alloc.GPUs != 0 {
+			t.Fatalf("node %s leaked allocation: %+v", n.Name, n.Alloc)
+		}
+	}
+}
+
+// newDeterministicRand builds the seeded PRNG the soak test feeds into
+// workload.SubmitRandom.
+func newDeterministicRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

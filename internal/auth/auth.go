@@ -1,0 +1,125 @@
+// Package auth models the user identity and privacy layer of the dashboard.
+// Open OnDemand runs behind the institution's web authentication and hands
+// the backend an authenticated username per request; this package supplies
+// that: a user directory (users and their groups/accounts) plus request
+// identity resolution and the visibility checks every dashboard route
+// applies (§2.4 Privacy).
+package auth
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// UserHeader is the header carrying the authenticated username, as set by
+// the fronting auth proxy (mod_auth_openidc or similar in real OOD).
+const UserHeader = "X-Remote-User"
+
+// User is one cluster user and the accounts (groups/allocations) they
+// belong to.
+type User struct {
+	Name     string
+	FullName string
+	Accounts []string
+	// Admin marks center staff: they may view any job and the admin-only
+	// accounting pages — the paper's §9 "permission-based job accounting"
+	// feature, implemented here as an extension.
+	Admin bool
+}
+
+// MemberOf reports whether the user belongs to the named account.
+func (u *User) MemberOf(account string) bool {
+	for _, a := range u.Accounts {
+		if a == account {
+			return true
+		}
+	}
+	return false
+}
+
+// Directory is a thread-safe user registry.
+type Directory struct {
+	mu    sync.RWMutex
+	users map[string]*User
+}
+
+// NewDirectory returns an empty user registry.
+func NewDirectory() *Directory {
+	return &Directory{users: make(map[string]*User)}
+}
+
+// AddUser registers (or replaces) a user.
+func (d *Directory) AddUser(u User) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	cp := u
+	cp.Accounts = append([]string(nil), u.Accounts...)
+	sort.Strings(cp.Accounts)
+	d.users[u.Name] = &cp
+}
+
+// Lookup returns the user record for name.
+func (d *Directory) Lookup(name string) (*User, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	u, ok := d.users[name]
+	if !ok {
+		return nil, false
+	}
+	cp := *u
+	cp.Accounts = append([]string(nil), u.Accounts...)
+	return &cp, true
+}
+
+// Users returns all usernames, sorted.
+func (d *Directory) Users() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	names := make([]string, 0, len(d.users))
+	for n := range d.users {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ErrUnauthenticated is returned when a request carries no identity.
+var ErrUnauthenticated = fmt.Errorf("auth: request is not authenticated")
+
+// ErrUnknownUser is returned when the authenticated name has no record.
+var ErrUnknownUser = fmt.Errorf("auth: unknown user")
+
+// FromRequest resolves the authenticated user from the request headers.
+func (d *Directory) FromRequest(r *http.Request) (*User, error) {
+	name := r.Header.Get(UserHeader)
+	if name == "" {
+		return nil, ErrUnauthenticated
+	}
+	u, ok := d.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUser, name)
+	}
+	return u, nil
+}
+
+// CanViewJob reports whether viewer may see a job owned by owner under the
+// given account: their own jobs, or jobs billed to an account they belong
+// to (the paper's My Jobs scope, §2.4).
+func CanViewJob(viewer *User, owner, account string) bool {
+	if viewer == nil {
+		return false
+	}
+	if viewer.Admin || owner == viewer.Name {
+		return true
+	}
+	return viewer.MemberOf(account)
+}
+
+// CanViewLogs reports whether viewer may read a job's output/error logs.
+// Stricter than CanViewJob: logs inherit filesystem permissions, so only
+// the submitting user can read them (§7).
+func CanViewLogs(viewer *User, owner string) bool {
+	return viewer != nil && viewer.Name == owner
+}

@@ -1,0 +1,103 @@
+package auth
+
+import (
+	"errors"
+	"net/http/httptest"
+	"testing"
+)
+
+func testDirectory() *Directory {
+	d := NewDirectory()
+	d.AddUser(User{Name: "alice", FullName: "Alice Li", Accounts: []string{"lab-a"}})
+	d.AddUser(User{Name: "bob", Accounts: []string{"lab-a", "lab-b"}})
+	d.AddUser(User{Name: "carol", Accounts: []string{"lab-b"}})
+	return d
+}
+
+func TestLookup(t *testing.T) {
+	d := testDirectory()
+	u, ok := d.Lookup("alice")
+	if !ok || u.FullName != "Alice Li" {
+		t.Fatalf("Lookup = %+v, %v", u, ok)
+	}
+	if _, ok := d.Lookup("mallory"); ok {
+		t.Fatal("unknown user resolved")
+	}
+}
+
+func TestLookupReturnsCopy(t *testing.T) {
+	d := testDirectory()
+	u, _ := d.Lookup("bob")
+	u.Accounts[0] = "evil"
+	u2, _ := d.Lookup("bob")
+	if u2.Accounts[0] == "evil" {
+		t.Fatal("Lookup exposed internal state")
+	}
+}
+
+func TestUsersSorted(t *testing.T) {
+	d := testDirectory()
+	users := d.Users()
+	if len(users) != 3 || users[0] != "alice" || users[2] != "carol" {
+		t.Fatalf("Users = %v", users)
+	}
+}
+
+func TestFromRequest(t *testing.T) {
+	d := testDirectory()
+	r := httptest.NewRequest("GET", "/api/recent_jobs", nil)
+	if _, err := d.FromRequest(r); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("no header err = %v", err)
+	}
+	r.Header.Set(UserHeader, "mallory")
+	if _, err := d.FromRequest(r); !errors.Is(err, ErrUnknownUser) {
+		t.Fatalf("unknown user err = %v", err)
+	}
+	r.Header.Set(UserHeader, "alice")
+	u, err := d.FromRequest(r)
+	if err != nil || u.Name != "alice" {
+		t.Fatalf("FromRequest = %+v, %v", u, err)
+	}
+}
+
+func TestCanViewJob(t *testing.T) {
+	d := testDirectory()
+	alice, _ := d.Lookup("alice")
+	bob, _ := d.Lookup("bob")
+
+	if !CanViewJob(alice, "alice", "lab-a") {
+		t.Error("owner denied")
+	}
+	if !CanViewJob(bob, "alice", "lab-a") {
+		t.Error("group member denied")
+	}
+	if CanViewJob(alice, "carol", "lab-b") {
+		t.Error("outsider allowed")
+	}
+	if CanViewJob(nil, "alice", "lab-a") {
+		t.Error("nil viewer allowed")
+	}
+}
+
+func TestCanViewLogs(t *testing.T) {
+	d := testDirectory()
+	alice, _ := d.Lookup("alice")
+	bob, _ := d.Lookup("bob")
+	if !CanViewLogs(alice, "alice") {
+		t.Error("owner denied log access")
+	}
+	// Even same-group members cannot read logs: filesystem permissions.
+	if CanViewLogs(bob, "alice") {
+		t.Error("group member allowed log access")
+	}
+	if CanViewLogs(nil, "alice") {
+		t.Error("nil viewer allowed log access")
+	}
+}
+
+func TestMemberOf(t *testing.T) {
+	u := User{Name: "x", Accounts: []string{"a", "b"}}
+	if !u.MemberOf("a") || u.MemberOf("c") {
+		t.Fatal("MemberOf wrong")
+	}
+}

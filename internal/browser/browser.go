@@ -1,0 +1,159 @@
+// Package browser simulates dashboard users' browsers for the experiments:
+// each Browser owns an IndexedDB-style client cache (internal/clientcache)
+// and loads pages by fetching every widget's API route with the frontend's
+// cache policy — instant first paint from cache when possible, background
+// refresh when stale. Load results report where each widget's first paint
+// came from and how long the network portion took, which is the measurement
+// behind the paper's "users almost always instantly see the full component"
+// claim (§2.4).
+package browser
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/clientcache"
+)
+
+// WidgetRequest names one widget fetch within a page load: the API path and
+// the client-side TTL the frontend uses for it.
+type WidgetRequest struct {
+	Name string
+	Path string
+	TTL  time.Duration
+}
+
+// HomepageWidgets returns the five homepage widget fetches with the
+// client-side TTLs from §2.4 (matching core.DefaultTTLs).
+func HomepageWidgets() []WidgetRequest {
+	return []WidgetRequest{
+		{Name: "announcements", Path: "/api/announcements", TTL: 30 * time.Minute},
+		{Name: "recent_jobs", Path: "/api/recent_jobs", TTL: 30 * time.Second},
+		{Name: "system_status", Path: "/api/system_status", TTL: 60 * time.Second},
+		{Name: "accounts", Path: "/api/accounts", TTL: 60 * time.Second},
+		{Name: "storage", Path: "/api/storage", TTL: time.Hour},
+	}
+}
+
+// WidgetResult reports one widget fetch within a page load.
+type WidgetResult struct {
+	Name   string
+	Source clientcache.FetchSource
+	Bytes  int
+	Err    error
+}
+
+// PageLoad aggregates one page load.
+type PageLoad struct {
+	Widgets []WidgetResult
+	// InstantPaints counts widgets whose first paint needed no network
+	// round-trip (fresh or stale cache hit).
+	InstantPaints int
+	// NetworkFetches counts widgets that went to the backend.
+	NetworkFetches int
+	// NetworkTime is the wall-clock time spent in backend requests.
+	NetworkTime time.Duration
+	// Failed counts widgets that errored with no cached fallback.
+	Failed int
+}
+
+// FullyPainted reports whether every widget rendered something.
+func (p *PageLoad) FullyPainted() bool { return p.Failed == 0 }
+
+// Clock supplies the logical time for client-cache freshness decisions;
+// it matches the simulation clock shared by the whole stack.
+type Clock interface {
+	Now() time.Time
+}
+
+// Browser is one simulated user's browser profile.
+type Browser struct {
+	User    string
+	BaseURL string
+	Client  *http.Client
+	db      *clientcache.DB
+	store   *clientcache.Store
+}
+
+// New returns a browser for user against the dashboard at baseURL. Each
+// browser has its own IndexedDB (per-profile, as in real browsers), driven
+// by the shared simulation clock.
+func New(user, baseURL string, client *http.Client, clock Clock) *Browser {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	db := clientcache.New(clock)
+	return &Browser{
+		User:    user,
+		BaseURL: baseURL,
+		Client:  client,
+		db:      db,
+		store:   db.ObjectStore("api-responses"),
+	}
+}
+
+// fetchAPI performs one authenticated backend request.
+func (b *Browser) fetchAPI(path string) ([]byte, error) {
+	req, err := http.NewRequest("GET", b.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(auth.UserHeader, b.User)
+	req.Header.Set("Accept", "application/json")
+	resp, err := b.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("browser: %s returned %d: %.120s", path, resp.StatusCode, body)
+	}
+	return body, nil
+}
+
+// LoadPage loads one page: every widget goes through the client cache
+// policy, exactly like widgets.js in the served frontend.
+func (b *Browser) LoadPage(widgets []WidgetRequest) PageLoad {
+	var out PageLoad
+	for _, w := range widgets {
+		res, err := b.store.Fetch(w.Path, w.TTL, func() ([]byte, error) {
+			start := time.Now()
+			body, ferr := b.fetchAPI(w.Path)
+			out.NetworkTime += time.Since(start)
+			out.NetworkFetches++
+			return body, ferr
+		})
+		wr := WidgetResult{Name: w.Name, Err: err}
+		if err == nil {
+			wr.Source = res.Source
+			wr.Bytes = len(res.Value)
+			if res.Source == clientcache.SourceFresh || res.Source == clientcache.SourceStale {
+				out.InstantPaints++
+			}
+		} else {
+			out.Failed++
+		}
+		out.Widgets = append(out.Widgets, wr)
+	}
+	return out
+}
+
+// LoadHomepage loads the five-widget homepage.
+func (b *Browser) LoadHomepage() PageLoad {
+	return b.LoadPage(HomepageWidgets())
+}
+
+// ClearCache wipes the browser's client cache (a "first visit" profile).
+func (b *Browser) ClearCache() {
+	b.store.Clear()
+}
+
+// CacheLen reports how many API responses the client cache holds.
+func (b *Browser) CacheLen() int { return b.store.Len() }

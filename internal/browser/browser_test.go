@@ -1,0 +1,138 @@
+package browser
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ooddash/internal/clientcache"
+	"ooddash/internal/workload"
+)
+
+// stack boots a small workload environment plus dashboard and news servers.
+func stack(t *testing.T) (*workload.Env, string) {
+	t.Helper()
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newsSrv := httptest.NewServer(env.Feed)
+	t.Cleanup(newsSrv.Close)
+	server, err := env.NewServer(newsSrv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	webSrv := httptest.NewServer(server)
+	t.Cleanup(webSrv.Close)
+	return env, webSrv.URL
+}
+
+func TestColdLoadGoesToNetwork(t *testing.T) {
+	env, url := stack(t)
+	b := New(env.UserNames[0], url, nil, env.Clock)
+	load := b.LoadHomepage()
+	if !load.FullyPainted() {
+		t.Fatalf("load failed: %+v", load.Widgets)
+	}
+	if load.NetworkFetches != 5 || load.InstantPaints != 0 {
+		t.Fatalf("cold load: network=%d instant=%d", load.NetworkFetches, load.InstantPaints)
+	}
+	if b.CacheLen() != 5 {
+		t.Fatalf("client cache entries = %d", b.CacheLen())
+	}
+}
+
+func TestWarmLoadIsInstant(t *testing.T) {
+	env, url := stack(t)
+	b := New(env.UserNames[0], url, nil, env.Clock)
+	b.LoadHomepage()
+	// Second load within every TTL: all five widgets paint from cache with
+	// zero network traffic.
+	load := b.LoadHomepage()
+	if load.InstantPaints != 5 || load.NetworkFetches != 0 {
+		t.Fatalf("warm load: instant=%d network=%d", load.InstantPaints, load.NetworkFetches)
+	}
+	if load.NetworkTime != 0 {
+		t.Fatalf("warm load network time = %v", load.NetworkTime)
+	}
+}
+
+func TestStaleWidgetsRefreshSelectively(t *testing.T) {
+	env, url := stack(t)
+	b := New(env.UserNames[0], url, nil, env.Clock)
+	b.LoadHomepage()
+	// Advance past the 30s recent-jobs TTL and the 60s sinfo/accounts TTLs,
+	// but stay inside announcements (30m) and storage (1h).
+	env.Clock.Advance(2 * time.Minute)
+	env.Cluster.Ctl.Tick()
+
+	load := b.LoadHomepage()
+	bySource := make(map[string]clientcache.FetchSource)
+	for _, w := range load.Widgets {
+		bySource[w.Name] = w.Source
+	}
+	if bySource["announcements"] != clientcache.SourceFresh {
+		t.Fatalf("announcements = %s", bySource["announcements"])
+	}
+	if bySource["storage"] != clientcache.SourceFresh {
+		t.Fatalf("storage = %s", bySource["storage"])
+	}
+	for _, name := range []string{"recent_jobs", "system_status", "accounts"} {
+		if bySource[name] != clientcache.SourceStale {
+			t.Fatalf("%s = %s, want cache-stale (instant paint + refresh)", name, bySource[name])
+		}
+	}
+	// Stale still paints instantly: all five were instant.
+	if load.InstantPaints != 5 || load.NetworkFetches != 3 {
+		t.Fatalf("instant=%d network=%d", load.InstantPaints, load.NetworkFetches)
+	}
+}
+
+func TestBrowsersAreIsolatedProfiles(t *testing.T) {
+	env, url := stack(t)
+	b1 := New(env.UserNames[0], url, nil, env.Clock)
+	b2 := New(env.UserNames[1], url, nil, env.Clock)
+	b1.LoadHomepage()
+	if b2.CacheLen() != 0 {
+		t.Fatal("second browser shares the first's cache")
+	}
+	load := b2.LoadHomepage()
+	if load.NetworkFetches != 5 {
+		t.Fatalf("b2 cold load network = %d", load.NetworkFetches)
+	}
+}
+
+func TestClearCache(t *testing.T) {
+	env, url := stack(t)
+	b := New(env.UserNames[0], url, nil, env.Clock)
+	b.LoadHomepage()
+	b.ClearCache()
+	if b.CacheLen() != 0 {
+		t.Fatal("cache not cleared")
+	}
+	load := b.LoadHomepage()
+	if load.NetworkFetches != 5 {
+		t.Fatalf("post-clear load network = %d", load.NetworkFetches)
+	}
+}
+
+func TestFailedBackendDegradesToStale(t *testing.T) {
+	env, url := stack(t)
+	b := New(env.UserNames[0], url, nil, env.Clock)
+	if load := b.LoadHomepage(); !load.FullyPainted() {
+		t.Fatalf("initial load failed: %+v", load.Widgets)
+	}
+	// Point the browser at a dead server; everything should still paint
+	// from the client cache once TTLs expire (stale fallback).
+	env.Clock.Advance(2 * time.Hour)
+	b.BaseURL = "http://127.0.0.1:1" // connection refused
+	load := b.LoadHomepage()
+	if !load.FullyPainted() {
+		t.Fatalf("stale fallback failed: %+v", load.Widgets)
+	}
+	for _, w := range load.Widgets {
+		if w.Source != clientcache.SourceStale {
+			t.Fatalf("widget %s source = %s", w.Name, w.Source)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func BenchmarkFetchHit(b *testing.B) {
+	c := New(nil)
+	if _, err := c.Fetch("k", time.Hour, func() (any, error) { return 42, nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Fetch("k", time.Hour, func() (any, error) { return 0, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetchMiss(b *testing.B) {
+	c := New(nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, err := c.Fetch(key, time.Hour, func() (any, error) { return i, nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFetchHitParallel(b *testing.B) {
+	c := New(nil)
+	if _, err := c.Fetch("k", time.Hour, func() (any, error) { return 42, nil }); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := c.Fetch("k", time.Hour, func() (any, error) { return 0, nil }); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkPurge(b *testing.B) {
+	clock := newFakeClock()
+	c := New(clock)
+	for i := 0; i < 10_000; i++ {
+		c.Set(fmt.Sprintf("k%d", i), i, time.Hour)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Purge() // nothing expired: worst-case full scan
+	}
+}

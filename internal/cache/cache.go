@@ -1,0 +1,193 @@
+// Package cache provides the server-side TTL cache the dashboard backend
+// uses in front of Slurm commands and external APIs, mirroring the Ruby on
+// Rails in-memory cache (`Rails.cache.fetch(key, expires_in:)`) the paper's
+// backend relies on (§2.4 Performance).
+//
+// Beyond plain expiry, Fetch collapses concurrent misses for the same key
+// into a single computation (singleflight), so a burst of users refreshing
+// the dashboard costs one Slurm query, not N — the stampede protection the
+// paper's caching design implies.
+package cache
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time; it matches slurm.Clock so tests can share
+// one simulated clock across the whole stack.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Hits      int64 // Fetch served from a live entry
+	Misses    int64 // Fetch computed a new value
+	Stale     int64 // misses caused by an expired entry (subset of Misses)
+	Collapsed int64 // concurrent Fetch calls that waited on another's compute
+	Errors    int64 // compute functions that returned an error
+}
+
+type entry struct {
+	value     any
+	expiresAt time.Time
+}
+
+type call struct {
+	wg    sync.WaitGroup
+	value any
+	err   error
+}
+
+// Cache is a TTL key-value cache with singleflight miss collapsing. The zero
+// value is not usable; use New. All methods are safe for concurrent use.
+//
+// When Disabled is set every Fetch recomputes — used by the ablation
+// benchmarks that reproduce the paper's cache-off comparison.
+type Cache struct {
+	Disabled bool
+
+	mu      sync.Mutex
+	entries map[string]entry
+	calls   map[string]*call
+	clock   Clock
+	stats   Stats
+}
+
+// New returns an empty cache reading time from clock (nil means wall clock).
+func New(clock Clock) *Cache {
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &Cache{
+		entries: make(map[string]entry),
+		calls:   make(map[string]*call),
+		clock:   clock,
+	}
+}
+
+// Fetch returns the cached value for key, computing and storing it with the
+// given TTL on a miss. Concurrent misses for the same key share a single
+// computation. Compute errors are returned to every waiter and nothing is
+// cached, so the next Fetch retries.
+func (c *Cache) Fetch(key string, ttl time.Duration, compute func() (any, error)) (any, error) {
+	if c.Disabled {
+		return compute()
+	}
+	now := c.clock.Now()
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		if now.Before(e.expiresAt) {
+			c.stats.Hits++
+			c.mu.Unlock()
+			return e.value, nil
+		}
+		c.stats.Stale++
+		delete(c.entries, key)
+	}
+	if inflight, ok := c.calls[key]; ok {
+		c.stats.Collapsed++
+		c.mu.Unlock()
+		inflight.wg.Wait()
+		return inflight.value, inflight.err
+	}
+	c.stats.Misses++
+	cl := &call{}
+	cl.wg.Add(1)
+	c.calls[key] = cl
+	c.mu.Unlock()
+
+	cl.value, cl.err = compute()
+	cl.wg.Done()
+
+	c.mu.Lock()
+	delete(c.calls, key)
+	if cl.err == nil {
+		c.entries[key] = entry{value: cl.value, expiresAt: c.clock.Now().Add(ttl)}
+	} else {
+		c.stats.Errors++
+	}
+	c.mu.Unlock()
+	return cl.value, cl.err
+}
+
+// Get returns the live value for key, if any.
+func (c *Cache) Get(key string) (any, bool) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok || !now.Before(e.expiresAt) {
+		return nil, false
+	}
+	return e.value, true
+}
+
+// Set stores value under key with the given TTL, replacing any entry.
+func (c *Cache) Set(key string, value any, ttl time.Duration) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[key] = entry{value: value, expiresAt: now.Add(ttl)}
+}
+
+// Delete removes key.
+func (c *Cache) Delete(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, key)
+}
+
+// Clear removes every entry and resets statistics.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]entry)
+	c.stats = Stats{}
+}
+
+// Purge drops expired entries and reports how many were removed. Long-lived
+// servers call this periodically (the Rails cache does the same lazily).
+func (c *Cache) Purge() int {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for k, e := range c.entries {
+		if !now.Before(e.expiresAt) {
+			delete(c.entries, k)
+			removed++
+		}
+	}
+	return removed
+}
+
+// Len returns the number of stored entries, including expired ones not yet
+// purged.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Stats returns a copy of the effectiveness counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

@@ -1,0 +1,249 @@
+package clientcache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{now: time.Unix(1_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func TestPutGet(t *testing.T) {
+	db := New(newFakeClock())
+	s := db.ObjectStore("api")
+	s.Put("recent_jobs", []byte(`{"jobs":[]}`))
+	rec, ok := s.Get("recent_jobs")
+	if !ok || string(rec.Value) != `{"jobs":[]}` {
+		t.Fatalf("Get = %+v, %v", rec, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get of missing key returned ok")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	db := New(newFakeClock())
+	s := db.ObjectStore("api")
+	buf := []byte("original")
+	s.Put("k", buf)
+	buf[0] = 'X'
+	rec, _ := s.Get("k")
+	if string(rec.Value) != "original" {
+		t.Fatal("Put aliased caller's slice")
+	}
+}
+
+func TestObjectStoreReuse(t *testing.T) {
+	db := New(newFakeClock())
+	a := db.ObjectStore("api")
+	b := db.ObjectStore("api")
+	if a != b {
+		t.Fatal("ObjectStore returned different instances for same name")
+	}
+	if db.ObjectStore("other") == a {
+		t.Fatal("distinct names share a store")
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	db := New(newFakeClock())
+	s := db.ObjectStore("api")
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		s.Put(k, nil)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if got := s.Keys(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestDeleteAndClear(t *testing.T) {
+	db := New(newFakeClock())
+	s := db.ObjectStore("api")
+	s.Put("a", []byte("1"))
+	s.Put("b", []byte("2"))
+	s.Delete("a")
+	if _, ok := s.Get("a"); ok {
+		t.Fatal("deleted key still present")
+	}
+	s.Clear()
+	if s.Len() != 0 {
+		t.Fatal("Clear left records")
+	}
+}
+
+func TestFetchFreshServesCacheWithoutNetwork(t *testing.T) {
+	clock := newFakeClock()
+	db := New(clock)
+	s := db.ObjectStore("api")
+	s.Put("k", []byte("cached"))
+	clock.Advance(10 * time.Second)
+
+	res, err := s.Fetch("k", 30*time.Second, func() ([]byte, error) {
+		t.Fatal("network fetch called for fresh entry")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceFresh || string(res.Value) != "cached" {
+		t.Fatalf("res = %+v", res)
+	}
+	if res.CachedAge != 10*time.Second {
+		t.Fatalf("age = %v", res.CachedAge)
+	}
+}
+
+func TestFetchStaleShowsCachedThenRefreshes(t *testing.T) {
+	clock := newFakeClock()
+	db := New(clock)
+	s := db.ObjectStore("api")
+	s.Put("k", []byte("old"))
+	clock.Advance(time.Minute)
+
+	res, err := s.Fetch("k", 30*time.Second, func() ([]byte, error) {
+		return []byte("new"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceStale {
+		t.Fatalf("source = %s", res.Source)
+	}
+	if string(res.FirstPaint) != "old" || string(res.Value) != "new" {
+		t.Fatalf("firstPaint=%q value=%q", res.FirstPaint, res.Value)
+	}
+	rec, _ := s.Get("k")
+	if string(rec.Value) != "new" {
+		t.Fatal("refresh not stored")
+	}
+}
+
+func TestFetchMissGoesToNetwork(t *testing.T) {
+	db := New(newFakeClock())
+	s := db.ObjectStore("api")
+	res, err := s.Fetch("k", time.Minute, func() ([]byte, error) {
+		return []byte("net"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Source != SourceNetwork || string(res.FirstPaint) != "net" {
+		t.Fatalf("res = %+v", res)
+	}
+	if _, ok := s.Get("k"); !ok {
+		t.Fatal("network response not cached")
+	}
+}
+
+func TestFetchErrorFallsBackToStale(t *testing.T) {
+	clock := newFakeClock()
+	db := New(clock)
+	s := db.ObjectStore("api")
+	s.Put("k", []byte("stale-but-usable"))
+	clock.Advance(time.Hour)
+
+	res, err := s.Fetch("k", time.Minute, func() ([]byte, error) {
+		return nil, errors.New("backend down")
+	})
+	if err != nil {
+		t.Fatalf("stale fallback should not error: %v", err)
+	}
+	if string(res.Value) != "stale-but-usable" || res.Source != SourceStale {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestFetchErrorWithNoCacheFails(t *testing.T) {
+	db := New(newFakeClock())
+	s := db.ObjectStore("api")
+	_, err := s.Fetch("k", time.Minute, func() ([]byte, error) {
+		return nil, errors.New("backend down")
+	})
+	if err == nil {
+		t.Fatal("expected error when no cached copy exists")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := New(nil)
+	s := db.ObjectStore("api")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%4)
+			for j := 0; j < 100; j++ {
+				s.Put(key, bytes.Repeat([]byte{byte(i)}, 16))
+				s.Get(key)
+				s.Keys()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 4 {
+		t.Fatalf("len = %d, want 4", s.Len())
+	}
+}
+
+// Property: Fetch's source classification follows the age/maxAge relation
+// exactly — fresh when age <= maxAge, stale paint + refresh otherwise,
+// network only when the record is missing.
+func TestFetchPolicyProperty(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		clock := newFakeClock()
+		db := New(clock)
+		s := db.ObjectStore("api")
+		hasRecord := seed%3 != 0
+		ageSecs := (seed * 7) % 120
+		maxAge := 60 * time.Second
+		if hasRecord {
+			s.Put("k", []byte("old"))
+			clock.Advance(time.Duration(ageSecs) * time.Second)
+		}
+		fetched := false
+		res, err := s.Fetch("k", maxAge, func() ([]byte, error) {
+			fetched = true
+			return []byte("new"), nil
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		switch {
+		case hasRecord && time.Duration(ageSecs)*time.Second <= maxAge:
+			if res.Source != SourceFresh || fetched {
+				t.Fatalf("seed %d: want fresh, got %s fetched=%v", seed, res.Source, fetched)
+			}
+		case hasRecord:
+			if res.Source != SourceStale || !fetched || string(res.FirstPaint) != "old" {
+				t.Fatalf("seed %d: want stale, got %s fetched=%v", seed, res.Source, fetched)
+			}
+		default:
+			if res.Source != SourceNetwork || !fetched {
+				t.Fatalf("seed %d: want network, got %s fetched=%v", seed, res.Source, fetched)
+			}
+		}
+	}
+}

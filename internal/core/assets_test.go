@@ -1,0 +1,56 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The frontend assets are embedded strings; these tests pin the structural
+// contracts the served pages rely on. (Syntax is additionally checked with
+// `node --check` in development; tests here stay toolchain-free.)
+
+func TestWidgetsJSRendersEveryHomepageWidget(t *testing.T) {
+	for _, id := range []string{
+		"announcements", "recent-jobs", "system-status", "accounts", "storage",
+		"myjobs-table", "cluster-status", "jobperf",
+	} {
+		if !strings.Contains(assetWidgetsJS, `case "`+id+`"`) {
+			t.Errorf("widgets.js lacks a renderer for %q", id)
+		}
+	}
+	// The cache policy markers: instant paint then conditional refresh.
+	for _, marker := range []string{"DashCache.get", "DashCache.put", "data-api", "dataset.api"} {
+		if !strings.Contains(assetWidgetsJS, marker) && !strings.Contains(assetWidgetsJS, strings.ReplaceAll(marker, "data-api", "[data-api]")) {
+			t.Errorf("widgets.js missing %q", marker)
+		}
+	}
+}
+
+func TestCacheJSUsesIndexedDB(t *testing.T) {
+	for _, marker := range []string{"indexedDB.open", "objectStore", "storedAt"} {
+		if !strings.Contains(assetCacheJS, marker) {
+			t.Errorf("cache.js missing %q", marker)
+		}
+	}
+}
+
+func TestCSSDefinesStateColors(t *testing.T) {
+	for _, class := range []string{
+		".node-cell.green", ".node-cell.faded-green", ".node-cell.yellow",
+		".node-cell.orange", ".node-cell.red",
+		".badge.red", ".badge.yellow", ".badge.gray",
+		".progress", ".log-view",
+	} {
+		if !strings.Contains(assetCSS, class) {
+			t.Errorf("dashboard.css missing %q", class)
+		}
+	}
+}
+
+func TestPagesReferenceAssets(t *testing.T) {
+	for _, ref := range []string{"/assets/dashboard.css", "/assets/cache.js", "/assets/widgets.js"} {
+		if !strings.Contains(baseTemplate, ref) {
+			t.Errorf("base template missing %q", ref)
+		}
+	}
+}

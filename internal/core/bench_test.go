@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Ablation from DESIGN.md: the Job Overview log view caps at 1000 lines so
+// huge logs stay cheap. These benches quantify the cap against full reads.
+func BenchmarkLogTailWindow(b *testing.B) {
+	store := NewMemLogStore()
+	var content strings.Builder
+	for i := 1; i <= 200_000; i++ {
+		fmt.Fprintf(&content, "[stamp] iteration %d complete\n", i)
+	}
+	store.Write("/big.log", content.String())
+
+	for _, window := range []int{100, 1000, 0 /* full file */} {
+		name := fmt.Sprintf("window=%d", window)
+		if window == 0 {
+			name = "window=full"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lines, total, err := store.ReadTail("/big.log", window)
+				if err != nil || total != 200_000 {
+					b.Fatalf("total=%d err=%v", total, err)
+				}
+				if window > 0 && len(lines) != window {
+					b.Fatalf("lines=%d", len(lines))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTailLines(b *testing.B) {
+	var content strings.Builder
+	for i := 0; i < 50_000; i++ {
+		fmt.Fprintf(&content, "line %d\n", i)
+	}
+	s := content.String()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lines, total := tailLines(s, 1000)
+		if total != 50_000 || len(lines) != 1000 {
+			b.Fatal("bad tail")
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import "time"
+
+// CacheTTLs holds the per-data-source cache expiration times. The defaults
+// reproduce §2.4 of the paper: slow-moving sources (announcements, storage)
+// cache for a long time, fast-moving sources backed by slurmctld (squeue)
+// for ~30 seconds to balance freshness against controller load.
+type CacheTTLs struct {
+	Announcements time.Duration // news API (30 min – 1 h in the paper)
+	RecentJobs    time.Duration // squeue (≈30 s in the paper)
+	SystemStatus  time.Duration // sinfo
+	Accounts      time.Duration // scontrol show assoc + squeue per account
+	Storage       time.Duration // ZFS/GPFS database
+	JobHistory    time.Duration // sacct (My Jobs, Job Performance Metrics)
+	ClusterNodes  time.Duration // scontrol show node (all nodes)
+	NodeDetail    time.Duration // scontrol show node <name>
+	JobDetail     time.Duration // scontrol show job <id>
+}
+
+// DefaultTTLs returns the paper's cache configuration.
+func DefaultTTLs() CacheTTLs {
+	return CacheTTLs{
+		Announcements: 30 * time.Minute,
+		RecentJobs:    30 * time.Second,
+		SystemStatus:  60 * time.Second,
+		Accounts:      60 * time.Second,
+		Storage:       time.Hour,
+		JobHistory:    2 * time.Minute,
+		ClusterNodes:  60 * time.Second,
+		NodeDetail:    30 * time.Second,
+		JobDetail:     15 * time.Second,
+	}
+}
+
+// Config configures a dashboard Server.
+type Config struct {
+	// ClusterName appears in page titles and the CSV exports.
+	ClusterName string
+	// TTLs are the per-source cache expirations; zero-valued fields fall
+	// back to DefaultTTLs.
+	TTLs CacheTTLs
+	// RecentJobsLimit bounds the homepage Recent Jobs widget.
+	RecentJobsLimit int
+	// LogTailLines bounds the Job Overview output/error views (§7: the
+	// interface shows only the most recent 1000 lines).
+	LogTailLines int
+	// AnnouncementsLimit bounds the homepage Announcements widget.
+	AnnouncementsLimit int
+	// UserGuideURL is linked from the Accounts widget header.
+	UserGuideURL string
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	def := DefaultTTLs()
+	if c.ClusterName == "" {
+		c.ClusterName = "cluster"
+	}
+	if c.TTLs.Announcements == 0 {
+		c.TTLs.Announcements = def.Announcements
+	}
+	if c.TTLs.RecentJobs == 0 {
+		c.TTLs.RecentJobs = def.RecentJobs
+	}
+	if c.TTLs.SystemStatus == 0 {
+		c.TTLs.SystemStatus = def.SystemStatus
+	}
+	if c.TTLs.Accounts == 0 {
+		c.TTLs.Accounts = def.Accounts
+	}
+	if c.TTLs.Storage == 0 {
+		c.TTLs.Storage = def.Storage
+	}
+	if c.TTLs.JobHistory == 0 {
+		c.TTLs.JobHistory = def.JobHistory
+	}
+	if c.TTLs.ClusterNodes == 0 {
+		c.TTLs.ClusterNodes = def.ClusterNodes
+	}
+	if c.TTLs.NodeDetail == 0 {
+		c.TTLs.NodeDetail = def.NodeDetail
+	}
+	if c.TTLs.JobDetail == 0 {
+		c.TTLs.JobDetail = def.JobDetail
+	}
+	if c.RecentJobsLimit == 0 {
+		c.RecentJobsLimit = 8
+	}
+	if c.LogTailLines == 0 {
+		c.LogTailLines = 1000
+	}
+	if c.AnnouncementsLimit == 0 {
+		c.AnnouncementsLimit = 10
+	}
+	if c.UserGuideURL == "" {
+		c.UserGuideURL = "https://www.rcac.example.edu/knowledge/accounts"
+	}
+	return c
+}

@@ -1,0 +1,16 @@
+// Package core implements the paper's primary contribution: the modular,
+// responsive HPC dashboard built on the Open OnDemand architecture.
+//
+// The backend follows the paper's structure (§2.2–§2.4): each dashboard
+// feature is one frontend template paired with one JSON API route; API
+// routes run Slurm commands (through slurmcli.Runner) or call helper
+// services (news feed, storage database) and cache the results in a
+// server-side TTL cache with per-data-source expiration times. Every route
+// resolves the authenticated user and filters results to that user's scope
+// (own jobs, group jobs, own disks, own logs).
+//
+// The widget registry makes the modularity concrete: each widget can be
+// mounted in isolation onto any http.ServeMux, which is how the paper's
+// "copy a template and an API route to another OnDemand install" porting
+// story is reproduced (§2.3, §8).
+package core

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// flakyRunner wraps a Runner and fails selected commands a configurable
+// number of times — the failure-injection harness for backend resilience.
+type flakyRunner struct {
+	inner slurmcli.Runner
+
+	mu        sync.Mutex
+	failCmd   string // command name to sabotage; empty = none
+	failures  int    // remaining failures
+	callCount map[string]int
+}
+
+func newFlakyRunner(inner slurmcli.Runner) *flakyRunner {
+	return &flakyRunner{inner: inner, callCount: make(map[string]int)}
+}
+
+func (f *flakyRunner) failNext(cmd string, times int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failCmd, f.failures = cmd, times
+}
+
+func (f *flakyRunner) Run(name string, args ...string) (string, error) {
+	f.mu.Lock()
+	f.callCount[name]++
+	shouldFail := name == f.failCmd && f.failures > 0
+	if shouldFail {
+		f.failures--
+	}
+	f.mu.Unlock()
+	if shouldFail {
+		return "", errors.New("slurm_load_jobs error: Unable to contact slurm controller (connect failure)")
+	}
+	return f.inner.Run(name, args...)
+}
+
+func (f *flakyRunner) calls(name string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.callCount[name]
+}
+
+// newFlakyEnv builds the standard env with a flaky runner spliced in.
+func newFlakyEnv(t *testing.T) (*env, *flakyRunner) {
+	t.Helper()
+	e := newEnv(t)
+	flaky := newFlakyRunner(slurmcli.NewSimRunner(e.cluster))
+	server, err := NewServer(Config{ClusterName: "testcluster"}, Deps{
+		Runner:  flaky,
+		Storage: e.storage,
+		Users:   e.users,
+		Logs:    e.logs,
+		Clock:   e.clock,
+		Events:  e.cluster.Ctl,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.server = server
+	// Re-point the test web server at the flaky-backed server.
+	e.web.Config.Handler = server
+	return e, flaky
+}
+
+func TestSlurmOutageDegradesOneWidget(t *testing.T) {
+	e, flaky := newFlakyEnv(t)
+	e.submit(slurm.SubmitRequest{
+		User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	// squeue is down: recent jobs fails; sinfo- and storage-backed widgets
+	// keep serving (§2.4 modularity under partial Slurm outage).
+	flaky.failNext("squeue", 100)
+	e.wantStatus("alice", "/api/recent_jobs", 500)
+	e.wantStatus("alice", "/api/system_status", 200)
+	e.wantStatus("alice", "/api/storage", 200)
+	e.wantStatus("alice", "/api/myjobs?range=24h", 200) // sacct unaffected
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	e, flaky := newFlakyEnv(t)
+	e.submit(slurm.SubmitRequest{
+		Name: "recovers", User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	flaky.failNext("squeue", 1)
+	e.wantStatus("alice", "/api/recent_jobs", 500)
+	// The failure must not poison the cache: the very next request retries
+	// the command and succeeds without waiting for any TTL.
+	var resp RecentJobsResponse
+	e.getJSON("alice", "/api/recent_jobs", &resp)
+	if len(resp.Jobs) != 1 || resp.Jobs[0].Name != "recovers" {
+		t.Fatalf("post-recovery jobs = %+v", resp.Jobs)
+	}
+}
+
+func TestRecoveredResultIsCachedAgain(t *testing.T) {
+	e, flaky := newFlakyEnv(t)
+	flaky.failNext("squeue", 1)
+	e.wantStatus("alice", "/api/recent_jobs", 500)
+	e.wantStatus("alice", "/api/recent_jobs", 200)
+	before := flaky.calls("squeue")
+	for i := 0; i < 5; i++ {
+		e.wantStatus("alice", "/api/recent_jobs", 200)
+	}
+	if got := flaky.calls("squeue") - before; got != 0 {
+		t.Fatalf("squeue calls after recovery = %d, want 0 (cached)", got)
+	}
+}
+
+func TestSacctOutageBreaksHistoryRoutesOnly(t *testing.T) {
+	e, flaky := newFlakyEnv(t)
+	flaky.failNext("sacct", 100)
+	e.wantStatus("alice", "/api/myjobs?range=24h", 500)
+	e.wantStatus("alice", "/api/jobperf?range=24h", 500)
+	e.wantStatus("alice", "/api/insights?range=24h", 500)
+	e.wantStatus("alice", "/api/recent_jobs", 200)
+	e.wantStatus("alice", "/api/cluster_status", 200)
+}
+
+func TestScontrolOutageWithWarmCacheKeepsServing(t *testing.T) {
+	e, flaky := newFlakyEnv(t)
+	// Warm the cluster-status cache, then take scontrol down: the widget
+	// keeps serving the cached snapshot until the TTL expires.
+	e.wantStatus("alice", "/api/cluster_status", 200)
+	flaky.failNext("scontrol", 100)
+	e.wantStatus("alice", "/api/cluster_status", 200)
+	// Past the TTL the outage finally surfaces.
+	e.advance(2 * time.Minute)
+	e.wantStatus("alice", "/api/cluster_status", 500)
+}
+
+// TestConcurrentRouteAccess hammers mixed routes from many goroutines;
+// meaningful under -race, which the CI-style full run uses.
+func TestConcurrentRouteAccess(t *testing.T) {
+	e := newEnv(t)
+	seedMixedHistory(e)
+	paths := []string{
+		"/api/recent_jobs", "/api/system_status", "/api/accounts",
+		"/api/storage", "/api/myjobs?range=24h", "/api/cluster_status",
+		"/api/jobperf?range=24h", "/api/events",
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			users := []string{"alice", "bob", "carol"}
+			for i := 0; i < 25; i++ {
+				user := users[(g+i)%3]
+				status, _ := e.get(user, paths[(g+i)%len(paths)])
+				if status != 200 {
+					t.Errorf("GET as %s: %d", user, status)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"log"
+	"net/http"
+
+	"ooddash/internal/auth"
+)
+
+// apiError is the JSON error envelope every API route uses, so the frontend
+// can render a per-widget error state without breaking the page (§2.4
+// Modularity: a failing widget must not take down the dashboard).
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeJSON encodes v as the response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already sent; nothing to do but log.
+		log.Printf("core: encoding response: %v", err)
+	}
+}
+
+// writeError maps an error to the right status code and JSON envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, auth.ErrUnauthenticated):
+		status = http.StatusUnauthorized
+	case errors.Is(err, auth.ErrUnknownUser):
+		status = http.StatusForbidden
+	case errors.Is(err, errForbidden):
+		status = http.StatusForbidden
+	case errors.Is(err, errNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, errBadRequest):
+		status = http.StatusBadRequest
+	}
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+// Sentinel errors the routes wrap for status mapping.
+var (
+	errForbidden  = errors.New("forbidden")
+	errNotFound   = errors.New("not found")
+	errBadRequest = errors.New("bad request")
+)

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+)
+
+// LogLine is one numbered line of a job log, as rendered in the Job Overview
+// output/error tabs (§7: line numbers on the left).
+type LogLine struct {
+	Number int    `json:"number"`
+	Text   string `json:"text"`
+}
+
+// LogStore reads job stdout/stderr files. ReadTail returns at most maxLines
+// of the end of the file with absolute line numbers, the total line count,
+// and whether the view was truncated — exactly the data the Job Overview
+// log view needs (most recent 1000 lines, link to the full file).
+type LogStore interface {
+	ReadTail(path string, maxLines int) (lines []LogLine, total int, err error)
+}
+
+// tailLines extracts the last maxLines lines of content with numbering.
+func tailLines(content string, maxLines int) ([]LogLine, int) {
+	if content == "" {
+		return nil, 0
+	}
+	content = strings.TrimSuffix(content, "\n")
+	raw := strings.Split(content, "\n")
+	total := len(raw)
+	start := 0
+	if maxLines > 0 && total > maxLines {
+		start = total - maxLines
+	}
+	lines := make([]LogLine, 0, total-start)
+	for i := start; i < total; i++ {
+		lines = append(lines, LogLine{Number: i + 1, Text: raw[i]})
+	}
+	return lines, total
+}
+
+// MemLogStore is an in-memory LogStore used with the simulated cluster:
+// the workload generator writes job logs here under the job's StdOut/StdErr
+// paths. Safe for concurrent use.
+type MemLogStore struct {
+	mu    sync.RWMutex
+	files map[string]*strings.Builder
+}
+
+// NewMemLogStore returns an empty in-memory log store.
+func NewMemLogStore() *MemLogStore {
+	return &MemLogStore{files: make(map[string]*strings.Builder)}
+}
+
+// Write replaces the contents of path.
+func (m *MemLogStore) Write(path, content string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b := &strings.Builder{}
+	b.WriteString(content)
+	m.files[path] = b
+}
+
+// Append adds a line (newline added if missing) to path, creating it if
+// necessary — how the simulated jobs stream output.
+func (m *MemLogStore) Append(path, line string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok {
+		b = &strings.Builder{}
+		m.files[path] = b
+	}
+	b.WriteString(line)
+	if !strings.HasSuffix(line, "\n") {
+		b.WriteByte('\n')
+	}
+}
+
+// Exists reports whether path has been written.
+func (m *MemLogStore) Exists(path string) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	_, ok := m.files[path]
+	return ok
+}
+
+// ReadTail implements LogStore.
+func (m *MemLogStore) ReadTail(path string, maxLines int) ([]LogLine, int, error) {
+	m.mu.RLock()
+	b, ok := m.files[path]
+	if !ok {
+		m.mu.RUnlock()
+		return nil, 0, fmt.Errorf("core: log file %q not found", path)
+	}
+	content := b.String()
+	m.mu.RUnlock()
+	lines, total := tailLines(content, maxLines)
+	return lines, total, nil
+}
+
+// OSLogStore reads logs from the real filesystem; a production deployment
+// would use this (log views inherit filesystem permissions, §7).
+type OSLogStore struct{}
+
+// ReadTail implements LogStore by streaming the file, keeping only the last
+// maxLines lines in a ring so arbitrarily large logs read in O(file) time
+// and O(maxLines) memory.
+func (OSLogStore) ReadTail(path string, maxLines int) ([]LogLine, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+
+	if maxLines <= 0 {
+		maxLines = 1000
+	}
+	ring := make([]string, maxLines)
+	total := 0
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		ring[total%maxLines] = sc.Text()
+		total++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, fmt.Errorf("core: reading %s: %w", path, err)
+	}
+	n := total
+	if n > maxLines {
+		n = maxLines
+	}
+	lines := make([]LogLine, 0, n)
+	for i := total - n; i < total; i++ {
+		lines = append(lines, LogLine{Number: i + 1, Text: ring[i%maxLines]})
+	}
+	return lines, total, nil
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMemLogStoreTail(t *testing.T) {
+	m := NewMemLogStore()
+	m.Write("/a.log", "one\ntwo\nthree\n")
+	lines, total, err := m.ReadTail("/a.log", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || len(lines) != 2 {
+		t.Fatalf("total=%d lines=%d", total, len(lines))
+	}
+	if lines[0].Number != 2 || lines[0].Text != "two" {
+		t.Fatalf("lines[0] = %+v", lines[0])
+	}
+	if lines[1].Number != 3 || lines[1].Text != "three" {
+		t.Fatalf("lines[1] = %+v", lines[1])
+	}
+}
+
+func TestMemLogStoreAppend(t *testing.T) {
+	m := NewMemLogStore()
+	m.Append("/b.log", "first")
+	m.Append("/b.log", "second\n")
+	lines, total, err := m.ReadTail("/b.log", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 2 || lines[0].Text != "first" || lines[1].Text != "second" {
+		t.Fatalf("lines = %+v", lines)
+	}
+	if !m.Exists("/b.log") || m.Exists("/c.log") {
+		t.Fatal("Exists wrong")
+	}
+}
+
+func TestMemLogStoreMissing(t *testing.T) {
+	m := NewMemLogStore()
+	if _, _, err := m.ReadTail("/missing", 10); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestTailLinesEdgeCases(t *testing.T) {
+	if lines, total := tailLines("", 5); lines != nil || total != 0 {
+		t.Fatalf("empty = %v %d", lines, total)
+	}
+	// No trailing newline.
+	lines, total := tailLines("a\nb", 5)
+	if total != 2 || lines[1].Text != "b" {
+		t.Fatalf("no-newline = %+v", lines)
+	}
+	// maxLines 0 means everything.
+	lines, total = tailLines("a\nb\nc\n", 0)
+	if total != 3 || len(lines) != 3 {
+		t.Fatalf("unbounded = %d/%d", len(lines), total)
+	}
+}
+
+func TestOSLogStoreTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "job.out")
+	var b strings.Builder
+	for i := 1; i <= 5000; i++ {
+		fmt.Fprintf(&b, "line %d\n", i)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var store OSLogStore
+	lines, total, err := store.ReadTail(path, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5000 || len(lines) != 1000 {
+		t.Fatalf("total=%d lines=%d", total, len(lines))
+	}
+	if lines[0].Number != 4001 || lines[0].Text != "line 4001" {
+		t.Fatalf("lines[0] = %+v", lines[0])
+	}
+	if lines[999].Number != 5000 {
+		t.Fatalf("last = %+v", lines[999])
+	}
+}
+
+func TestOSLogStoreShortFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "short.out")
+	if err := os.WriteFile(path, []byte("only\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var store OSLogStore
+	lines, total, err := store.ReadTail(path, 1000)
+	if err != nil || total != 1 || len(lines) != 1 {
+		t.Fatalf("short = %v %d %v", lines, total, err)
+	}
+	if _, _, err := store.ReadTail(filepath.Join(dir, "nope"), 10); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}

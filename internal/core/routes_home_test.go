@@ -1,0 +1,310 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ooddash/internal/newsfeed"
+	"ooddash/internal/slurm"
+)
+
+func TestAnnouncementsWidget(t *testing.T) {
+	e := newEnv(t)
+	e.feed.Publish(newsfeed.Article{
+		Title: "Scratch outage", Category: newsfeed.CategoryOutage,
+		StartsAt: e.clock.Now(), EndsAt: e.clock.Now().Add(4 * time.Hour),
+	})
+	e.feed.Publish(newsfeed.Article{
+		Title: "July maintenance", Category: newsfeed.CategoryMaintenance,
+		StartsAt: e.clock.Now().Add(7 * 24 * time.Hour),
+		EndsAt:   e.clock.Now().Add(7*24*time.Hour + 8*time.Hour),
+	})
+	var resp AnnouncementsResponse
+	e.getJSON("alice", "/api/announcements", &resp)
+	if len(resp.Announcements) != 2 {
+		t.Fatalf("announcements = %d", len(resp.Announcements))
+	}
+	byTitle := make(map[string]Announcement)
+	for _, a := range resp.Announcements {
+		byTitle[a.Title] = a
+	}
+	if a := byTitle["Scratch outage"]; a.Color != "red" || !a.Active {
+		t.Fatalf("outage = %+v", a)
+	}
+	if a := byTitle["July maintenance"]; a.Color != "yellow" || !a.Active {
+		t.Fatalf("maintenance = %+v", a)
+	}
+}
+
+func TestAnnouncementsCachedAcrossUsers(t *testing.T) {
+	e := newEnv(t)
+	e.feed.Publish(newsfeed.Article{Title: "hello", Category: newsfeed.CategoryNews})
+	var resp AnnouncementsResponse
+	e.getJSON("alice", "/api/announcements", &resp)
+	e.getJSON("bob", "/api/announcements", &resp)
+	e.getJSON("carol", "/api/announcements", &resp)
+	if got := e.feed.Requests(); got != 1 {
+		t.Fatalf("news API requests = %d, want 1 (server cache shared)", got)
+	}
+}
+
+func TestRecentJobsWidget(t *testing.T) {
+	e := newEnv(t)
+	e.submit(slurm.SubmitRequest{
+		Name: "running-job", User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 2, MemMB: 1024},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	e.submit(slurm.SubmitRequest{
+		Name: "done-job", User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
+		Profile: slurm.UsageProfile{ActualDuration: time.Minute},
+	})
+	e.advance(2 * time.Minute)
+
+	var resp RecentJobsResponse
+	e.getJSON("alice", "/api/recent_jobs", &resp)
+	if len(resp.Jobs) != 2 {
+		t.Fatalf("jobs = %+v", resp.Jobs)
+	}
+	byName := make(map[string]RecentJob)
+	for _, j := range resp.Jobs {
+		byName[j.Name] = j
+	}
+	if j := byName["running-job"]; j.State != "RUNNING" || j.TimeLabel != "started" {
+		t.Fatalf("running job card = %+v", j)
+	}
+	if j := byName["done-job"]; j.State != "COMPLETED" || j.TimeLabel != "ended" {
+		t.Fatalf("done job card = %+v", j)
+	}
+}
+
+func TestRecentJobsPendingTooltip(t *testing.T) {
+	e := newEnv(t)
+	// Fill lab-a's 24-CPU group limit, then submit one more.
+	for i := 0; i < 3; i++ {
+		e.submit(slurm.SubmitRequest{
+			User: "alice", Account: "lab-a", Partition: "cpu",
+			ReqTRES: slurm.TRES{CPUs: 8, MemMB: 1024},
+			Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+		})
+	}
+	e.submit(slurm.SubmitRequest{
+		Name: "blocked", User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 8, MemMB: 1024},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	var resp RecentJobsResponse
+	e.getJSON("alice", "/api/recent_jobs", &resp)
+	var blocked *RecentJob
+	for i := range resp.Jobs {
+		if resp.Jobs[i].Name == "blocked" {
+			blocked = &resp.Jobs[i]
+		}
+	}
+	if blocked == nil || blocked.State != "PENDING" {
+		t.Fatalf("blocked job = %+v", blocked)
+	}
+	if blocked.Reason != "AssocGrpCpuLimit" {
+		t.Fatalf("reason = %q", blocked.Reason)
+	}
+	if !strings.Contains(blocked.ReasonHelp, "aggregate group CPU limit") {
+		t.Fatalf("tooltip = %q", blocked.ReasonHelp)
+	}
+}
+
+func TestRecentJobsPrivacy(t *testing.T) {
+	e := newEnv(t)
+	e.submit(slurm.SubmitRequest{
+		Name: "carols-job", User: "carol", Account: "lab-b", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	var resp RecentJobsResponse
+	e.getJSON("alice", "/api/recent_jobs", &resp)
+	if len(resp.Jobs) != 0 {
+		t.Fatalf("alice sees carol's jobs: %+v", resp.Jobs)
+	}
+}
+
+func TestSystemStatusWidget(t *testing.T) {
+	e := newEnv(t)
+	// 24 of 32 cpu-partition CPUs busy -> 75% -> yellow.
+	for i := 0; i < 3; i++ {
+		e.submit(slurm.SubmitRequest{
+			User: "carol", Account: "lab-b", Partition: "cpu",
+			ReqTRES: slurm.TRES{CPUs: 8, MemMB: 1024},
+			Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+		})
+	}
+	var resp SystemStatusResponse
+	e.getJSON("alice", "/api/system_status", &resp)
+	if resp.Cluster != "testcluster" || len(resp.Partitions) != 2 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	var cpu *PartitionSummary
+	for i := range resp.Partitions {
+		if resp.Partitions[i].Name == "cpu" {
+			cpu = &resp.Partitions[i]
+		}
+	}
+	if cpu == nil || cpu.CPUPercent != 75 || cpu.Color != "yellow" {
+		t.Fatalf("cpu partition = %+v", cpu)
+	}
+	if cpu.RunningJobs != 3 {
+		t.Fatalf("running jobs = %d", cpu.RunningJobs)
+	}
+}
+
+func TestUtilizationColorBands(t *testing.T) {
+	tests := []struct {
+		pct  float64
+		want string
+	}{
+		{0, "green"}, {69.9, "green"}, {70, "yellow"}, {90, "yellow"},
+		{90.1, "red"}, {100, "red"},
+	}
+	for _, tc := range tests {
+		if got := utilizationColor(tc.pct); got != tc.want {
+			t.Errorf("utilizationColor(%v) = %s, want %s", tc.pct, got, tc.want)
+		}
+	}
+}
+
+func TestAccountsWidget(t *testing.T) {
+	e := newEnv(t)
+	e.submit(slurm.SubmitRequest{
+		User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 8, MemMB: 1024},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	var resp AccountsResponse
+	e.getJSON("alice", "/api/accounts", &resp)
+	if len(resp.Accounts) != 1 {
+		t.Fatalf("accounts = %+v", resp.Accounts)
+	}
+	a := resp.Accounts[0]
+	if a.Account != "lab-a" || a.CPUsInUse != 8 || a.GrpCPULimit != 24 {
+		t.Fatalf("account row = %+v", a)
+	}
+	if a.CPUPercent < 33.3 || a.CPUPercent > 33.4 {
+		t.Fatalf("cpu%% = %v", a.CPUPercent)
+	}
+	if a.ExportURL == "" {
+		t.Fatal("missing export URL")
+	}
+	// bob sees both accounts.
+	e.getJSON("bob", "/api/accounts", &resp)
+	if len(resp.Accounts) != 2 {
+		t.Fatalf("bob accounts = %+v", resp.Accounts)
+	}
+}
+
+func TestAccountExportCSV(t *testing.T) {
+	e := newEnv(t)
+	e.submit(slurm.SubmitRequest{
+		User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 4, MemMB: 1024},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	status, body := e.get("alice", "/api/accounts/lab-a/export.csv")
+	if status != 200 {
+		t.Fatalf("status = %d: %s", status, body)
+	}
+	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
+	// Header plus one row per account member (alice and bob), active user first.
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), body)
+	}
+	if !strings.HasPrefix(lines[0], "user,cpus_in_use") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "alice,4,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "bob,0,") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestAccountExportForbiddenForNonMembers(t *testing.T) {
+	e := newEnv(t)
+	e.wantStatus("carol", "/api/accounts/lab-a/export.csv", 403)
+}
+
+func TestStorageWidget(t *testing.T) {
+	e := newEnv(t)
+	if err := e.storage.SetUsage("/home/alice", 24<<30, 100_000); err != nil {
+		t.Fatal(err)
+	}
+	var resp StorageResponse
+	e.getJSON("alice", "/api/storage", &resp)
+	if len(resp.Directories) != 3 { // home, scratch, lab-a depot
+		t.Fatalf("directories = %+v", resp.Directories)
+	}
+	home := resp.Directories[0]
+	if home.Path != "/home/alice" || home.Kind != "home" {
+		t.Fatalf("home = %+v", home)
+	}
+	if home.UsagePercent != 96 || home.Color != "red" {
+		t.Fatalf("home usage = %v color %s", home.UsagePercent, home.Color)
+	}
+	if !strings.HasPrefix(home.FilesAppURL, "/pun/sys/files/fs/home/alice") {
+		t.Fatalf("files URL = %q", home.FilesAppURL)
+	}
+}
+
+func TestStoragePrivacy(t *testing.T) {
+	e := newEnv(t)
+	var resp StorageResponse
+	e.getJSON("carol", "/api/storage", &resp)
+	for _, d := range resp.Directories {
+		if strings.Contains(d.Path, "alice") || strings.Contains(d.Path, "lab-a") {
+			t.Fatalf("carol sees %s", d.Path)
+		}
+	}
+}
+
+func TestUnauthenticatedRequests(t *testing.T) {
+	e := newEnv(t)
+	for _, path := range []string{
+		"/api/recent_jobs", "/api/system_status", "/api/accounts",
+		"/api/storage", "/api/myjobs", "/api/jobperf", "/api/cluster_status",
+		"/api/announcements",
+	} {
+		e.wantStatus("", path, 401)
+	}
+}
+
+func TestUnknownUserForbidden(t *testing.T) {
+	e := newEnv(t)
+	e.wantStatus("mallory", "/api/recent_jobs", 403)
+}
+
+func TestSystemStatusShowsMaintenance(t *testing.T) {
+	e := newEnv(t)
+	start := e.clock.Now().Add(24 * time.Hour)
+	if _, err := e.cluster.Ctl.ScheduleMaintenance("july-pm", start, start.Add(8*time.Hour),
+		nil, "quarterly maintenance"); err != nil {
+		t.Fatal(err)
+	}
+	var resp SystemStatusResponse
+	e.getJSON("alice", "/api/system_status", &resp)
+	if len(resp.Maintenance) != 1 {
+		t.Fatalf("maintenance = %+v", resp.Maintenance)
+	}
+	m := resp.Maintenance[0]
+	if m.Name != "july-pm" || m.Active || m.Nodes != "ALL" {
+		t.Fatalf("notice = %+v", m)
+	}
+	if m.Reason != "quarterly maintenance" {
+		t.Fatalf("reason = %q", m.Reason)
+	}
+	// Once the window begins (and the cache TTL passes), it reads active.
+	e.advance(25 * time.Hour)
+	e.getJSON("alice", "/api/system_status", &resp)
+	if len(resp.Maintenance) != 1 || !resp.Maintenance[0].Active {
+		t.Fatalf("active notice = %+v", resp.Maintenance)
+	}
+}

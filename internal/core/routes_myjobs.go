@@ -1,0 +1,561 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ooddash/internal/efficiency"
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// explainReason adapts the efficiency package's reason table for routes.
+func explainReason(r slurm.PendingReason) (string, bool) {
+	if r == slurm.ReasonNone || r == "" {
+		return "", false
+	}
+	return efficiency.ExplainReason(r)
+}
+
+// parseTimeRange interprets the range/from/to query parameters shared by
+// My Jobs and Job Performance Metrics (§5: last 24 hours through all time,
+// plus a custom range).
+func parseTimeRange(r *http.Request, now time.Time) (start, end time.Time, err error) {
+	rng := r.URL.Query().Get("range")
+	if rng == "" {
+		rng = "7d"
+	}
+	switch rng {
+	case "24h":
+		return now.Add(-24 * time.Hour), now, nil
+	case "7d":
+		return now.Add(-7 * 24 * time.Hour), now, nil
+	case "30d":
+		return now.Add(-30 * 24 * time.Hour), now, nil
+	case "90d":
+		return now.Add(-90 * 24 * time.Hour), now, nil
+	case "all":
+		return time.Time{}, now, nil
+	case "custom":
+		from := r.URL.Query().Get("from")
+		to := r.URL.Query().Get("to")
+		start, err = time.Parse(time.RFC3339, from)
+		if err != nil {
+			return start, end, fmt.Errorf("%w: bad from %q", errBadRequest, from)
+		}
+		end, err = time.Parse(time.RFC3339, to)
+		if err != nil {
+			return start, end, fmt.Errorf("%w: bad to %q", errBadRequest, to)
+		}
+		if end.Before(start) {
+			return start, end, fmt.Errorf("%w: range ends before it starts", errBadRequest)
+		}
+		return start, end, nil
+	default:
+		return start, end, fmt.Errorf("%w: unknown range %q", errBadRequest, rng)
+	}
+}
+
+// EfficiencyView is the toggleable efficiency column triple (§4.3). Nil
+// percentages mean not applicable (job has not run).
+type EfficiencyView struct {
+	TimePercent   *float64 `json:"time_percent"`
+	CPUPercent    *float64 `json:"cpu_percent"`
+	MemoryPercent *float64 `json:"memory_percent"`
+	// GPUPercent carries the §9 GPU-utilization extension; null for
+	// CPU-only jobs.
+	GPUPercent *float64 `json:"gpu_percent"`
+}
+
+func efficiencyView(m efficiency.Metrics) EfficiencyView {
+	conv := func(v float64) *float64 {
+		if v < 0 {
+			return nil
+		}
+		return &v
+	}
+	return EfficiencyView{
+		TimePercent:   conv(m.TimePercent),
+		CPUPercent:    conv(m.CPUPercent),
+		MemoryPercent: conv(m.MemoryPercent),
+		GPUPercent:    conv(m.GPUPercent),
+	}
+}
+
+// JobRow is one row of the My Jobs table (§4.1), expanded form included.
+type JobRow struct {
+	JobID     string `json:"job_id"`
+	Name      string `json:"name"`
+	User      string `json:"user"`
+	Account   string `json:"account"`
+	Partition string `json:"partition"`
+	QOS       string `json:"qos"`
+	State     string `json:"state"`
+	Reason    string `json:"reason,omitempty"`
+	// ReasonHelp is the friendly explanation of the pending reason.
+	ReasonHelp string `json:"reason_help,omitempty"`
+
+	SubmitTime time.Time `json:"submit_time"`
+	StartTime  time.Time `json:"start_time,omitempty"`
+	EndTime    time.Time `json:"end_time,omitempty"`
+	// WaitSeconds is the queue wait; ElapsedSeconds the wall time so far.
+	WaitSeconds      int64 `json:"wait_seconds"`
+	ElapsedSeconds   int64 `json:"elapsed_seconds"`
+	TimeLimitSeconds int64 `json:"time_limit_seconds"`
+
+	// Expanded-view details.
+	ReqCPUs   int     `json:"req_cpus"`
+	AllocCPUs int     `json:"alloc_cpus"`
+	ReqMemMB  int64   `json:"req_mem_mb"`
+	GPUs      int     `json:"gpus"`
+	GPUHours  float64 `json:"gpu_hours"`
+	NodeList  string  `json:"node_list,omitempty"`
+	ExitCode  int     `json:"exit_code"`
+	WorkDir   string  `json:"work_dir,omitempty"`
+
+	Efficiency EfficiencyView `json:"efficiency"`
+	Warnings   []string       `json:"warnings,omitempty"`
+
+	IsArrayTask bool   `json:"is_array_task,omitempty"`
+	App         string `json:"app,omitempty"`
+	SessionID   string `json:"session_id,omitempty"`
+	OverviewURL string `json:"overview_url"`
+}
+
+// MyJobsResponse is the My Jobs API payload.
+type MyJobsResponse struct {
+	Jobs []JobRow `json:"jobs"`
+	// Total is the row count before any filtering, for the charts.
+	Total int `json:"total"`
+	// Matched is the post-filter count before pagination; Offset echoes the
+	// requested page start so the table can render pager controls.
+	Matched int `json:"matched"`
+	Offset  int `json:"offset"`
+}
+
+// jobRowFromSacct converts an accounting row to the API row shape.
+func jobRowFromSacct(row *slurmcli.SacctRow, now time.Time, th efficiency.Thresholds) JobRow {
+	jr := JobRow{
+		JobID:     row.JobID,
+		Name:      row.Name,
+		User:      row.User,
+		Account:   row.Account,
+		Partition: row.Partition,
+		QOS:       row.QOS,
+		State:     string(row.State),
+
+		SubmitTime:       row.SubmitTime,
+		StartTime:        row.StartTime,
+		EndTime:          row.EndTime,
+		ElapsedSeconds:   int64(row.Elapsed / time.Second),
+		TimeLimitSeconds: int64(row.TimeLimit / time.Second),
+
+		ReqCPUs:   row.ReqCPUs,
+		AllocCPUs: row.AllocCPUs,
+		ReqMemMB:  row.ReqMemMB,
+		GPUs:      row.AllocTRES.GPUs,
+		GPUHours:  row.GPUHours(),
+		NodeList:  row.NodeList,
+		ExitCode:  row.ExitCode,
+		WorkDir:   row.WorkDir,
+
+		IsArrayTask: row.IsArrayTask(),
+		OverviewURL: "/job/" + row.JobID,
+	}
+	if row.NodeList == "None assigned" {
+		jr.NodeList = ""
+	}
+	if row.State == slurm.StatePending {
+		jr.Reason = string(row.Reason)
+		if msg, ok := explainReason(row.Reason); ok {
+			jr.ReasonHelp = msg
+		}
+		jr.WaitSeconds = int64(now.Sub(row.SubmitTime) / time.Second)
+	} else if !row.StartTime.IsZero() {
+		jr.WaitSeconds = int64(row.StartTime.Sub(row.SubmitTime) / time.Second)
+	}
+	jr.Efficiency = efficiencyView(efficiency.Compute(row))
+	for _, warning := range efficiency.Warnings(row, th) {
+		jr.Warnings = append(jr.Warnings, warning.Message)
+	}
+	if app, sess, ok := row.SessionInfo(); ok {
+		jr.App, jr.SessionID = app, sess
+	}
+	return jr
+}
+
+// fetchUserJobs returns the table rows visible to the user (their own jobs
+// plus their groups', §2.4 Privacy) in the window, cached per (user, window).
+// The cache holds fully converted rows — efficiency metrics and warning
+// strings are the expensive part of this route, so they are computed once
+// per TTL instead of once per request; filters and pagination then run over
+// the cached slice.
+func (s *Server) fetchUserJobs(userName string, accounts []string, start, end time.Time) ([]JobRow, error) {
+	key := fmt.Sprintf("myjobs:%s:%d:%d", userName, start.Unix(), end.Unix())
+	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+			Accounts: accounts, AllUsers: true,
+			Start: start, End: end,
+		})
+		if err != nil {
+			return nil, err
+		}
+		now := s.clock.Now()
+		th := efficiency.DefaultThresholds()
+		converted := make([]JobRow, len(rows))
+		for i := range rows {
+			converted[i] = jobRowFromSacct(&rows[i], now, th)
+		}
+		// Newest submissions first, the table's default sort.
+		sort.SliceStable(converted, func(i, j int) bool {
+			return converted[i].SubmitTime.After(converted[j].SubmitTime)
+		})
+		return converted, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]JobRow), nil
+}
+
+func (s *Server) handleMyJobs(w http.ResponseWriter, r *http.Request) {
+	user, err := s.currentUser(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	now := s.clock.Now()
+	start, end, err := parseTimeRange(r, now)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows, err := s.fetchUserJobs(user.Name, user.Accounts, start, end)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// Optional filters mirroring the page's controls.
+	q := r.URL.Query()
+	stateFilter := strings.ToUpper(q.Get("state"))
+	userFilter := q.Get("user")
+	accountFilter := q.Get("account")
+	onlyMine := q.Get("mine") == "1"
+
+	resp := MyJobsResponse{Total: len(rows)}
+	for i := range rows {
+		row := &rows[i]
+		if onlyMine && row.User != user.Name {
+			continue
+		}
+		if userFilter != "" && row.User != userFilter {
+			continue
+		}
+		if accountFilter != "" && row.Account != accountFilter {
+			continue
+		}
+		if stateFilter != "" && row.State != stateFilter {
+			continue
+		}
+		resp.Jobs = append(resp.Jobs, *row)
+	}
+	resp.Matched = len(resp.Jobs)
+
+	// Pagination: DataTables-style limit/offset keeps large histories from
+	// shipping megabytes per request.
+	offset, limit := 0, 0
+	if v := q.Get("offset"); v != "" {
+		offset, err = strconv.Atoi(v)
+		if err != nil || offset < 0 {
+			writeError(w, fmt.Errorf("%w: bad offset %q", errBadRequest, v))
+			return
+		}
+	}
+	if v := q.Get("limit"); v != "" {
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit <= 0 {
+			writeError(w, fmt.Errorf("%w: bad limit %q", errBadRequest, v))
+			return
+		}
+	}
+	if offset > len(resp.Jobs) {
+		offset = len(resp.Jobs)
+	}
+	resp.Offset = offset
+	resp.Jobs = resp.Jobs[offset:]
+	if limit > 0 && len(resp.Jobs) > limit {
+		resp.Jobs = resp.Jobs[:limit]
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMyJobsExport streams the (filtered) My Jobs table as CSV — the
+// DataTables-style export next to the §3.4 account export, with the same
+// scope and filters as the JSON route.
+func (s *Server) handleMyJobsExport(w http.ResponseWriter, r *http.Request) {
+	user, err := s.currentUser(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	now := s.clock.Now()
+	start, end, err := parseTimeRange(r, now)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows, err := s.fetchUserJobs(user.Name, user.Accounts, start, end)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	q := r.URL.Query()
+	stateFilter := strings.ToUpper(q.Get("state"))
+	onlyMine := q.Get("mine") == "1"
+
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%s-jobs-%s.csv", s.cfg.ClusterName, user.Name))
+	cw := csv.NewWriter(w)
+	_ = cw.Write([]string{"job_id", "name", "user", "account", "partition", "qos",
+		"state", "submit", "start", "end", "wait_seconds", "elapsed_seconds",
+		"req_cpus", "req_mem_mb", "gpus", "gpu_hours",
+		"time_eff_pct", "cpu_eff_pct", "mem_eff_pct", "exit_code"})
+	fmtTime := func(t time.Time) string {
+		if t.IsZero() {
+			return ""
+		}
+		return t.UTC().Format(time.RFC3339)
+	}
+	fmtEff := func(v *float64) string {
+		if v == nil {
+			return ""
+		}
+		return strconv.FormatFloat(*v, 'f', 1, 64)
+	}
+	for i := range rows {
+		row := &rows[i]
+		if onlyMine && row.User != user.Name {
+			continue
+		}
+		if stateFilter != "" && row.State != stateFilter {
+			continue
+		}
+		_ = cw.Write([]string{
+			row.JobID, row.Name, row.User, row.Account, row.Partition, row.QOS,
+			row.State, fmtTime(row.SubmitTime), fmtTime(row.StartTime), fmtTime(row.EndTime),
+			strconv.FormatInt(row.WaitSeconds, 10),
+			strconv.FormatInt(row.ElapsedSeconds, 10),
+			strconv.Itoa(row.ReqCPUs),
+			strconv.FormatInt(row.ReqMemMB, 10),
+			strconv.Itoa(row.GPUs),
+			strconv.FormatFloat(row.GPUHours, 'f', 2, 64),
+			fmtEff(row.Efficiency.TimePercent),
+			fmtEff(row.Efficiency.CPUPercent),
+			fmtEff(row.Efficiency.MemoryPercent),
+			strconv.Itoa(row.ExitCode),
+		})
+	}
+	cw.Flush()
+}
+
+// --- My Jobs charts (§4.2) --------------------------------------------------
+
+// UserStateBar is one stacked bar of the job-state distribution chart:
+// a user's job counts by state.
+type UserStateBar struct {
+	User   string         `json:"user"`
+	Total  int            `json:"total"`
+	States map[string]int `json:"states"`
+}
+
+// UserGPUHours is one bar of the GPU-hour distribution chart.
+type UserGPUHours struct {
+	User     string  `json:"user"`
+	GPUHours float64 `json:"gpu_hours"`
+}
+
+// ChartsResponse is the My Jobs charts API payload.
+type ChartsResponse struct {
+	StateDistribution []UserStateBar `json:"state_distribution"`
+	GPUHours          []UserGPUHours `json:"gpu_hours"`
+}
+
+func (s *Server) handleMyJobsCharts(w http.ResponseWriter, r *http.Request) {
+	user, err := s.currentUser(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	now := s.clock.Now()
+	start, end, err := parseTimeRange(r, now)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows, err := s.fetchUserJobs(user.Name, user.Accounts, start, end)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	states := make(map[string]*UserStateBar)
+	gpu := make(map[string]float64)
+	for i := range rows {
+		row := &rows[i]
+		bar := states[row.User]
+		if bar == nil {
+			bar = &UserStateBar{User: row.User, States: make(map[string]int)}
+			states[row.User] = bar
+		}
+		bar.States[row.State]++
+		bar.Total++
+		gpu[row.User] += row.GPUHours
+	}
+	resp := ChartsResponse{}
+	for _, bar := range states {
+		resp.StateDistribution = append(resp.StateDistribution, *bar)
+	}
+	sort.Slice(resp.StateDistribution, func(i, j int) bool {
+		if resp.StateDistribution[i].Total != resp.StateDistribution[j].Total {
+			return resp.StateDistribution[i].Total > resp.StateDistribution[j].Total
+		}
+		return resp.StateDistribution[i].User < resp.StateDistribution[j].User
+	})
+	for u, hours := range gpu {
+		if hours > 0 {
+			resp.GPUHours = append(resp.GPUHours, UserGPUHours{User: u, GPUHours: hours})
+		}
+	}
+	sort.Slice(resp.GPUHours, func(i, j int) bool {
+		if resp.GPUHours[i].GPUHours != resp.GPUHours[j].GPUHours {
+			return resp.GPUHours[i].GPUHours > resp.GPUHours[j].GPUHours
+		}
+		return resp.GPUHours[i].User < resp.GPUHours[j].User
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- Job Performance Metrics (§5) --------------------------------------------
+
+// JobPerfResponse is the aggregate metrics payload: the summary cards of
+// the Job Performance Metrics app.
+type JobPerfResponse struct {
+	RangeStart time.Time `json:"range_start,omitempty"`
+	RangeEnd   time.Time `json:"range_end"`
+
+	TotalJobs        int     `json:"total_jobs"`
+	CompletedJobs    int     `json:"completed_jobs"`
+	FailedJobs       int     `json:"failed_jobs"`
+	AvgWaitSeconds   float64 `json:"avg_wait_seconds"`
+	MeanDurationSecs float64 `json:"mean_duration_seconds"`
+	TotalWallSeconds int64   `json:"total_wall_seconds"`
+	TotalCPUHours    float64 `json:"total_cpu_hours"`
+	TotalGPUHours    float64 `json:"total_gpu_hours"`
+
+	AvgTimeEfficiency   float64 `json:"avg_time_efficiency"`
+	AvgCPUEfficiency    float64 `json:"avg_cpu_efficiency"`
+	AvgMemoryEfficiency float64 `json:"avg_memory_efficiency"`
+}
+
+func (s *Server) handleJobPerf(w http.ResponseWriter, r *http.Request) {
+	user, err := s.currentUser(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	now := s.clock.Now()
+	start, end, err := parseTimeRange(r, now)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// Job Performance Metrics covers the user's own jobs only.
+	key := fmt.Sprintf("jobperf:%s:%d:%d", user.Name, start.Unix(), end.Unix())
+	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+		return slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+			User: user.Name, Start: start, End: end,
+		})
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rows := v.([]slurmcli.SacctRow)
+	resp := aggregateJobPerf(rows, start, end, now)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// aggregateJobPerf folds accounting rows into the summary metrics.
+func aggregateJobPerf(rows []slurmcli.SacctRow, start, end, now time.Time) JobPerfResponse {
+	resp := JobPerfResponse{RangeStart: start, RangeEnd: end}
+	var (
+		waitSum    time.Duration
+		waited     int
+		durSum     time.Duration
+		ran        int
+		timeEffSum float64
+		timeEffN   int
+		cpuEffSum  float64
+		cpuEffN    int
+		memEffSum  float64
+		memEffN    int
+	)
+	for i := range rows {
+		row := &rows[i]
+		resp.TotalJobs++
+		switch row.State {
+		case slurm.StateCompleted:
+			resp.CompletedJobs++
+		case slurm.StateFailed, slurm.StateNodeFail, slurm.StateOutOfMemory, slurm.StateTimeout:
+			resp.FailedJobs++
+		}
+		if !row.StartTime.IsZero() {
+			waitSum += row.StartTime.Sub(row.SubmitTime)
+			waited++
+			durSum += row.Elapsed
+			ran++
+			resp.TotalWallSeconds += int64(row.Elapsed / time.Second)
+			resp.TotalCPUHours += row.TotalCPU.Hours()
+			resp.TotalGPUHours += row.GPUHours()
+		} else if row.State == slurm.StatePending {
+			waitSum += now.Sub(row.SubmitTime)
+			waited++
+		}
+		m := efficiency.Compute(row)
+		if m.TimePercent >= 0 {
+			timeEffSum += m.TimePercent
+			timeEffN++
+		}
+		if m.CPUPercent >= 0 {
+			cpuEffSum += m.CPUPercent
+			cpuEffN++
+		}
+		if m.MemoryPercent >= 0 {
+			memEffSum += m.MemoryPercent
+			memEffN++
+		}
+	}
+	if waited > 0 {
+		resp.AvgWaitSeconds = (waitSum / time.Duration(waited)).Seconds()
+	}
+	if ran > 0 {
+		resp.MeanDurationSecs = (durSum / time.Duration(ran)).Seconds()
+	}
+	if timeEffN > 0 {
+		resp.AvgTimeEfficiency = timeEffSum / float64(timeEffN)
+	}
+	if cpuEffN > 0 {
+		resp.AvgCPUEfficiency = cpuEffSum / float64(cpuEffN)
+	}
+	if memEffN > 0 {
+		resp.AvgMemoryEfficiency = memEffSum / float64(memEffN)
+	}
+	return resp
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// TimeBucket is one point of the usage time series: jobs and consumption
+// that *ended* within the bucket (Slurm usage reports bucket by end time).
+type TimeBucket struct {
+	Start     time.Time `json:"start"`
+	Jobs      int       `json:"jobs"`
+	Completed int       `json:"completed"`
+	Failed    int       `json:"failed"`
+	CPUHours  float64   `json:"cpu_hours"`
+	GPUHours  float64   `json:"gpu_hours"`
+	WallHours float64   `json:"wall_hours"`
+}
+
+// TimeseriesResponse is the jobperf chart payload: evenly bucketed usage
+// over the selected range, the data behind a Chart.js line/bar chart.
+type TimeseriesResponse struct {
+	User       string       `json:"user"`
+	BucketSecs int64        `json:"bucket_seconds"`
+	Buckets    []TimeBucket `json:"buckets"`
+}
+
+// handleJobPerfTimeseries serves /api/jobperf/timeseries?range=&bucket=
+// (bucket: hour|day, default day). Scope is the user's own jobs, matching
+// the Job Performance Metrics app.
+func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request) {
+	user, err := s.currentUser(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	now := s.clock.Now()
+	start, end, err := parseTimeRange(r, now)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var bucket time.Duration
+	switch b := r.URL.Query().Get("bucket"); b {
+	case "", "day":
+		bucket = 24 * time.Hour
+	case "hour":
+		bucket = time.Hour
+	default:
+		writeError(w, fmt.Errorf("%w: unknown bucket %q", errBadRequest, b))
+		return
+	}
+	if start.IsZero() {
+		// "all" range: anchor at the earliest record rather than the epoch.
+		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{User: user.Name, Limit: 0})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if len(rows) == 0 {
+			writeJSON(w, http.StatusOK, TimeseriesResponse{
+				User: user.Name, BucketSecs: int64(bucket / time.Second),
+			})
+			return
+		}
+		start = rows[0].SubmitTime.Truncate(bucket)
+	}
+
+	key := fmt.Sprintf("jobperf_ts:%s:%d:%d:%d", user.Name, start.Unix(), end.Unix(), bucket/time.Second)
+	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+			User: user.Name, Start: start, End: end,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return buildTimeseries(user.Name, rows, start, end, bucket), nil
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, v.(*TimeseriesResponse))
+}
+
+// buildTimeseries folds accounting rows into evenly spaced buckets keyed by
+// job end time; running/pending jobs are excluded (no end yet).
+func buildTimeseries(user string, rows []slurmcli.SacctRow, start, end time.Time, bucket time.Duration) *TimeseriesResponse {
+	resp := &TimeseriesResponse{User: user, BucketSecs: int64(bucket / time.Second)}
+	if !end.After(start) {
+		return resp
+	}
+	byStart := make(map[int64]*TimeBucket)
+	for i := range rows {
+		row := &rows[i]
+		if row.EndTime.IsZero() || row.EndTime.Before(start) || row.EndTime.After(end) {
+			continue
+		}
+		bs := row.EndTime.Sub(start) / bucket
+		key := start.Add(bs * bucket).Unix()
+		b := byStart[key]
+		if b == nil {
+			b = &TimeBucket{Start: time.Unix(key, 0).UTC()}
+			byStart[key] = b
+		}
+		b.Jobs++
+		switch row.State {
+		case slurm.StateCompleted:
+			b.Completed++
+		case slurm.StateFailed, slurm.StateNodeFail, slurm.StateOutOfMemory, slurm.StateTimeout:
+			b.Failed++
+		}
+		b.CPUHours += row.TotalCPU.Hours()
+		b.GPUHours += row.GPUHours()
+		b.WallHours += row.Elapsed.Hours()
+	}
+	resp.Buckets = make([]TimeBucket, 0, len(byStart))
+	for _, b := range byStart {
+		resp.Buckets = append(resp.Buckets, *b)
+	}
+	sort.Slice(resp.Buckets, func(i, j int) bool {
+		return resp.Buckets[i].Start.Before(resp.Buckets[j].Start)
+	})
+	return resp
+}
+
+// --- Admin health / observability -------------------------------------------------
+
+// HealthResponse is the admin-only backend observability snapshot: cache
+// effectiveness and per-daemon RPC counters — the quantities the paper's
+// performance argument is about, exposed where operators can watch them.
+type HealthResponse struct {
+	Time time.Time `json:"time"`
+
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	CacheHitRate   float64 `json:"cache_hit_rate"`
+	CacheCollapsed int64   `json:"cache_collapsed"`
+	CacheErrors    int64   `json:"cache_errors"`
+	CacheEntries   int     `json:"cache_entries"`
+
+	CtldRPCs map[string]int64 `json:"slurmctld_rpcs,omitempty"`
+	DBDRPCs  map[string]int64 `json:"slurmdbd_rpcs,omitempty"`
+}
+
+func (s *Server) handleAdminHealth(w http.ResponseWriter, r *http.Request) {
+	user, err := s.currentUser(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !user.Admin {
+		writeError(w, fmt.Errorf("%w: admin access required", errForbidden))
+		return
+	}
+	st := s.cache.Stats()
+	resp := HealthResponse{
+		Time:           s.clock.Now(),
+		CacheHits:      st.Hits,
+		CacheMisses:    st.Misses,
+		CacheHitRate:   st.HitRate(),
+		CacheCollapsed: st.Collapsed,
+		CacheErrors:    st.Errors,
+		CacheEntries:   s.cache.Len(),
+	}
+	// Daemon counters come through the command surface (sdiag), so the
+	// health view works against a real cluster too.
+	if ctld, dbd, err := slurmcli.Sdiag(s.runner); err == nil {
+		resp.CtldRPCs = ctld.RPCCounts
+		resp.DBDRPCs = dbd.RPCCounts
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the backend counters in Prometheus exposition
+// format, so a center's existing monitoring can scrape the dashboard the
+// way it scrapes everything else. Admin-only, like /api/admin/health.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	user, err := s.currentUser(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if !user.Admin {
+		writeError(w, fmt.Errorf("%w: admin access required", errForbidden))
+		return
+	}
+	st := s.cache.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprintf(w, "# HELP ooddash_cache_hits_total Server cache hits.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_cache_hits_total counter\n")
+	fmt.Fprintf(w, "ooddash_cache_hits_total %d\n", st.Hits)
+	fmt.Fprintf(w, "# HELP ooddash_cache_misses_total Server cache misses.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_cache_misses_total counter\n")
+	fmt.Fprintf(w, "ooddash_cache_misses_total %d\n", st.Misses)
+	fmt.Fprintf(w, "# HELP ooddash_cache_collapsed_total Requests collapsed onto an in-flight compute.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_cache_collapsed_total counter\n")
+	fmt.Fprintf(w, "ooddash_cache_collapsed_total %d\n", st.Collapsed)
+	fmt.Fprintf(w, "# HELP ooddash_cache_entries Current server cache entries.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_cache_entries gauge\n")
+	fmt.Fprintf(w, "ooddash_cache_entries %d\n", s.cache.Len())
+	if ctld, dbd, err := slurmcli.Sdiag(s.runner); err == nil {
+		fmt.Fprintf(w, "# HELP ooddash_slurm_rpcs_total Slurm RPCs served, by daemon and message type.\n")
+		fmt.Fprintf(w, "# TYPE ooddash_slurm_rpcs_total counter\n")
+		for _, d := range []slurmcli.DaemonDiag{ctld, dbd} {
+			kinds := make([]string, 0, len(d.RPCCounts))
+			for k := range d.RPCCounts {
+				kinds = append(kinds, k)
+			}
+			sort.Strings(kinds)
+			for _, k := range kinds {
+				fmt.Fprintf(w, "ooddash_slurm_rpcs_total{daemon=%q,rpc=%q} %d\n", d.Name, k, d.RPCCounts[k])
+			}
+		}
+	}
+}

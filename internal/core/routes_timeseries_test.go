@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ooddash/internal/slurm"
+)
+
+func TestJobPerfTimeseriesBucketsByEndTime(t *testing.T) {
+	e := newEnv(t)
+	// Three jobs ending in three different hours.
+	for i := 0; i < 3; i++ {
+		e.submit(slurm.SubmitRequest{
+			Name: "hourly", User: "alice", Account: "lab-a", Partition: "cpu",
+			ReqTRES: slurm.TRES{CPUs: 2, MemMB: 1024}, TimeLimit: 2 * time.Hour,
+			Profile: slurm.UsageProfile{ActualDuration: 30 * time.Minute,
+				CPUUtilization: 0.8, MemUtilization: 0.5},
+		})
+		e.advance(time.Hour)
+	}
+	var resp TimeseriesResponse
+	e.getJSON("alice", "/api/jobperf/timeseries?range=24h&bucket=hour", &resp)
+	if resp.BucketSecs != 3600 {
+		t.Fatalf("bucket = %d", resp.BucketSecs)
+	}
+	if len(resp.Buckets) != 3 {
+		t.Fatalf("buckets = %+v", resp.Buckets)
+	}
+	total := 0
+	for i, b := range resp.Buckets {
+		total += b.Jobs
+		if b.Completed != b.Jobs {
+			t.Fatalf("bucket %d: %+v", i, b)
+		}
+		if b.CPUHours <= 0 || b.WallHours <= 0 {
+			t.Fatalf("bucket %d missing usage: %+v", i, b)
+		}
+		if i > 0 && !resp.Buckets[i].Start.After(resp.Buckets[i-1].Start) {
+			t.Fatalf("buckets unordered at %d", i)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("total jobs = %d", total)
+	}
+}
+
+func TestJobPerfTimeseriesFailedCounted(t *testing.T) {
+	e := newEnv(t)
+	e.submit(slurm.SubmitRequest{
+		Name: "boom", User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
+		Profile: slurm.UsageProfile{ActualDuration: 10 * time.Minute,
+			FailureState: slurm.StateFailed, ExitCode: 1,
+			CPUUtilization: 0.5, MemUtilization: 0.5},
+	})
+	e.advance(30 * time.Minute)
+	var resp TimeseriesResponse
+	e.getJSON("alice", "/api/jobperf/timeseries?range=24h&bucket=hour", &resp)
+	if len(resp.Buckets) != 1 || resp.Buckets[0].Failed != 1 {
+		t.Fatalf("buckets = %+v", resp.Buckets)
+	}
+}
+
+func TestJobPerfTimeseriesAllRangeAndEmpty(t *testing.T) {
+	e := newEnv(t)
+	// carol has no jobs: empty series, not an error.
+	var resp TimeseriesResponse
+	e.getJSON("carol", "/api/jobperf/timeseries?range=all", &resp)
+	if len(resp.Buckets) != 0 {
+		t.Fatalf("empty series = %+v", resp.Buckets)
+	}
+	// With history, the "all" range anchors at the first record.
+	e.submit(slurm.SubmitRequest{
+		User: "carol", Account: "lab-b", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
+		Profile: slurm.UsageProfile{ActualDuration: 10 * time.Minute,
+			CPUUtilization: 0.5, MemUtilization: 0.5},
+	})
+	e.advance(time.Hour)
+	e.getJSON("carol", "/api/jobperf/timeseries?range=all", &resp)
+	if len(resp.Buckets) != 1 || resp.Buckets[0].Jobs != 1 {
+		t.Fatalf("series = %+v", resp.Buckets)
+	}
+	e.wantStatus("carol", "/api/jobperf/timeseries?bucket=fortnight", 400)
+}
+
+func TestAdminHealth(t *testing.T) {
+	e := newEnv(t)
+	// Generate some cache traffic first.
+	e.wantStatus("alice", "/api/system_status", 200)
+	e.wantStatus("alice", "/api/system_status", 200)
+
+	var resp HealthResponse
+	e.getJSON("staff", "/api/admin/health", &resp)
+	if resp.CacheHits == 0 || resp.CacheMisses == 0 {
+		t.Fatalf("cache stats = %+v", resp)
+	}
+	if resp.CacheHitRate <= 0 || resp.CacheHitRate >= 1 {
+		t.Fatalf("hit rate = %v", resp.CacheHitRate)
+	}
+	if len(resp.CtldRPCs) == 0 {
+		t.Fatalf("no ctld RPC counters: %+v", resp)
+	}
+	// Admin-only.
+	e.wantStatus("alice", "/api/admin/health", 403)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	e := newEnv(t)
+	e.wantStatus("alice", "/api/system_status", 200)
+	e.wantStatus("alice", "/metrics", 403)
+	status, body := e.get("staff", "/metrics")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	text := string(body)
+	for _, metric := range []string{
+		"ooddash_cache_hits_total", "ooddash_cache_misses_total",
+		"ooddash_cache_entries", `ooddash_slurm_rpcs_total{daemon="slurmctld"`,
+	} {
+		if !strings.Contains(text, metric) {
+			t.Fatalf("metrics missing %q:\n%s", metric, text)
+		}
+	}
+}

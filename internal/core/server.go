@@ -1,0 +1,234 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/cache"
+	"ooddash/internal/newsfeed"
+	"ooddash/internal/slurmcli"
+	"ooddash/internal/storagedb"
+)
+
+// Clock supplies the current time (matches slurm.Clock). The server's clock
+// must be the same instance that drives the simulated cluster so cache TTLs
+// and Slurm time agree in tests and benchmarks.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Deps are the external systems the dashboard talks to (Figure 1's data
+// flow): Slurm via its command-line surface, the center's news API, the
+// storage quota database, the user directory, and the job log files.
+type Deps struct {
+	Runner  slurmcli.Runner
+	News    *newsfeed.Client
+	Storage *storagedb.Database
+	Users   *auth.Directory
+	Logs    LogStore
+	Clock   Clock
+	// Events enables the real-time monitoring feed (§9 extension); nil
+	// disables the /api/events route's data source.
+	Events EventSource
+}
+
+// Server is the dashboard backend: a set of JSON API routes (one per
+// widget), HTML page handlers, and the server-side cache in front of every
+// data source.
+type Server struct {
+	cfg     Config
+	runner  slurmcli.Runner
+	news    *newsfeed.Client
+	storage *storagedb.Database
+	users   *auth.Directory
+	logs    LogStore
+	clock   Clock
+	events  EventSource
+	cache   *cache.Cache
+	mux     *http.ServeMux
+	widgets []Widget
+}
+
+// NewServer builds the dashboard from its dependencies.
+func NewServer(cfg Config, deps Deps) (*Server, error) {
+	if deps.Runner == nil {
+		return nil, fmt.Errorf("core: NewServer: missing Slurm runner")
+	}
+	if deps.Users == nil {
+		return nil, fmt.Errorf("core: NewServer: missing user directory")
+	}
+	if deps.Clock == nil {
+		deps.Clock = realClock{}
+	}
+	if deps.Logs == nil {
+		deps.Logs = NewMemLogStore()
+	}
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		runner:  deps.Runner,
+		news:    deps.News,
+		storage: deps.Storage,
+		users:   deps.Users,
+		logs:    deps.Logs,
+		clock:   deps.Clock,
+		events:  deps.Events,
+		cache:   cache.New(deps.Clock),
+		mux:     http.NewServeMux(),
+	}
+	s.registerWidgets()
+	if err := s.Mount(s.mux); err != nil {
+		return nil, err
+	}
+	s.registerPages(s.mux)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler with every widget and page mounted.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Cache exposes the server-side cache for inspection (experiments read its
+// hit/miss statistics) and for the cache-off ablation (Disabled flag).
+func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// Config returns the effective configuration (defaults applied).
+func (s *Server) Config() Config { return s.cfg }
+
+// Widget is one modular dashboard feature: a named JSON API route with its
+// cache TTL. Widgets are self-contained so they can be mounted individually
+// on another mux — the paper's migration story (§2.3, §8).
+type Widget struct {
+	// Name identifies the widget ("recent_jobs", "cluster_status", ...).
+	Name string
+	// Route is the mux pattern, e.g. "GET /api/recent_jobs".
+	Route string
+	// TTL is the server-cache expiration for the widget's data source.
+	TTL time.Duration
+	// DataSource documents Table 1's mapping for the widget.
+	DataSource string
+	// Handler serves the route.
+	Handler http.HandlerFunc
+}
+
+// registerWidgets builds the widget table. Order matches Table 1.
+func (s *Server) registerWidgets() {
+	s.widgets = []Widget{
+		{Name: "announcements", Route: "GET /api/announcements",
+			TTL: s.cfg.TTLs.Announcements, DataSource: "API call to center news page",
+			Handler: s.handleAnnouncements},
+		{Name: "recent_jobs", Route: "GET /api/recent_jobs",
+			TTL: s.cfg.TTLs.RecentJobs, DataSource: "squeue (Slurm)",
+			Handler: s.handleRecentJobs},
+		{Name: "system_status", Route: "GET /api/system_status",
+			TTL: s.cfg.TTLs.SystemStatus, DataSource: "sinfo (Slurm)",
+			Handler: s.handleSystemStatus},
+		{Name: "accounts", Route: "GET /api/accounts",
+			TTL: s.cfg.TTLs.Accounts, DataSource: "scontrol show assoc (Slurm)",
+			Handler: s.handleAccounts},
+		{Name: "accounts_export", Route: "GET /api/accounts/{account}/export.csv",
+			TTL: s.cfg.TTLs.Accounts, DataSource: "scontrol show assoc (Slurm)",
+			Handler: s.handleAccountExport},
+		{Name: "accounts_export_xlsx", Route: "GET /api/accounts/{account}/export.xlsx",
+			TTL: s.cfg.TTLs.Accounts, DataSource: "scontrol show assoc (Slurm)",
+			Handler: s.handleAccountExportXLSX},
+		{Name: "storage", Route: "GET /api/storage",
+			TTL: s.cfg.TTLs.Storage, DataSource: "ZFS and GPFS storage database",
+			Handler: s.handleStorage},
+		{Name: "my_jobs", Route: "GET /api/myjobs",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			Handler: s.handleMyJobs},
+		{Name: "my_jobs_export", Route: "GET /api/myjobs/export.csv",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			Handler: s.handleMyJobsExport},
+		{Name: "my_jobs_charts", Route: "GET /api/myjobs/charts",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			Handler: s.handleMyJobsCharts},
+		{Name: "job_perf", Route: "GET /api/jobperf",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			Handler: s.handleJobPerf},
+		{Name: "cluster_status", Route: "GET /api/cluster_status",
+			TTL: s.cfg.TTLs.ClusterNodes, DataSource: "scontrol show node (Slurm)",
+			Handler: s.handleClusterStatus},
+		{Name: "node_overview", Route: "GET /api/node/{name}",
+			TTL: s.cfg.TTLs.NodeDetail, DataSource: "scontrol show node (Slurm)",
+			Handler: s.handleNodeOverview},
+		{Name: "node_jobs", Route: "GET /api/node/{name}/jobs",
+			TTL: s.cfg.TTLs.NodeDetail, DataSource: "squeue (Slurm)",
+			Handler: s.handleNodeJobs},
+		{Name: "job_overview", Route: "GET /api/job/{id}",
+			TTL: s.cfg.TTLs.JobDetail, DataSource: "scontrol show job (Slurm)",
+			Handler: s.handleJobOverview},
+		{Name: "job_logs", Route: "GET /api/job/{id}/logs",
+			TTL: 0, DataSource: "job stdout/stderr files",
+			Handler: s.handleJobLogs},
+		{Name: "job_array", Route: "GET /api/job/{id}/array",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			Handler: s.handleJobArray},
+		// §9 extensions: real-time monitoring, job analysis, admin accounting.
+		{Name: "events", Route: "GET /api/events",
+			TTL: 0, DataSource: "controller event feed (extension)",
+			Handler: s.handleEvents},
+		{Name: "insights", Route: "GET /api/insights",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			Handler: s.handleInsights},
+		{Name: "admin_overview", Route: "GET /api/admin/overview",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			Handler: s.handleAdminOverview},
+		{Name: "jobperf_timeseries", Route: "GET /api/jobperf/timeseries",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			Handler: s.handleJobPerfTimeseries},
+		{Name: "admin_health", Route: "GET /api/admin/health",
+			TTL: 0, DataSource: "backend cache stats + sdiag (Slurm)",
+			Handler: s.handleAdminHealth},
+		{Name: "metrics", Route: "GET /metrics",
+			TTL: 0, DataSource: "backend cache stats + sdiag (Slurm)",
+			Handler: s.handleMetrics},
+	}
+}
+
+// Widgets returns the widget table (copies; handlers are shared).
+func (s *Server) Widgets() []Widget {
+	out := make([]Widget, len(s.widgets))
+	copy(out, s.widgets)
+	return out
+}
+
+// Mount registers widgets onto an arbitrary mux. With no names, every
+// widget is mounted; otherwise only the named subset, letting another
+// dashboard adopt individual features in isolation.
+func (s *Server) Mount(mux *http.ServeMux, names ...string) error {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	mounted := 0
+	for _, w := range s.widgets {
+		if len(names) > 0 && !want[w.Name] {
+			continue
+		}
+		mux.HandleFunc(w.Route, w.Handler)
+		mounted++
+		delete(want, w.Name)
+	}
+	if len(names) > 0 && len(want) > 0 {
+		for n := range want {
+			return fmt.Errorf("core: Mount: unknown widget %q", n)
+		}
+	}
+	if mounted == 0 {
+		return fmt.Errorf("core: Mount: no widgets mounted")
+	}
+	return nil
+}
+
+// currentUser resolves the authenticated user for a request.
+func (s *Server) currentUser(r *http.Request) (*auth.User, error) {
+	return s.users.FromRequest(r)
+}

@@ -1,0 +1,119 @@
+package core
+
+// A minimal XLSX writer for the Accounts widget's "export to Excel" option
+// (§3.4 offers Excel or CSV). XLSX is a zip of XML parts; this writer emits
+// the smallest valid workbook — one sheet, inline strings, numbers typed as
+// numbers — which Excel, LibreOffice, and Google Sheets all open.
+
+import (
+	"archive/zip"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// xlsxCellRef converts (row, col) (0-based) to an A1-style reference.
+func xlsxCellRef(row, col int) string {
+	name := ""
+	for c := col; ; {
+		name = string(rune('A'+c%26)) + name
+		c = c/26 - 1
+		if c < 0 {
+			break
+		}
+	}
+	return fmt.Sprintf("%s%d", name, row+1)
+}
+
+// writeXLSX writes a single-sheet workbook. Cells may be string, int,
+// int64, or float64; everything else is rendered with fmt.Sprint.
+func writeXLSX(w io.Writer, sheetName string, rows [][]any) error {
+	zw := zip.NewWriter(w)
+	write := func(path, content string) error {
+		f, err := zw.Create(path)
+		if err != nil {
+			return err
+		}
+		_, err = f.Write([]byte(content))
+		return err
+	}
+
+	if err := write("[Content_Types].xml", xml.Header+
+		`<Types xmlns="http://schemas.openxmlformats.org/package/2006/content-types">`+
+		`<Default Extension="rels" ContentType="application/vnd.openxmlformats-package.relationships+xml"/>`+
+		`<Default Extension="xml" ContentType="application/xml"/>`+
+		`<Override PartName="/xl/workbook.xml" ContentType="application/vnd.openxmlformats-officedocument.spreadsheetml.sheet.main+xml"/>`+
+		`<Override PartName="/xl/worksheets/sheet1.xml" ContentType="application/vnd.openxmlformats-officedocument.spreadsheetml.worksheet+xml"/>`+
+		`</Types>`); err != nil {
+		return err
+	}
+	if err := write("_rels/.rels", xml.Header+
+		`<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/relationships">`+
+		`<Relationship Id="rId1" Type="http://schemas.openxmlformats.org/officeDocument/2006/relationships/officeDocument" Target="xl/workbook.xml"/>`+
+		`</Relationships>`); err != nil {
+		return err
+	}
+	nameBuf, err := xmlEscape(sheetName)
+	if err != nil {
+		return err
+	}
+	if err := write("xl/workbook.xml", xml.Header+
+		`<workbook xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main" `+
+		`xmlns:r="http://schemas.openxmlformats.org/officeDocument/2006/relationships">`+
+		`<sheets><sheet name="`+string(nameBuf)+`" sheetId="1" r:id="rId1"/></sheets></workbook>`); err != nil {
+		return err
+	}
+	if err := write("xl/_rels/workbook.xml.rels", xml.Header+
+		`<Relationships xmlns="http://schemas.openxmlformats.org/package/2006/relationships">`+
+		`<Relationship Id="rId1" Type="http://schemas.openxmlformats.org/officeDocument/2006/relationships/worksheet" Target="worksheets/sheet1.xml"/>`+
+		`</Relationships>`); err != nil {
+		return err
+	}
+
+	sheet := xml.Header +
+		`<worksheet xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main"><sheetData>`
+	for r, row := range rows {
+		sheet += fmt.Sprintf(`<row r="%d">`, r+1)
+		for c, cell := range row {
+			ref := xlsxCellRef(r, c)
+			switch v := cell.(type) {
+			case int:
+				sheet += fmt.Sprintf(`<c r="%s"><v>%d</v></c>`, ref, v)
+			case int64:
+				sheet += fmt.Sprintf(`<c r="%s"><v>%d</v></c>`, ref, v)
+			case float64:
+				sheet += fmt.Sprintf(`<c r="%s"><v>%s</v></c>`, ref, strconv.FormatFloat(v, 'f', -1, 64))
+			default:
+				escaped, err := xmlEscape(fmt.Sprint(v))
+				if err != nil {
+					return err
+				}
+				sheet += fmt.Sprintf(`<c r="%s" t="inlineStr"><is><t>%s</t></is></c>`, ref, escaped)
+			}
+		}
+		sheet += `</row>`
+	}
+	sheet += `</sheetData></worksheet>`
+	if err := write("xl/worksheets/sheet1.xml", sheet); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// xmlEscape escapes text for embedding in XML content.
+func xmlEscape(s string) ([]byte, error) {
+	var buf []byte
+	w := &sliceWriter{buf: &buf}
+	if err := xml.EscapeText(w, []byte(s)); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+type sliceWriter struct{ buf *[]byte }
+
+func (w *sliceWriter) Write(p []byte) (int, error) {
+	*w.buf = append(*w.buf, p...)
+	return len(p), nil
+}

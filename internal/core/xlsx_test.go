@@ -1,0 +1,132 @@
+package core
+
+import (
+	"archive/zip"
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"ooddash/internal/slurm"
+)
+
+func TestWriteXLSXStructure(t *testing.T) {
+	var buf bytes.Buffer
+	rows := [][]any{
+		{"user", "cpus", "hours"},
+		{"ada", 16, 3.5},
+		{"<script>", int64(2), 0.0},
+	}
+	if err := writeXLSX(&buf, "lab usage", rows); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := zip.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatalf("not a zip: %v", err)
+	}
+	parts := make(map[string]string)
+	for _, f := range zr.File {
+		rc, err := f.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(rc)
+		rc.Close()
+		parts[f.Name] = string(data)
+	}
+	for _, want := range []string{
+		"[Content_Types].xml", "_rels/.rels", "xl/workbook.xml",
+		"xl/_rels/workbook.xml.rels", "xl/worksheets/sheet1.xml",
+	} {
+		if _, ok := parts[want]; !ok {
+			t.Fatalf("missing part %q (have %v)", want, len(parts))
+		}
+	}
+	sheet := parts["xl/worksheets/sheet1.xml"]
+	// Header strings are inline; numbers are typed values.
+	if !strings.Contains(sheet, `<c r="A1" t="inlineStr"><is><t>user</t></is></c>`) {
+		t.Fatalf("header cell missing:\n%s", sheet)
+	}
+	if !strings.Contains(sheet, `<c r="B2"><v>16</v></c>`) {
+		t.Fatalf("int cell missing:\n%s", sheet)
+	}
+	if !strings.Contains(sheet, `<c r="C2"><v>3.5</v></c>`) {
+		t.Fatalf("float cell missing:\n%s", sheet)
+	}
+	// XML-hostile strings are escaped.
+	if strings.Contains(sheet, "<script>") {
+		t.Fatal("unescaped markup in sheet")
+	}
+	if !strings.Contains(sheet, "&lt;script&gt;") {
+		t.Fatalf("escaped markup missing:\n%s", sheet)
+	}
+	if !strings.Contains(parts["xl/workbook.xml"], `name="lab usage"`) {
+		t.Fatalf("workbook sheet name missing:\n%s", parts["xl/workbook.xml"])
+	}
+}
+
+func TestXLSXCellRef(t *testing.T) {
+	cases := []struct {
+		row, col int
+		want     string
+	}{
+		{0, 0, "A1"}, {1, 1, "B2"}, {0, 25, "Z1"}, {0, 26, "AA1"}, {9, 27, "AB10"},
+	}
+	for _, tc := range cases {
+		if got := xlsxCellRef(tc.row, tc.col); got != tc.want {
+			t.Errorf("xlsxCellRef(%d,%d) = %s, want %s", tc.row, tc.col, got, tc.want)
+		}
+	}
+}
+
+func TestAccountExportXLSXRoute(t *testing.T) {
+	e := newEnv(t)
+	e.submit(slurm.SubmitRequest{
+		User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 4, MemMB: 1024},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	status, body := e.get("alice", "/api/accounts/lab-a/export.xlsx")
+	if status != 200 {
+		t.Fatalf("status = %d", status)
+	}
+	zr, err := zip.NewReader(bytes.NewReader(body), int64(len(body)))
+	if err != nil {
+		t.Fatalf("response is not a valid xlsx zip: %v", err)
+	}
+	found := false
+	for _, f := range zr.File {
+		if f.Name == "xl/worksheets/sheet1.xml" {
+			rc, _ := f.Open()
+			data, _ := io.ReadAll(rc)
+			rc.Close()
+			if !strings.Contains(string(data), "alice") {
+				t.Fatalf("sheet missing alice row:\n%s", data)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("worksheet part missing")
+	}
+	// Same privacy boundary as the CSV export.
+	e.wantStatus("carol", "/api/accounts/lab-a/export.xlsx", 403)
+}
+
+func TestRecentJobsStateHelp(t *testing.T) {
+	e := newEnv(t)
+	e.submit(slurm.SubmitRequest{
+		Name: "helpful", User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
+	})
+	var resp RecentJobsResponse
+	e.getJSON("alice", "/api/recent_jobs", &resp)
+	if len(resp.Jobs) != 1 {
+		t.Fatalf("jobs = %+v", resp.Jobs)
+	}
+	if !strings.Contains(resp.Jobs[0].StateHelp, "executing") {
+		t.Fatalf("state help = %q", resp.Jobs[0].StateHelp)
+	}
+}

@@ -1,0 +1,166 @@
+// Package efficiency computes the job efficiency metrics and user-facing
+// guidance that distinguish the paper's dashboard from stock Open OnDemand:
+// time/CPU/memory efficiency columns (§4.3), efficiency warnings for jobs
+// that request far more than they use (§4.1), and plain-English explanations
+// of Slurm's cryptic pending reasons (§4.1).
+package efficiency
+
+import (
+	"fmt"
+	"time"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// Metrics are the three efficiency percentages the My Jobs table can toggle
+// on. Values are percentages in [0, 100+]; a negative value means the metric
+// is not applicable (e.g. CPU efficiency of a job that never started).
+type Metrics struct {
+	TimePercent   float64 // elapsed / time limit
+	CPUPercent    float64 // used CPU time / (elapsed x allocated CPUs)
+	MemoryPercent float64 // peak RSS / requested memory
+	// GPUPercent is mean GPU utilization — the §9 "GPU utilization metrics"
+	// extension the paper lists as ongoing work, implemented here.
+	GPUPercent float64
+}
+
+// NotApplicable marks a metric that cannot be computed.
+const NotApplicable = -1
+
+// Compute derives the metrics from one accounting row. Jobs that have not
+// started report NotApplicable for every metric.
+func Compute(row *slurmcli.SacctRow) Metrics {
+	m := Metrics{TimePercent: NotApplicable, CPUPercent: NotApplicable,
+		MemoryPercent: NotApplicable, GPUPercent: NotApplicable}
+	if row.StartTime.IsZero() || row.Elapsed <= 0 {
+		return m
+	}
+	if row.AllocTRES.GPUs > 0 && row.GPUUtilPercent >= 0 {
+		m.GPUPercent = row.GPUUtilPercent
+	}
+	if row.TimeLimit > 0 {
+		m.TimePercent = 100 * float64(row.Elapsed) / float64(row.TimeLimit)
+	}
+	if row.AllocCPUs > 0 {
+		denom := float64(row.Elapsed) * float64(row.AllocCPUs)
+		m.CPUPercent = 100 * float64(row.TotalCPU) / denom
+	}
+	if row.ReqMemMB > 0 && row.MaxRSSMB >= 0 {
+		m.MemoryPercent = 100 * float64(row.MaxRSSMB) / float64(row.ReqMemMB)
+	}
+	return m
+}
+
+// Thresholds configure when Warnings fire. The zero value is not useful;
+// use DefaultThresholds.
+type Thresholds struct {
+	// MinElapsed suppresses warnings for very short jobs, whose efficiency
+	// numbers are noise.
+	MinElapsed time.Duration
+	// CPUPercent and MemoryPercent fire when usage is below the bound.
+	CPUPercent    float64
+	MemoryPercent float64
+	// TimePercent fires when a finished job used less than this share of
+	// its requested wall time.
+	TimePercent float64
+	// GPUPercent fires when mean GPU utilization is below the bound.
+	GPUPercent float64
+}
+
+// DefaultThresholds matches the dashboard's production settings: warn on
+// jobs longer than 5 minutes using under 25% of requested CPU or memory, or
+// under 20% of their time limit.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MinElapsed:    5 * time.Minute,
+		CPUPercent:    25,
+		MemoryPercent: 25,
+		TimePercent:   20,
+		GPUPercent:    30,
+	}
+}
+
+// Warning is one efficiency alert shown next to a job.
+type Warning struct {
+	Kind    string // "cpu", "memory", or "time"
+	Percent float64
+	Message string
+}
+
+// Warnings returns the efficiency alerts for a job, if any. The messages
+// follow the paper's framing: tell the user what fraction they used and
+// that smaller requests shorten their own queue waits.
+func Warnings(row *slurmcli.SacctRow, th Thresholds) []Warning {
+	if row.StartTime.IsZero() || row.Elapsed < th.MinElapsed {
+		return nil
+	}
+	m := Compute(row)
+	var out []Warning
+	if m.CPUPercent >= 0 && m.CPUPercent < th.CPUPercent {
+		out = append(out, Warning{
+			Kind:    "cpu",
+			Percent: m.CPUPercent,
+			Message: fmt.Sprintf(
+				"This job used only %.0f%% of its %d requested CPUs. Requesting fewer CPUs will reduce your queue wait times and leave more resources for others.",
+				m.CPUPercent, row.AllocCPUs),
+		})
+	}
+	if m.MemoryPercent >= 0 && m.MemoryPercent < th.MemoryPercent {
+		out = append(out, Warning{
+			Kind:    "memory",
+			Percent: m.MemoryPercent,
+			Message: fmt.Sprintf(
+				"This job used only %.0f%% of its %s requested memory. Requesting less memory will reduce your queue wait times and leave more resources for others.",
+				m.MemoryPercent, slurmcli.FormatMem(row.ReqMemMB)),
+		})
+	}
+	if m.GPUPercent >= 0 && th.GPUPercent > 0 && m.GPUPercent < th.GPUPercent {
+		out = append(out, Warning{
+			Kind:    "gpu",
+			Percent: m.GPUPercent,
+			Message: fmt.Sprintf(
+				"This job kept its %d allocated GPU(s) only %.0f%% busy. Consider CPU-only resources or fewer GPUs.",
+				row.AllocTRES.GPUs, m.GPUPercent),
+		})
+	}
+	if row.State.Terminal() && row.State != slurm.StateTimeout &&
+		m.TimePercent >= 0 && m.TimePercent < th.TimePercent {
+		out = append(out, Warning{
+			Kind:    "time",
+			Percent: m.TimePercent,
+			Message: fmt.Sprintf(
+				"This job used only %.0f%% of its %s time limit. A shorter time limit helps the scheduler start your jobs sooner.",
+				m.TimePercent, slurmcli.FormatDuration(row.TimeLimit)),
+		})
+	}
+	return out
+}
+
+// reasonMessages maps Slurm pending reasons to the beginner-friendly
+// explanations the My Jobs table shows (§4.1). The AssocGrpCpuLimit wording
+// matches the paper's example verbatim.
+var reasonMessages = map[slurm.PendingReason]string{
+	slurm.ReasonNone:               "",
+	slurm.ReasonPriority:           "It means other queued jobs currently have higher priority; your job will start as resources and priority allow.",
+	slurm.ReasonResources:          "It means your job is next in line and is waiting for enough free resources to become available.",
+	slurm.ReasonAssocGrpCpuLimit:   "It means this job's association has reached its aggregate group CPU limit.",
+	slurm.ReasonAssocGrpGpuLimit:   "It means this job's association has reached its aggregate group GPU limit.",
+	slurm.ReasonQOSMaxJobsPerUser:  "It means you already have the maximum number of running jobs this quality of service allows; the job will start when one of them finishes.",
+	slurm.ReasonDependency:         "It means this job is waiting for another job it depends on to finish first.",
+	slurm.ReasonBeginTime:          "It means this job requested a start time in the future and will not be considered until then.",
+	slurm.ReasonPartitionDown:      "It means the partition this job was submitted to is currently unavailable, often during maintenance.",
+	slurm.ReasonReqNodeNotAvail:    "It means one or more of the specific nodes this job requested are not currently available.",
+	slurm.ReasonJobHeldUser:        "It means this job was placed on hold by you (or an administrator) and must be released before it can start.",
+	slurm.ReasonPartitionTimeLimit: "It means this job's requested time limit exceeds what this partition allows.",
+}
+
+// ExplainReason returns the friendly explanation for a pending reason, or a
+// generic fallback for reasons the table does not cover. The boolean
+// reports whether a specific explanation existed.
+func ExplainReason(r slurm.PendingReason) (string, bool) {
+	if msg, ok := reasonMessages[r]; ok {
+		return msg, true
+	}
+	return fmt.Sprintf("The scheduler reported reason %q; see the Slurm documentation for details.", r), false
+}

@@ -1,0 +1,166 @@
+package efficiency
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// finishedRow builds a completed job row with the given utilization shape.
+func finishedRow(elapsed, limit time.Duration, cpus int, cpuUtil float64, reqMemMB, rssMB int64) *slurmcli.SacctRow {
+	start := time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC)
+	return &slurmcli.SacctRow{
+		State:      slurm.StateCompleted,
+		SubmitTime: start.Add(-time.Minute),
+		StartTime:  start,
+		EndTime:    start.Add(elapsed),
+		Elapsed:    elapsed,
+		TimeLimit:  limit,
+		ReqCPUs:    cpus,
+		AllocCPUs:  cpus,
+		ReqMemMB:   reqMemMB,
+		MaxRSSMB:   rssMB,
+		TotalCPU:   time.Duration(float64(elapsed) * float64(cpus) * cpuUtil),
+	}
+}
+
+func TestComputeBasic(t *testing.T) {
+	// 1h of a 4h limit, 4 CPUs at 50%, 2 GiB of 8 GiB requested.
+	row := finishedRow(time.Hour, 4*time.Hour, 4, 0.5, 8*1024, 2*1024)
+	m := Compute(row)
+	if m.TimePercent != 25 {
+		t.Fatalf("time%% = %v, want 25", m.TimePercent)
+	}
+	if m.CPUPercent != 50 {
+		t.Fatalf("cpu%% = %v, want 50", m.CPUPercent)
+	}
+	if m.MemoryPercent != 25 {
+		t.Fatalf("mem%% = %v, want 25", m.MemoryPercent)
+	}
+}
+
+func TestComputePendingJobNotApplicable(t *testing.T) {
+	row := &slurmcli.SacctRow{State: slurm.StatePending, ReqCPUs: 4, ReqMemMB: 1024, TimeLimit: time.Hour}
+	m := Compute(row)
+	if m.TimePercent != NotApplicable || m.CPUPercent != NotApplicable || m.MemoryPercent != NotApplicable {
+		t.Fatalf("pending metrics = %+v", m)
+	}
+}
+
+func TestComputeBoundsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		elapsed := time.Duration(1+r.Intn(86400)) * time.Second
+		limit := elapsed + time.Duration(r.Intn(86400))*time.Second
+		cpus := 1 + r.Intn(128)
+		util := r.Float64()
+		reqMem := int64(1 + r.Intn(1<<20))
+		rss := int64(float64(reqMem) * r.Float64())
+		m := Compute(finishedRow(elapsed, limit, cpus, util, reqMem, rss))
+		// With utilization <= 1 and rss <= request, every metric is in [0, 100].
+		return m.TimePercent >= 0 && m.TimePercent <= 100 &&
+			m.CPUPercent >= 0 && m.CPUPercent <= 100.0001 &&
+			m.MemoryPercent >= 0 && m.MemoryPercent <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarningsFireOnWaste(t *testing.T) {
+	// Jupyter-style job: 16 CPUs at 5%, 64 GiB requested with 2 GiB used,
+	// 8h limit with 30 minutes used.
+	row := finishedRow(30*time.Minute, 8*time.Hour, 16, 0.05, 64*1024, 2*1024)
+	warns := Warnings(row, DefaultThresholds())
+	kinds := make(map[string]Warning, len(warns))
+	for _, w := range warns {
+		kinds[w.Kind] = w
+	}
+	if len(kinds) != 3 {
+		t.Fatalf("warnings = %+v, want cpu+memory+time", warns)
+	}
+	cpu := kinds["cpu"]
+	if !strings.Contains(cpu.Message, "5% of its 16 requested CPUs") {
+		t.Fatalf("cpu message = %q", cpu.Message)
+	}
+	if !strings.Contains(kinds["memory"].Message, "64G requested memory") {
+		t.Fatalf("memory message = %q", kinds["memory"].Message)
+	}
+	if !strings.Contains(kinds["time"].Message, "time limit") {
+		t.Fatalf("time message = %q", kinds["time"].Message)
+	}
+}
+
+func TestWarningsQuietOnEfficientJob(t *testing.T) {
+	row := finishedRow(3*time.Hour, 4*time.Hour, 8, 0.92, 16*1024, 14*1024)
+	if warns := Warnings(row, DefaultThresholds()); len(warns) != 0 {
+		t.Fatalf("efficient job warned: %+v", warns)
+	}
+}
+
+func TestWarningsSuppressedForShortJobs(t *testing.T) {
+	row := finishedRow(time.Minute, 8*time.Hour, 16, 0.01, 64*1024, 100)
+	if warns := Warnings(row, DefaultThresholds()); len(warns) != 0 {
+		t.Fatalf("short job warned: %+v", warns)
+	}
+}
+
+func TestWarningsNoTimeWarningForTimeout(t *testing.T) {
+	row := finishedRow(8*time.Hour, 8*time.Hour, 4, 0.1, 8*1024, 512)
+	row.State = slurm.StateTimeout
+	for _, w := range Warnings(row, DefaultThresholds()) {
+		if w.Kind == "time" {
+			t.Fatalf("timeout job got a time warning: %+v", w)
+		}
+	}
+}
+
+func TestWarningsRunningJobGetsNoTimeWarning(t *testing.T) {
+	row := finishedRow(time.Hour, 96*time.Hour, 4, 0.9, 8*1024, 7*1024)
+	row.State = slurm.StateRunning
+	row.EndTime = time.Time{}
+	for _, w := range Warnings(row, DefaultThresholds()) {
+		if w.Kind == "time" {
+			t.Fatalf("running job got a time warning: %+v", w)
+		}
+	}
+}
+
+func TestExplainReasonPaperExample(t *testing.T) {
+	msg, ok := ExplainReason(slurm.ReasonAssocGrpCpuLimit)
+	if !ok {
+		t.Fatal("AssocGrpCpuLimit should have a specific message")
+	}
+	want := "It means this job's association has reached its aggregate group CPU limit."
+	if msg != want {
+		t.Fatalf("message = %q, want paper's wording %q", msg, want)
+	}
+}
+
+func TestExplainReasonCoversAllSchedulerReasons(t *testing.T) {
+	reasons := []slurm.PendingReason{
+		slurm.ReasonPriority, slurm.ReasonResources, slurm.ReasonAssocGrpCpuLimit,
+		slurm.ReasonQOSMaxJobsPerUser, slurm.ReasonDependency, slurm.ReasonBeginTime,
+		slurm.ReasonPartitionDown, slurm.ReasonJobHeldUser,
+	}
+	for _, r := range reasons {
+		if msg, ok := ExplainReason(r); !ok || msg == "" {
+			t.Errorf("reason %s lacks a friendly message", r)
+		}
+	}
+}
+
+func TestExplainReasonFallback(t *testing.T) {
+	msg, ok := ExplainReason(slurm.PendingReason("SomeNewReason"))
+	if ok {
+		t.Fatal("unknown reason claimed a specific message")
+	}
+	if !strings.Contains(msg, "SomeNewReason") {
+		t.Fatalf("fallback = %q", msg)
+	}
+}

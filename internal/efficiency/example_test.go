@@ -1,0 +1,36 @@
+package efficiency_test
+
+import (
+	"fmt"
+	"time"
+
+	"ooddash/internal/efficiency"
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// Compute derives the My Jobs efficiency columns from one accounting row:
+// a job that used half of each requested resource.
+func ExampleCompute() {
+	start := time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC)
+	row := &slurmcli.SacctRow{
+		State:     slurm.StateCompleted,
+		StartTime: start, EndTime: start.Add(time.Hour),
+		Elapsed: time.Hour, TimeLimit: 2 * time.Hour,
+		AllocCPUs: 4, TotalCPU: 2 * time.Hour,
+		ReqMemMB: 8192, MaxRSSMB: 4096,
+		GPUUtilPercent: -1,
+	}
+	m := efficiency.Compute(row)
+	fmt.Printf("time %.0f%% cpu %.0f%% memory %.0f%%\n",
+		m.TimePercent, m.CPUPercent, m.MemoryPercent)
+	// Output: time 50% cpu 50% memory 50%
+}
+
+// ExplainReason turns Slurm's cryptic pending reasons into the friendly
+// messages the My Jobs table shows (§4.1 of the paper).
+func ExampleExplainReason() {
+	msg, _ := efficiency.ExplainReason(slurm.ReasonAssocGrpCpuLimit)
+	fmt.Println(msg)
+	// Output: It means this job's association has reached its aggregate group CPU limit.
+}

@@ -1,0 +1,486 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"ooddash/internal/browser"
+	"ooddash/internal/clientcache"
+	"ooddash/internal/slurm"
+	"ooddash/internal/workload"
+)
+
+// --- E2: Figure 1 (architecture / data flow) ---------------------------------
+
+// FlowResult quantifies Figure 1's data flow over a replayed browsing
+// session: how often each layer (client cache, server cache, Slurm daemons)
+// absorbed a request. The expected shape: request volume shrinks sharply at
+// every layer going right.
+type FlowResult struct {
+	Users        int
+	PageLoads    int
+	WidgetViews  int // widget renders requested by browsers
+	ClientFresh  int // served instantly from client cache, no network
+	ClientStale  int // instant stale paint + background refresh
+	NetworkCalls int // HTTP requests that reached the backend
+	ServerHits   int64
+	ServerMisses int64
+	CtlRPCs      int64 // queries that reached slurmctld
+	DBDRPCs      int64 // queries that reached slurmdbd
+	NewsRequests int64
+}
+
+// Figure1DataFlow replays a browsing session: users load the homepage
+// repeatedly over simulated minutes (reload interval ~45s, so the 30-second
+// recent-jobs TTL expires between some loads and the longer TTLs do not).
+func Figure1DataFlow(s *Stack, users, loadsPerUser int) (FlowResult, error) {
+	s.ClearServerCache()
+	ctl := s.Env.Cluster.Ctl.Stats()
+	dbd := s.Env.Cluster.DBD.Stats()
+	ctl.Reset()
+	dbd.Reset()
+	newsBefore := s.Env.Feed.Requests()
+	cacheBefore := s.Server.Cache().Stats()
+
+	res := FlowResult{Users: users}
+	bs := make([]*browser.Browser, users)
+	for i := range bs {
+		bs[i] = s.Browser(s.User(i))
+	}
+	for round := 0; round < loadsPerUser; round++ {
+		for _, b := range bs {
+			load := b.LoadHomepage()
+			res.PageLoads++
+			for _, w := range load.Widgets {
+				res.WidgetViews++
+				if w.Err != nil {
+					return res, fmt.Errorf("figure1: widget %s: %v", w.Name, w.Err)
+				}
+				switch w.Source {
+				case clientcache.SourceFresh:
+					res.ClientFresh++
+				case clientcache.SourceStale:
+					res.ClientStale++
+				}
+			}
+			res.NetworkCalls += load.NetworkFetches
+		}
+		// Users reload roughly every 45 simulated seconds.
+		s.Env.Clock.Advance(45 * time.Second)
+		s.Env.Cluster.Ctl.Tick()
+	}
+	cacheAfter := s.Server.Cache().Stats()
+	res.ServerHits = cacheAfter.Hits - cacheBefore.Hits
+	res.ServerMisses = cacheAfter.Misses - cacheBefore.Misses
+	res.CtlRPCs = ctl.Total()
+	res.DBDRPCs = dbd.Total()
+	res.NewsRequests = s.Env.Feed.Requests() - newsBefore
+	return res, nil
+}
+
+// --- E3: Figure 2 (homepage) --------------------------------------------------
+
+// HomepageResult compares a first visit (cold: empty client cache, empty
+// server cache) against a warm revisit. Expected shape: the warm visit
+// paints every widget instantly with zero network time.
+type HomepageResult struct {
+	ColdLatency   time.Duration // network time to full render, first visit
+	ColdFetches   int
+	WarmLatency   time.Duration // network time on revisit within TTLs
+	WarmFetches   int
+	WarmInstant   int // widgets painted straight from the client cache
+	WidgetCount   int
+	ServerWarmLat time.Duration // revisit from a different browser: server cache only
+}
+
+// Figure2Homepage measures homepage loads in the three cache regimes.
+func Figure2Homepage(s *Stack) (HomepageResult, error) {
+	user := s.User(0)
+	s.ClearServerCache()
+
+	first := s.Browser(user)
+	cold := first.LoadHomepage()
+	if !cold.FullyPainted() {
+		return HomepageResult{}, fmt.Errorf("figure2: cold load failed")
+	}
+	warm := first.LoadHomepage()
+
+	// A second browser (no client cache) hits the warmed server cache.
+	second := s.Browser(user)
+	serverWarm := second.LoadHomepage()
+
+	return HomepageResult{
+		ColdLatency:   cold.NetworkTime,
+		ColdFetches:   cold.NetworkFetches,
+		WarmLatency:   warm.NetworkTime,
+		WarmFetches:   warm.NetworkFetches,
+		WarmInstant:   warm.InstantPaints,
+		WidgetCount:   len(cold.Widgets),
+		ServerWarmLat: serverWarm.NetworkTime,
+	}, nil
+}
+
+// --- E4: Figure 3 (My Jobs) ----------------------------------------------------
+
+// MyJobsResult summarizes the My Jobs page over the trace: table size,
+// chart shapes, efficiency coverage, and latency.
+type MyJobsResult struct {
+	User          string
+	Rows          int
+	States        map[string]int
+	UsersInTable  int
+	WithWarnings  int
+	WithEffData   int
+	GPUHourUsers  int
+	TableLatency  time.Duration
+	ChartsLatency time.Duration
+}
+
+// Figure3MyJobs loads the My Jobs table and charts for a group member and
+// checks the table carries every state and the charts group by user.
+func Figure3MyJobs(s *Stack) (MyJobsResult, error) {
+	sub, err := s.PickSubjects()
+	if err != nil {
+		return MyJobsResult{}, err
+	}
+	s.ClearServerCache()
+	res := MyJobsResult{User: sub.User, States: make(map[string]int)}
+
+	status, body, lat, err := s.Get(sub.User, "/api/myjobs?range=7d")
+	if err != nil || status != 200 {
+		return res, fmt.Errorf("figure3: myjobs status %d err %v", status, err)
+	}
+	res.TableLatency = lat
+	var table struct {
+		Jobs []struct {
+			User     string   `json:"user"`
+			State    string   `json:"state"`
+			Warnings []string `json:"warnings"`
+			Eff      struct {
+				CPU *float64 `json:"cpu_percent"`
+			} `json:"efficiency"`
+		} `json:"jobs"`
+	}
+	_ = body
+	if err := getJSON(s, sub.User, "/api/myjobs?range=7d", &table); err != nil {
+		return res, err
+	}
+	res.Rows = len(table.Jobs)
+	seen := map[string]bool{}
+	for _, j := range table.Jobs {
+		res.States[j.State]++
+		seen[j.User] = true
+		if len(j.Warnings) > 0 {
+			res.WithWarnings++
+		}
+		if j.Eff.CPU != nil {
+			res.WithEffData++
+		}
+	}
+	res.UsersInTable = len(seen)
+
+	var charts struct {
+		GPUHours []struct {
+			User  string  `json:"user"`
+			Hours float64 `json:"gpu_hours"`
+		} `json:"gpu_hours"`
+	}
+	start := time.Now()
+	if err := getJSON(s, sub.User, "/api/myjobs/charts?range=7d", &charts); err != nil {
+		return res, err
+	}
+	res.ChartsLatency = time.Since(start)
+	res.GPUHourUsers = len(charts.GPUHours)
+	return res, nil
+}
+
+// --- E5: Figure 4a (Job Performance Metrics) -----------------------------------
+
+// JobPerfRangeRow is the metrics summary for one selectable time range.
+type JobPerfRangeRow struct {
+	Range        string
+	TotalJobs    int
+	AvgWaitSecs  float64
+	MeanDurSecs  float64
+	TotalWallSec int64
+	AvgCPUEff    float64
+	AvgMemEff    float64
+	Latency      time.Duration
+}
+
+// Figure4aJobPerf evaluates every time-range option of the Job Performance
+// Metrics app for one user. Expected shape: job counts grow monotonically
+// with the range.
+func Figure4aJobPerf(s *Stack) ([]JobPerfRangeRow, error) {
+	sub, err := s.PickSubjects()
+	if err != nil {
+		return nil, err
+	}
+	now := s.Env.Clock.Now()
+	custom := fmt.Sprintf("custom&from=%s&to=%s",
+		now.Add(-48*time.Hour).UTC().Format(time.RFC3339),
+		now.UTC().Format(time.RFC3339))
+	ranges := []string{"24h", "7d", "30d", "90d", "all", custom}
+	labels := []string{"24h", "7d", "30d", "90d", "all", "custom-48h"}
+
+	s.ClearServerCache()
+	out := make([]JobPerfRangeRow, 0, len(ranges))
+	for i, rng := range ranges {
+		var resp struct {
+			TotalJobs int     `json:"total_jobs"`
+			AvgWait   float64 `json:"avg_wait_seconds"`
+			MeanDur   float64 `json:"mean_duration_seconds"`
+			TotalWall int64   `json:"total_wall_seconds"`
+			AvgCPUEff float64 `json:"avg_cpu_efficiency"`
+			AvgMemEff float64 `json:"avg_memory_efficiency"`
+		}
+		start := time.Now()
+		if err := getJSON(s, sub.User, "/api/jobperf?range="+rng, &resp); err != nil {
+			return nil, err
+		}
+		out = append(out, JobPerfRangeRow{
+			Range: labels[i], TotalJobs: resp.TotalJobs,
+			AvgWaitSecs: resp.AvgWait, MeanDurSecs: resp.MeanDur,
+			TotalWallSec: resp.TotalWall,
+			AvgCPUEff:    resp.AvgCPUEff, AvgMemEff: resp.AvgMemEff,
+			Latency: time.Since(start),
+		})
+	}
+	return out, nil
+}
+
+// --- E6: Figure 4b (Cluster Status) ---------------------------------------------
+
+// ClusterStatusRow is one point of the node-count sweep.
+type ClusterStatusRow struct {
+	Nodes       int
+	ColdLatency time.Duration
+	WarmLatency time.Duration
+	Bytes       int
+	StateColors map[string]int
+}
+
+// Figure4bClusterStatus sweeps cluster sizes and measures the Cluster
+// Status route. Expected shape: cold latency grows roughly linearly with
+// node count; warm (cached) latency stays low and flat-ish.
+func Figure4bClusterStatus(nodeCounts []int, seed int64) ([]ClusterStatusRow, error) {
+	out := make([]ClusterStatusRow, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		spec := workload.SmallSpec()
+		spec.Seed = seed
+		spec.CPUNodes = n - n/8 - n/32
+		spec.HighmemNodes = n / 8
+		spec.GPUNodes = n / 32
+		st, err := NewStack(spec)
+		if err != nil {
+			return nil, err
+		}
+		user := st.User(0)
+		st.ClearServerCache()
+		var resp struct {
+			Total  int            `json:"total"`
+			Counts map[string]int `json:"state_counts"`
+		}
+		_, bytes, cold, err := st.Get(user, "/api/cluster_status")
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		if err := getJSON(st, user, "/api/cluster_status", &resp); err != nil {
+			st.Close()
+			return nil, err
+		}
+		warm := time.Duration(1<<62 - 1)
+		for i := 0; i < 5; i++ {
+			_, lat, err := st.MustGet(user, "/api/cluster_status")
+			if err != nil {
+				st.Close()
+				return nil, err
+			}
+			if lat < warm {
+				warm = lat
+			}
+		}
+		out = append(out, ClusterStatusRow{
+			Nodes: resp.Total, ColdLatency: cold, WarmLatency: warm,
+			Bytes: bytes, StateColors: resp.Counts,
+		})
+		st.Close()
+	}
+	return out, nil
+}
+
+// --- E7: Figure 4c (Node Overview) ------------------------------------------------
+
+// NodeOverviewResult captures the Node Overview page of the busiest node.
+type NodeOverviewResult struct {
+	Node        string
+	State       string
+	CPUPercent  float64
+	MemPercent  float64
+	RunningJobs int
+	DetailLat   time.Duration
+	JobsLat     time.Duration
+}
+
+// Figure4cNodeOverview finds the busiest node and loads both tabs.
+func Figure4cNodeOverview(s *Stack) (NodeOverviewResult, error) {
+	user := s.User(0)
+	// Find the node with the most running jobs via the live queue.
+	counts := make(map[string]int)
+	for _, j := range s.Env.Cluster.Ctl.Jobs(slurm.LiveJobFilter{States: []slurm.JobState{slurm.StateRunning}}) {
+		for _, n := range j.Nodes {
+			counts[n]++
+		}
+	}
+	busiest, best := "", -1
+	for n, c := range counts {
+		if c > best || (c == best && n < busiest) {
+			busiest, best = n, c
+		}
+	}
+	if busiest == "" {
+		busiest = s.Env.Cluster.Ctl.Nodes()[0].Name
+	}
+	s.ClearServerCache()
+
+	var detail struct {
+		State string  `json:"state"`
+		CPU   float64 `json:"cpu_percent"`
+		Mem   float64 `json:"mem_percent"`
+	}
+	start := time.Now()
+	if err := getJSON(s, user, "/api/node/"+busiest, &detail); err != nil {
+		return NodeOverviewResult{}, err
+	}
+	detailLat := time.Since(start)
+
+	var jobs struct {
+		Jobs []struct {
+			User string `json:"user"`
+		} `json:"jobs"`
+	}
+	start = time.Now()
+	if err := getJSON(s, user, "/api/node/"+busiest+"/jobs", &jobs); err != nil {
+		return NodeOverviewResult{}, err
+	}
+	return NodeOverviewResult{
+		Node: busiest, State: detail.State,
+		CPUPercent: detail.CPU, MemPercent: detail.Mem,
+		RunningJobs: len(jobs.Jobs),
+		DetailLat:   detailLat, JobsLat: time.Since(start),
+	}, nil
+}
+
+// --- E8: Figure 4d (Job Overview) ----------------------------------------------
+
+// JobOverviewResult captures the Job Overview page including the log tabs
+// and the array tab.
+type JobOverviewResult struct {
+	JobID         string
+	TimelineDone  int
+	OverviewLat   time.Duration
+	LogTotalLines int
+	LogShownLines int
+	LogTruncated  bool
+	LogLat        time.Duration
+	ArrayTasks    int
+	ArrayLat      time.Duration
+}
+
+// Figure4dJobOverview builds a job with a 50k-line log and a 100-task
+// array, then loads every tab. Expected shape: the log view stays capped at
+// 1000 lines (fast) regardless of file size.
+func Figure4dJobOverview(s *Stack) (JobOverviewResult, error) {
+	rng := rand.New(rand.NewSource(7))
+	user := s.User(0)
+	acct := ""
+	if u, ok := s.Env.Users.Lookup(user); ok {
+		acct = u.Accounts[0]
+	}
+	// A dedicated job with a big log.
+	logPath := fmt.Sprintf("/home/%s/work/big.out", user)
+	id, err := s.Env.Cluster.Ctl.Submit(slurm.SubmitRequest{
+		Name: "figure4d", User: user, Account: acct, Partition: "cpu", QOS: "normal",
+		ReqTRES: slurm.TRES{CPUs: 4, MemMB: 8192}, TimeLimit: 4 * time.Hour,
+		StdoutPath: logPath, StderrPath: logPath + ".err",
+		Profile: slurm.UsageProfile{ActualDuration: time.Hour, CPUUtilization: 0.6, MemUtilization: 0.4},
+	})
+	if err != nil {
+		return JobOverviewResult{}, err
+	}
+	for i := 1; i <= 50_000; i++ {
+		s.Env.Logs.Append(logPath, fmt.Sprintf("iter %d loss %.4f", i, rng.Float64()))
+	}
+	// A 100-task array.
+	arrayID, err := s.Env.Cluster.Ctl.Submit(slurm.SubmitRequest{
+		Name: "figure4d-array", User: user, Account: acct, Partition: "cpu", QOS: "normal",
+		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512}, TimeLimit: time.Hour, ArraySize: 100,
+		Profile: slurm.UsageProfile{ActualDuration: 20 * time.Minute, CPUUtilization: 0.7, MemUtilization: 0.4},
+	})
+	if err != nil {
+		return JobOverviewResult{}, err
+	}
+	s.Env.Cluster.Ctl.Tick()
+	s.ClearServerCache()
+
+	res := JobOverviewResult{JobID: fmt.Sprint(id)}
+	var overview struct {
+		Timeline []struct {
+			Done bool `json:"done"`
+		} `json:"timeline"`
+	}
+	start := time.Now()
+	if err := getJSON(s, user, fmt.Sprintf("/api/job/%d", id), &overview); err != nil {
+		return res, err
+	}
+	res.OverviewLat = time.Since(start)
+	for _, ev := range overview.Timeline {
+		if ev.Done {
+			res.TimelineDone++
+		}
+	}
+
+	var logs struct {
+		Total     int  `json:"total_lines"`
+		Truncated bool `json:"truncated"`
+		Lines     []struct {
+			Number int `json:"number"`
+		} `json:"lines"`
+	}
+	start = time.Now()
+	if err := getJSON(s, user, fmt.Sprintf("/api/job/%d/logs", id), &logs); err != nil {
+		return res, err
+	}
+	res.LogLat = time.Since(start)
+	res.LogTotalLines = logs.Total
+	res.LogShownLines = len(logs.Lines)
+	res.LogTruncated = logs.Truncated
+
+	var array struct {
+		Tasks []struct {
+			State string `json:"state"`
+		} `json:"tasks"`
+	}
+	start = time.Now()
+	if err := getJSON(s, user, fmt.Sprintf("/api/job/%d/array", arrayID), &array); err != nil {
+		return res, err
+	}
+	res.ArrayLat = time.Since(start)
+	res.ArrayTasks = len(array.Tasks)
+	return res, nil
+}
+
+// getJSON fetches and decodes one API response.
+func getJSON(s *Stack, user, path string, out any) error {
+	status, body, _, err := s.GetBody(user, path)
+	if err != nil {
+		return err
+	}
+	if status != 200 {
+		return fmt.Errorf("experiments: GET %s: status %d: %.120s", path, status, body)
+	}
+	return json.Unmarshal(body, out)
+}

@@ -1,0 +1,152 @@
+// Package experiments implements the paper-reproduction harness: one
+// function per table/figure (see DESIGN.md's experiment index) returning
+// structured results that cmd/benchharness prints and the root benchmarks
+// measure. Each experiment states what the paper's artifact shows and what
+// shape the reproduction is expected to have.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/browser"
+	"ooddash/internal/core"
+	"ooddash/internal/workload"
+)
+
+// Stack is a running full deployment: workload env, news service, and the
+// dashboard server, all reachable over loopback HTTP.
+type Stack struct {
+	Env    *workload.Env
+	Server *core.Server
+	// WebURL and NewsURL are the loopback base URLs of the two services.
+	WebURL  string
+	NewsURL string
+
+	client  *http.Client
+	closers []func()
+}
+
+// NewStack builds the environment and boots both HTTP services.
+func NewStack(spec workload.Spec) (*Stack, error) {
+	env, err := workload.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stack{Env: env, client: &http.Client{}}
+
+	newsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: news listener: %w", err)
+	}
+	s.NewsURL = fmt.Sprintf("http://%s/", newsLn.Addr())
+	newsSrv := &http.Server{Handler: env.Feed}
+	go func() { _ = newsSrv.Serve(newsLn) }()
+	s.closers = append(s.closers, func() { _ = newsSrv.Close() })
+
+	server, err := env.NewServer(s.NewsURL)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	s.Server = server
+
+	webLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("experiments: web listener: %w", err)
+	}
+	s.WebURL = fmt.Sprintf("http://%s", webLn.Addr())
+	webSrv := &http.Server{Handler: server}
+	go func() { _ = webSrv.Serve(webLn) }()
+	s.closers = append(s.closers, func() { _ = webSrv.Close() })
+	return s, nil
+}
+
+// Close shuts down the HTTP services.
+func (s *Stack) Close() {
+	for i := len(s.closers) - 1; i >= 0; i-- {
+		s.closers[i]()
+	}
+	s.closers = nil
+}
+
+// GetBody performs one authenticated request and returns status, body, and
+// latency.
+func (s *Stack) GetBody(user, path string) (status int, body []byte, latency time.Duration, err error) {
+	req, err := http.NewRequest("GET", s.WebURL+path, nil)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	req.Header.Set(auth.UserHeader, user)
+	start := time.Now()
+	resp, err := s.client.Do(req)
+	if err != nil {
+		return 0, nil, time.Since(start), err
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, body, time.Since(start), err
+}
+
+// Get is GetBody reporting only the body size.
+func (s *Stack) Get(user, path string) (status, bytes int, latency time.Duration, err error) {
+	status, body, latency, err := s.GetBody(user, path)
+	return status, len(body), latency, err
+}
+
+// MustGet is Get that converts failures and non-200s into errors.
+func (s *Stack) MustGet(user, path string) (int, time.Duration, error) {
+	status, n, lat, err := s.Get(user, path)
+	if err != nil {
+		return 0, lat, err
+	}
+	if status != http.StatusOK {
+		return 0, lat, fmt.Errorf("experiments: GET %s as %s: status %d", path, user, status)
+	}
+	return n, lat, nil
+}
+
+// Browser returns a fresh simulated browser profile for the user.
+func (s *Stack) Browser(user string) *browser.Browser {
+	return browser.New(user, s.WebURL, s.client, s.Env.Clock)
+}
+
+// ClearServerCache wipes the backend cache (used to measure cold paths).
+func (s *Stack) ClearServerCache() { s.Server.Cache().Clear() }
+
+// User returns the nth generated username.
+func (s *Stack) User(n int) string {
+	return s.Env.UserNames[n%len(s.Env.UserNames)]
+}
+
+// --- small stat helpers shared by experiments --------------------------------
+
+// durations aggregates latency samples.
+type durations []time.Duration
+
+func (d durations) percentile(p float64) time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	sorted := append(durations(nil), d...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func (d durations) mean() time.Duration {
+	if len(d) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d {
+		sum += v
+	}
+	return sum / time.Duration(len(d))
+}

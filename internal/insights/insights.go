@@ -1,0 +1,353 @@
+// Package insights analyzes a user's job history and produces human-
+// readable findings with recommendations — the reproduction's stand-in for
+// the "AI-powered analysis of users' jobs" the paper lists as future work
+// (§9). The analyzer is deliberately rule-based and deterministic: each
+// rule detects one actionable pattern (repeated identical failures, chronic
+// over-requesting, long queue waits, GPU waste, timeout churn) and explains
+// it in the voice the dashboard's efficiency warnings use.
+package insights
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ooddash/internal/efficiency"
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// Severity orders findings for display.
+type Severity int
+
+// Severities, most urgent first.
+const (
+	SeverityHigh Severity = iota
+	SeverityMedium
+	SeverityInfo
+)
+
+// String implements fmt.Stringer.
+func (s Severity) String() string {
+	switch s {
+	case SeverityHigh:
+		return "high"
+	case SeverityMedium:
+		return "medium"
+	default:
+		return "info"
+	}
+}
+
+// Finding is one detected pattern with a recommendation.
+type Finding struct {
+	Kind           string   `json:"kind"`
+	Severity       string   `json:"severity"`
+	Title          string   `json:"title"`
+	Detail         string   `json:"detail"`
+	Recommendation string   `json:"recommendation"`
+	JobIDs         []string `json:"job_ids,omitempty"`
+
+	severity Severity
+}
+
+// Config tunes the rules. The zero value is unusable; use DefaultConfig.
+type Config struct {
+	// MinJobs gates the statistical rules: patterns need enough samples.
+	MinJobs int
+	// RepeatedFailureCount triggers the identical-failure rule.
+	RepeatedFailureCount int
+	// LowEfficiencyPercent is the chronic over-request bound.
+	LowEfficiencyPercent float64
+	// LongWait flags average queue waits above this.
+	LongWait time.Duration
+	// GPUWastePercent flags mean GPU utilization below this.
+	GPUWastePercent float64
+	// TimeoutCount triggers the timeout-churn rule.
+	TimeoutCount int
+}
+
+// DefaultConfig returns the production rule thresholds.
+func DefaultConfig() Config {
+	return Config{
+		MinJobs:              5,
+		RepeatedFailureCount: 3,
+		LowEfficiencyPercent: 25,
+		LongWait:             time.Hour,
+		GPUWastePercent:      30,
+		TimeoutCount:         2,
+	}
+}
+
+// Analyze inspects one user's accounting rows and returns findings sorted
+// by severity (most urgent first), then by kind.
+func Analyze(rows []slurmcli.SacctRow, cfg Config) []Finding {
+	var findings []Finding
+	add := func(f Finding) {
+		f.Severity = f.severity.String()
+		findings = append(findings, f)
+	}
+
+	if f, ok := repeatedFailures(rows, cfg); ok {
+		add(f)
+	}
+	if f, ok := timeoutChurn(rows, cfg); ok {
+		add(f)
+	}
+	if f, ok := chronicOverRequest(rows, cfg, "cpu"); ok {
+		add(f)
+	}
+	if f, ok := chronicOverRequest(rows, cfg, "memory"); ok {
+		add(f)
+	}
+	if f, ok := gpuWaste(rows, cfg); ok {
+		add(f)
+	}
+	if f, ok := longQueueWaits(rows, cfg); ok {
+		add(f)
+	}
+	if f, ok := interactiveIdle(rows, cfg); ok {
+		add(f)
+	}
+
+	sort.SliceStable(findings, func(i, j int) bool {
+		if findings[i].severity != findings[j].severity {
+			return findings[i].severity < findings[j].severity
+		}
+		return findings[i].Kind < findings[j].Kind
+	})
+	return findings
+}
+
+// sampleIDs collects up to five display IDs as evidence.
+func sampleIDs(rows []*slurmcli.SacctRow) []string {
+	out := make([]string, 0, 5)
+	for _, r := range rows {
+		if len(out) == 5 {
+			break
+		}
+		out = append(out, r.JobID)
+	}
+	return out
+}
+
+// repeatedFailures detects N+ failures sharing a job-name prefix and exit
+// code — usually the same broken script resubmitted.
+func repeatedFailures(rows []slurmcli.SacctRow, cfg Config) (Finding, bool) {
+	type key struct {
+		name string
+		code int
+	}
+	groups := make(map[key][]*slurmcli.SacctRow)
+	for i := range rows {
+		r := &rows[i]
+		if r.State != slurm.StateFailed {
+			continue
+		}
+		name := r.Name
+		if idx := strings.IndexAny(name, "-_"); idx > 0 {
+			name = name[:idx]
+		}
+		k := key{name: name, code: r.ExitCode}
+		groups[k] = append(groups[k], r)
+	}
+	var worstKey key
+	var worst []*slurmcli.SacctRow
+	for k, g := range groups {
+		if len(g) > len(worst) {
+			worst, worstKey = g, k
+		}
+	}
+	if len(worst) < cfg.RepeatedFailureCount {
+		return Finding{}, false
+	}
+	return Finding{
+		Kind:     "repeated-failures",
+		severity: SeverityHigh,
+		Title:    fmt.Sprintf("%d \"%s\" jobs failed with exit code %d", len(worst), worstKey.name, worstKey.code),
+		Detail: fmt.Sprintf(
+			"Jobs named %q failed %d times with the same exit code (%d), which usually means the same error is recurring rather than a transient problem.",
+			worstKey.name, len(worst), worstKey.code),
+		Recommendation: "Check the error log of one failed job (Job Overview → Error tab) before resubmitting; repeated identical failures waste your queue priority.",
+		JobIDs:         sampleIDs(worst),
+	}, true
+}
+
+// timeoutChurn detects jobs repeatedly hitting their wall-time limit.
+func timeoutChurn(rows []slurmcli.SacctRow, cfg Config) (Finding, bool) {
+	var hits []*slurmcli.SacctRow
+	for i := range rows {
+		if rows[i].State == slurm.StateTimeout {
+			hits = append(hits, &rows[i])
+		}
+	}
+	if len(hits) < cfg.TimeoutCount {
+		return Finding{}, false
+	}
+	return Finding{
+		Kind:           "timeout-churn",
+		severity:       SeverityHigh,
+		Title:          fmt.Sprintf("%d jobs were killed at their time limit", len(hits)),
+		Detail:         "These jobs ran until the scheduler cancelled them, so any un-checkpointed work was lost.",
+		Recommendation: "Either request a longer time limit up front or add periodic checkpointing so timed-out work can resume.",
+		JobIDs:         sampleIDs(hits),
+	}, true
+}
+
+// chronicOverRequest detects consistently low CPU or memory efficiency.
+func chronicOverRequest(rows []slurmcli.SacctRow, cfg Config, kind string) (Finding, bool) {
+	var (
+		vals    []float64
+		samples []*slurmcli.SacctRow
+	)
+	for i := range rows {
+		r := &rows[i]
+		m := efficiency.Compute(r)
+		v := m.CPUPercent
+		if kind == "memory" {
+			v = m.MemoryPercent
+		}
+		if v < 0 {
+			continue
+		}
+		vals = append(vals, v)
+		if v < cfg.LowEfficiencyPercent {
+			samples = append(samples, r)
+		}
+	}
+	if len(vals) < cfg.MinJobs {
+		return Finding{}, false
+	}
+	med := median(vals)
+	if med >= cfg.LowEfficiencyPercent {
+		return Finding{}, false
+	}
+	resource, fix := "CPUs", "ask for fewer cores"
+	if kind == "memory" {
+		resource, fix = "memory", "request less memory"
+	}
+	return Finding{
+		Kind:     "over-request-" + kind,
+		severity: SeverityMedium,
+		Title:    fmt.Sprintf("Median %s efficiency is %.0f%%", resource, med),
+		Detail: fmt.Sprintf(
+			"Across %d measured jobs, the median share of requested %s actually used was %.0f%%.",
+			len(vals), resource, med),
+		Recommendation: fmt.Sprintf(
+			"Right-size your requests: %s and your jobs will schedule sooner while freeing resources for others.", fix),
+		JobIDs: sampleIDs(samples),
+	}, true
+}
+
+// gpuWaste detects GPU jobs whose mean utilization stays low — the §9 GPU
+// metric feeding an actionable recommendation.
+func gpuWaste(rows []slurmcli.SacctRow, cfg Config) (Finding, bool) {
+	var (
+		vals    []float64
+		samples []*slurmcli.SacctRow
+	)
+	for i := range rows {
+		r := &rows[i]
+		if r.AllocTRES.GPUs == 0 || r.GPUUtilPercent < 0 {
+			continue
+		}
+		vals = append(vals, r.GPUUtilPercent)
+		if r.GPUUtilPercent < cfg.GPUWastePercent {
+			samples = append(samples, r)
+		}
+	}
+	if len(vals) < 2 || len(samples) == 0 {
+		return Finding{}, false
+	}
+	med := median(vals)
+	if med >= cfg.GPUWastePercent {
+		return Finding{}, false
+	}
+	return Finding{
+		Kind:     "gpu-underutilization",
+		severity: SeverityMedium,
+		Title:    fmt.Sprintf("GPUs sit idle: median utilization %.0f%%", med),
+		Detail: fmt.Sprintf(
+			"%d of your %d GPU jobs kept their GPUs under %.0f%% busy on average.",
+			len(samples), len(vals), cfg.GPUWastePercent),
+		Recommendation: "Profile the data pipeline (GPU jobs often starve on input), or move light workloads to CPU partitions where queues are shorter.",
+		JobIDs:         sampleIDs(samples),
+	}, true
+}
+
+// longQueueWaits reports when jobs spend long periods queued.
+func longQueueWaits(rows []slurmcli.SacctRow, cfg Config) (Finding, bool) {
+	var (
+		waits   []float64
+		samples []*slurmcli.SacctRow
+	)
+	for i := range rows {
+		r := &rows[i]
+		if r.StartTime.IsZero() {
+			continue
+		}
+		w := r.StartTime.Sub(r.SubmitTime)
+		waits = append(waits, w.Seconds())
+		if w > cfg.LongWait {
+			samples = append(samples, r)
+		}
+	}
+	if len(waits) < cfg.MinJobs {
+		return Finding{}, false
+	}
+	medWait := time.Duration(median(waits)) * time.Second
+	if medWait <= cfg.LongWait {
+		return Finding{}, false
+	}
+	return Finding{
+		Kind:           "long-queue-waits",
+		severity:       SeverityInfo,
+		Title:          fmt.Sprintf("Jobs queue for a median of %v before starting", medWait.Round(time.Minute)),
+		Detail:         fmt.Sprintf("%d jobs waited longer than %v in the queue.", len(samples), cfg.LongWait),
+		Recommendation: "Smaller CPU/time requests schedule sooner; the standby partition can also backfill idle nodes if your work tolerates preemption.",
+		JobIDs:         sampleIDs(samples),
+	}, true
+}
+
+// interactiveIdle flags interactive app sessions that barely used their
+// allocation — the paper's canonical Jupyter example (§4.3).
+func interactiveIdle(rows []slurmcli.SacctRow, cfg Config) (Finding, bool) {
+	var samples []*slurmcli.SacctRow
+	total := 0
+	for i := range rows {
+		r := &rows[i]
+		if _, _, ok := r.SessionInfo(); !ok {
+			continue
+		}
+		total++
+		m := efficiency.Compute(r)
+		if m.CPUPercent >= 0 && m.CPUPercent < cfg.LowEfficiencyPercent {
+			samples = append(samples, r)
+		}
+	}
+	if total < 3 || len(samples)*2 < total {
+		return Finding{}, false
+	}
+	return Finding{
+		Kind:           "idle-interactive-sessions",
+		severity:       SeverityInfo,
+		Title:          fmt.Sprintf("%d of %d interactive sessions were mostly idle", len(samples), total),
+		Detail:         "Interactive apps (Jupyter, RStudio, ...) hold their full allocation even while you read or type.",
+		Recommendation: "Request fewer cores and shorter limits for interactive work; you can always start a bigger session when you need it.",
+		JobIDs:         sampleIDs(samples),
+	}, true
+}
+
+// median returns the middle value; vals is modified (sorted).
+func median(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sort.Float64s(vals)
+	mid := len(vals) / 2
+	if len(vals)%2 == 1 {
+		return vals[mid]
+	}
+	return (vals[mid-1] + vals[mid]) / 2
+}

@@ -1,0 +1,224 @@
+package insights
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+var t0 = time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC)
+
+// row builds an accounting row with sensible defaults.
+func row(mutate func(*slurmcli.SacctRow)) slurmcli.SacctRow {
+	r := slurmcli.SacctRow{
+		JobID: "1000", Name: "batch-0001", User: "u", Account: "a",
+		State:      slurm.StateCompleted,
+		SubmitTime: t0, StartTime: t0.Add(time.Minute),
+		EndTime: t0.Add(time.Hour), Elapsed: 59 * time.Minute,
+		TimeLimit: 2 * time.Hour,
+		ReqCPUs:   4, AllocCPUs: 4, ReqMemMB: 8192, MaxRSSMB: 6144,
+		TotalCPU:       3 * time.Hour, // ~76% cpu eff
+		GPUUtilPercent: -1,
+	}
+	if mutate != nil {
+		mutate(&r)
+	}
+	return r
+}
+
+func kinds(fs []Finding) map[string]Finding {
+	out := make(map[string]Finding, len(fs))
+	for _, f := range fs {
+		out[f.Kind] = f
+	}
+	return out
+}
+
+func TestNoFindingsOnHealthyHistory(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 10; i++ {
+		rows = append(rows, row(nil))
+	}
+	if fs := Analyze(rows, DefaultConfig()); len(fs) != 0 {
+		t.Fatalf("healthy history produced findings: %+v", fs)
+	}
+}
+
+func TestRepeatedFailures(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 4; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.Name = "train-run"
+			r.State = slurm.StateFailed
+			r.ExitCode = 137
+		}))
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	f, ok := fs["repeated-failures"]
+	if !ok {
+		t.Fatalf("missing repeated-failures: %+v", fs)
+	}
+	if f.Severity != "high" || !strings.Contains(f.Title, "137") {
+		t.Fatalf("finding = %+v", f)
+	}
+	if len(f.JobIDs) == 0 {
+		t.Fatal("no evidence job IDs")
+	}
+}
+
+func TestDistinctFailuresDoNotTrigger(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 4; i++ {
+		i := i
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.Name = "job" + string(rune('a'+i))
+			r.State = slurm.StateFailed
+			r.ExitCode = i + 1 // all different
+		}))
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	if _, ok := fs["repeated-failures"]; ok {
+		t.Fatal("distinct failures flagged as repeated")
+	}
+}
+
+func TestTimeoutChurn(t *testing.T) {
+	rows := []slurmcli.SacctRow{
+		row(func(r *slurmcli.SacctRow) { r.State = slurm.StateTimeout }),
+		row(func(r *slurmcli.SacctRow) { r.State = slurm.StateTimeout }),
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	f, ok := fs["timeout-churn"]
+	if !ok || f.Severity != "high" {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if !strings.Contains(f.Recommendation, "checkpoint") {
+		t.Fatalf("recommendation = %q", f.Recommendation)
+	}
+}
+
+func TestChronicCPUOverRequest(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 6; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.TotalCPU = 10 * time.Minute // ~4% of 4 cpus x 59min
+		}))
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	f, ok := fs["over-request-cpu"]
+	if !ok {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if !strings.Contains(f.Recommendation, "fewer cores") {
+		t.Fatalf("recommendation = %q", f.Recommendation)
+	}
+}
+
+func TestChronicMemoryOverRequest(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 6; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.MaxRSSMB = 512 // ~6% of 8 GiB
+		}))
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	if _, ok := fs["over-request-memory"]; !ok {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestGPUWaste(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 3; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.AllocTRES = slurm.TRES{CPUs: 8, GPUs: 2}
+			r.GPUUtilPercent = 8
+		}))
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	f, ok := fs["gpu-underutilization"]
+	if !ok {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if !strings.Contains(f.Title, "idle") {
+		t.Fatalf("title = %q", f.Title)
+	}
+}
+
+func TestGPUHealthyNotFlagged(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 3; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.AllocTRES = slurm.TRES{CPUs: 8, GPUs: 2}
+			r.GPUUtilPercent = 85
+		}))
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	if _, ok := fs["gpu-underutilization"]; ok {
+		t.Fatal("healthy GPU usage flagged")
+	}
+}
+
+func TestLongQueueWaits(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 6; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.StartTime = r.SubmitTime.Add(3 * time.Hour)
+			r.EndTime = r.StartTime.Add(time.Hour)
+		}))
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	if _, ok := fs["long-queue-waits"]; !ok {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestInteractiveIdle(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	for i := 0; i < 4; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.Comment = "ood:app=jupyter;session=abc"
+			r.TotalCPU = 5 * time.Minute // idle
+		}))
+	}
+	fs := kinds(Analyze(rows, DefaultConfig()))
+	if _, ok := fs["idle-interactive-sessions"]; !ok {
+		t.Fatalf("findings = %+v", fs)
+	}
+}
+
+func TestFindingsSortedBySeverity(t *testing.T) {
+	var rows []slurmcli.SacctRow
+	// Trigger a high (timeouts) and an info (idle interactive) finding.
+	for i := 0; i < 2; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) { r.State = slurm.StateTimeout }))
+	}
+	for i := 0; i < 4; i++ {
+		rows = append(rows, row(func(r *slurmcli.SacctRow) {
+			r.Comment = "ood:app=jupyter;session=x"
+			r.TotalCPU = 2 * time.Minute
+		}))
+	}
+	fs := Analyze(rows, DefaultConfig())
+	if len(fs) < 2 {
+		t.Fatalf("findings = %+v", fs)
+	}
+	if fs[0].Severity != "high" {
+		t.Fatalf("first finding severity = %s", fs[0].Severity)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if m := median(nil); m != 0 {
+		t.Fatalf("empty median = %v", m)
+	}
+}

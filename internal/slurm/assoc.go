@@ -1,0 +1,70 @@
+package slurm
+
+// Association links a (user, account) pair to limits and usage, mirroring
+// the records `scontrol show assoc` prints. The dashboard's Accounts widget
+// (§3.4) is built from these.
+type Association struct {
+	Account string
+	User    string // empty for the account-level (parent) association
+
+	// Limits. Zero means unlimited.
+	GrpCPULimit     int     // max CPUs allocated at once across the account
+	GrpGPUHourLimit float64 // GPU-hour budget for the account
+
+	// Usage maintained by the accounting daemon.
+	GPUHoursUsed float64 // accumulated GPU hours charged to this association
+	CPUTimeUsed  float64 // accumulated core-hours charged to this association
+}
+
+// Key returns the map key identifying the association.
+func (a *Association) Key() AssocKey { return AssocKey{Account: a.Account, User: a.User} }
+
+// Clone returns a copy safe to hand to readers.
+func (a *Association) Clone() *Association {
+	cp := *a
+	return &cp
+}
+
+// AssocKey identifies an association: account plus (optional) user.
+type AssocKey struct {
+	Account string
+	User    string
+}
+
+// QOS is a quality-of-service level with per-user limits, matching Slurm's
+// QOS concept as far as the dashboard needs it (the My Jobs QoS column and
+// the QOSMaxJobsPerUserLimit pending reason).
+type QOS struct {
+	Name           string
+	Priority       int // priority factor added to job priority
+	MaxJobsPerUser int // max running jobs per user; zero means unlimited
+	// Preemptable marks jobs in this QOS as requeueable when higher-priority
+	// work cannot otherwise start (Slurm's PreemptMode=REQUEUE), the standby
+	// tier semantics of the default cluster config.
+	Preemptable bool
+}
+
+// AccountUsage is the Accounts-widget view of one association: the account's
+// limits together with its members' live and accumulated consumption.
+type AccountUsage struct {
+	Account         string
+	GrpCPULimit     int
+	CPUsInUse       int
+	CPUsQueued      int
+	GrpGPUHourLimit float64
+	GPUHoursUsed    float64
+	// PerUser breaks the account usage down by member, newest-first by usage,
+	// feeding the CSV/Excel export described in §3.4.
+	PerUser []UserUsage
+}
+
+// UserUsage is one member's share of an account's usage.
+type UserUsage struct {
+	User         string
+	CPUsInUse    int
+	CPUsQueued   int
+	GPUHoursUsed float64
+	CPUHoursUsed float64
+	RunningJobs  int
+	PendingJobs  int
+}

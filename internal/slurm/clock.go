@@ -1,0 +1,58 @@
+package slurm
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time so the simulator can run deterministically in tests
+// and benchmarks, and in real time inside long-running servers.
+type Clock interface {
+	// Now returns the current simulated or wall-clock time.
+	Now() time.Time
+}
+
+// RealClock is a Clock backed by the system wall clock.
+type RealClock struct{}
+
+// Now implements Clock.
+func (RealClock) Now() time.Time { return time.Now() }
+
+// SimClock is a manually advanced Clock. The zero value is not usable; use
+// NewSimClock. SimClock is safe for concurrent use.
+type SimClock struct {
+	mu  sync.RWMutex
+	now time.Time
+}
+
+// NewSimClock returns a SimClock starting at the given instant.
+func NewSimClock(start time.Time) *SimClock {
+	return &SimClock{now: start}
+}
+
+// Now implements Clock.
+func (c *SimClock) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Negative durations are ignored: simulated time never goes backwards.
+func (c *SimClock) Advance(d time.Duration) time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now = c.now.Add(d)
+	}
+	return c.now
+}
+
+// Set jumps the clock to t if t is not before the current time.
+func (c *SimClock) Set(t time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t.After(c.now) {
+		c.now = t
+	}
+}

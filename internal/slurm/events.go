@@ -1,0 +1,136 @@
+package slurm
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind labels a job state transition.
+type EventKind string
+
+// Event kinds emitted by the controller.
+const (
+	EventSubmitted EventKind = "submitted"
+	EventStarted   EventKind = "started"
+	EventCompleted EventKind = "completed"
+	EventFailed    EventKind = "failed"
+	EventTimeout   EventKind = "timeout"
+	EventCancelled EventKind = "cancelled"
+	EventNodeFail  EventKind = "node_fail"
+	EventOOM       EventKind = "out_of_memory"
+	EventPreempted EventKind = "preempted"
+)
+
+// Event is one job state transition, the unit of the dashboard's real-time
+// job monitoring feed (a §9 "ongoing work" feature of the paper, built here
+// as an extension). Events carry a monotonically increasing sequence number
+// so clients can poll for deltas.
+type Event struct {
+	Seq     int64
+	Kind    EventKind
+	JobID   JobID
+	JobName string
+	User    string
+	Account string
+	State   JobState
+	Time    time.Time
+}
+
+// eventLog is a bounded ring of recent events.
+type eventLog struct {
+	mu      sync.Mutex
+	buf     []Event
+	cap     int
+	nextSeq int64
+}
+
+func newEventLog(capacity int) *eventLog {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	return &eventLog{cap: capacity, nextSeq: 1}
+}
+
+// append records one event, evicting the oldest when full.
+func (l *eventLog) append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.Seq = l.nextSeq
+	l.nextSeq++
+	l.buf = append(l.buf, e)
+	if len(l.buf) > l.cap {
+		l.buf = l.buf[len(l.buf)-l.cap:]
+	}
+}
+
+// since returns events with Seq > seq, up to limit (0 = all available).
+func (l *eventLog) since(seq int64, limit int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Binary-search-free scan: the ring is small and ordered by Seq.
+	start := len(l.buf)
+	for i, e := range l.buf {
+		if e.Seq > seq {
+			start = i
+			break
+		}
+	}
+	out := l.buf[start:]
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	cp := make([]Event, len(out))
+	copy(cp, out)
+	return cp
+}
+
+// lastSeq returns the newest sequence number issued (0 when empty).
+func (l *eventLog) lastSeq() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq - 1
+}
+
+// stateEventKind maps a terminal state to its event kind.
+func stateEventKind(s JobState) EventKind {
+	switch s {
+	case StateCompleted:
+		return EventCompleted
+	case StateFailed:
+		return EventFailed
+	case StateTimeout:
+		return EventTimeout
+	case StateCancelled:
+		return EventCancelled
+	case StateNodeFail:
+		return EventNodeFail
+	case StateOutOfMemory:
+		return EventOOM
+	case StatePreempted:
+		return EventPreempted
+	default:
+		return EventCompleted
+	}
+}
+
+// EventsSince returns job events newer than seq for real-time monitoring.
+// Counted as one controller RPC (clients poll this like squeue, but deltas
+// make each poll O(new events) instead of O(queue)).
+func (c *Controller) EventsSince(seq int64, limit int) []Event {
+	c.stats.Record(RPCSqueue)
+	return c.events.since(seq, limit)
+}
+
+// LastEventSeq returns the newest event sequence number.
+func (c *Controller) LastEventSeq() int64 {
+	return c.events.lastSeq()
+}
+
+// emitJobEvent records a transition on the event feed. Caller may hold
+// c.mu; the event log has its own lock and never calls back.
+func (c *Controller) emitJobEvent(kind EventKind, j *Job, at time.Time) {
+	c.events.append(Event{
+		Kind: kind, JobID: j.ID, JobName: j.Name,
+		User: j.User, Account: j.Account, State: j.State, Time: at,
+	})
+}

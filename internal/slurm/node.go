@@ -1,0 +1,232 @@
+package slurm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is the controller's record of one compute node.
+type Node struct {
+	// Configuration.
+	Name       string
+	Partitions []string
+	CPUs       int
+	MemMB      int64
+	GPUs       int
+	GPUType    string // e.g. "a100"; empty when GPUs == 0
+	Features   []string
+	OS         string
+	Arch       string
+	BootTime   time.Time
+
+	// Dynamic state.
+	State       NodeState
+	Drain       bool   // node is draining/drained on top of its base state
+	Maint       bool   // node is in a maintenance reservation
+	StateReason string // operator-provided reason for DOWN/DRAIN
+	Alloc       TRES   // resources currently allocated to jobs
+	CPULoad     float64
+	LastBusy    time.Time
+	RunningJobs []JobID
+}
+
+// Free returns the node's unallocated capacity.
+func (n *Node) Free() TRES {
+	return TRES{
+		CPUs:  n.CPUs - n.Alloc.CPUs,
+		MemMB: n.MemMB - n.Alloc.MemMB,
+		GPUs:  n.GPUs - n.Alloc.GPUs,
+	}
+}
+
+// EffectiveState combines the base state with drain/maint flags into the
+// single state string sinfo and the dashboard's Cluster Status grid show.
+func (n *Node) EffectiveState() NodeState {
+	switch {
+	case n.State == NodeDown:
+		return NodeDown
+	case n.Maint:
+		return NodeMaint
+	case n.Drain && n.Alloc.CPUs > 0:
+		return NodeDraining
+	case n.Drain:
+		return NodeDrained
+	case n.Alloc.CPUs == 0:
+		return NodeIdle
+	case n.Alloc.CPUs >= n.CPUs:
+		return NodeAllocated
+	default:
+		return NodeMixed
+	}
+}
+
+// Schedulable reports whether the scheduler may place new work here.
+func (n *Node) Schedulable() bool {
+	return n.State.Schedulable() && !n.Drain && !n.Maint && n.State != NodeDown
+}
+
+// HasFeatures reports whether the node advertises every feature in the
+// comma-separated AND list (empty list matches everything).
+func (n *Node) HasFeatures(constraint string) bool {
+	if constraint == "" {
+		return true
+	}
+	for _, want := range strings.Split(constraint, ",") {
+		want = strings.TrimSpace(want)
+		if want == "" {
+			continue
+		}
+		found := false
+		for _, f := range n.Features {
+			if f == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPartition reports whether the node belongs to the named partition.
+func (n *Node) HasPartition(name string) bool {
+	for _, p := range n.Partitions {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy safe for concurrent readers.
+func (n *Node) Clone() *Node {
+	cp := *n
+	cp.Partitions = append([]string(nil), n.Partitions...)
+	cp.Features = append([]string(nil), n.Features...)
+	cp.RunningJobs = append([]JobID(nil), n.RunningJobs...)
+	return &cp
+}
+
+// removeJob drops id from the node's running-job list.
+func (n *Node) removeJob(id JobID) {
+	for i, j := range n.RunningJobs {
+		if j == id {
+			n.RunningJobs = append(n.RunningJobs[:i], n.RunningJobs[i+1:]...)
+			return
+		}
+	}
+}
+
+// NodeNameRange compresses a sorted list of node names that share a common
+// prefix into Slurm's bracketed hostlist form, e.g. ["a001","a002","a003"]
+// becomes "a[001-003]". Names that don't fit the pattern are listed verbatim.
+func NodeNameRange(names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	if len(names) == 1 {
+		return names[0]
+	}
+	type entry struct {
+		prefix string
+		num    int
+		width  int
+		raw    string
+	}
+	entries := make([]entry, 0, len(names))
+	for _, name := range names {
+		i := len(name)
+		for i > 0 && name[i-1] >= '0' && name[i-1] <= '9' {
+			i--
+		}
+		e := entry{raw: name}
+		if i < len(name) {
+			e.prefix = name[:i]
+			e.width = len(name) - i
+			fmt.Sscanf(name[i:], "%d", &e.num)
+		} else {
+			e.prefix = name
+			e.num = -1
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].prefix != entries[j].prefix {
+			return entries[i].prefix < entries[j].prefix
+		}
+		return entries[i].num < entries[j].num
+	})
+	var out []string
+	for i := 0; i < len(entries); {
+		e := entries[i]
+		if e.num < 0 {
+			out = append(out, e.raw)
+			i++
+			continue
+		}
+		// Extend a run of consecutive numbers with the same prefix and width.
+		j := i
+		for j+1 < len(entries) &&
+			entries[j+1].prefix == e.prefix &&
+			entries[j+1].width == e.width &&
+			entries[j+1].num == entries[j].num+1 {
+			j++
+		}
+		if j == i {
+			out = append(out, e.raw)
+		} else {
+			out = append(out, fmt.Sprintf("%s[%0*d-%0*d]", e.prefix, e.width, e.num, e.width, entries[j].num))
+		}
+		i = j + 1
+	}
+	return strings.Join(out, ",")
+}
+
+// ExpandNodeRange is the inverse of NodeNameRange for a single bracketed
+// range expression; plain comma-separated names pass through unchanged.
+func ExpandNodeRange(expr string) ([]string, error) {
+	var out []string
+	for len(expr) > 0 {
+		br := strings.IndexByte(expr, '[')
+		comma := strings.IndexByte(expr, ',')
+		if br == -1 || (comma != -1 && comma < br) {
+			// A plain name up to the next comma.
+			if comma == -1 {
+				out = append(out, expr)
+				return out, nil
+			}
+			out = append(out, expr[:comma])
+			expr = expr[comma+1:]
+			continue
+		}
+		prefix := expr[:br]
+		close := strings.IndexByte(expr, ']')
+		if close == -1 {
+			return nil, fmt.Errorf("slurm: unterminated bracket in hostlist %q", expr)
+		}
+		for _, span := range strings.Split(expr[br+1:close], ",") {
+			lo, hi, hasHi := strings.Cut(span, "-")
+			var a, b int
+			if _, err := fmt.Sscanf(lo, "%d", &a); err != nil {
+				return nil, fmt.Errorf("slurm: bad hostlist range %q: %v", span, err)
+			}
+			b = a
+			if hasHi {
+				if _, err := fmt.Sscanf(hi, "%d", &b); err != nil {
+					return nil, fmt.Errorf("slurm: bad hostlist range %q: %v", span, err)
+				}
+			}
+			width := len(lo)
+			for n := a; n <= b; n++ {
+				out = append(out, fmt.Sprintf("%s%0*d", prefix, width, n))
+			}
+		}
+		expr = expr[close+1:]
+		expr = strings.TrimPrefix(expr, ",")
+	}
+	return out, nil
+}

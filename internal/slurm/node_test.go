@@ -1,0 +1,159 @@
+package slurm
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestNodeEffectiveState(t *testing.T) {
+	tests := []struct {
+		name string
+		node Node
+		want NodeState
+	}{
+		{"idle", Node{CPUs: 8, State: NodeIdle}, NodeIdle},
+		{"mixed", Node{CPUs: 8, State: NodeIdle, Alloc: TRES{CPUs: 4}}, NodeMixed},
+		{"allocated", Node{CPUs: 8, State: NodeIdle, Alloc: TRES{CPUs: 8}}, NodeAllocated},
+		{"drained-empty", Node{CPUs: 8, State: NodeIdle, Drain: true}, NodeDrained},
+		{"draining-busy", Node{CPUs: 8, State: NodeIdle, Drain: true, Alloc: TRES{CPUs: 2}}, NodeDraining},
+		{"down", Node{CPUs: 8, State: NodeDown, Drain: true}, NodeDown},
+		{"maint", Node{CPUs: 8, State: NodeIdle, Maint: true}, NodeMaint},
+	}
+	for _, tc := range tests {
+		if got := tc.node.EffectiveState(); got != tc.want {
+			t.Errorf("%s: EffectiveState = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestNodeSchedulable(t *testing.T) {
+	n := Node{CPUs: 8, State: NodeIdle}
+	if !n.Schedulable() {
+		t.Error("idle node should be schedulable")
+	}
+	n.Drain = true
+	if n.Schedulable() {
+		t.Error("draining node should not be schedulable")
+	}
+	n.Drain = false
+	n.Maint = true
+	if n.Schedulable() {
+		t.Error("maint node should not be schedulable")
+	}
+	n.Maint = false
+	n.State = NodeDown
+	if n.Schedulable() {
+		t.Error("down node should not be schedulable")
+	}
+}
+
+func TestNodeFree(t *testing.T) {
+	n := Node{CPUs: 128, MemMB: 256 * 1024, GPUs: 4, Alloc: TRES{CPUs: 100, MemMB: 1024, GPUs: 3}}
+	free := n.Free()
+	if free.CPUs != 28 || free.MemMB != 256*1024-1024 || free.GPUs != 1 {
+		t.Fatalf("Free = %+v", free)
+	}
+}
+
+func TestNodeClone(t *testing.T) {
+	n := &Node{
+		Name:        "a001",
+		Partitions:  []string{"cpu"},
+		Features:    []string{"milan"},
+		RunningJobs: []JobID{1, 2},
+		BootTime:    time.Now(),
+	}
+	cp := n.Clone()
+	cp.Partitions[0] = "gpu"
+	cp.RunningJobs[0] = 99
+	if n.Partitions[0] != "cpu" || n.RunningJobs[0] != 1 {
+		t.Fatal("Clone shares slices with original")
+	}
+}
+
+func TestNodeNameRange(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"a001"}, "a001"},
+		{[]string{"a001", "a002", "a003"}, "a[001-003]"},
+		{[]string{"a003", "a001", "a002"}, "a[001-003]"},
+		{[]string{"a001", "a003"}, "a001,a003"},
+		{[]string{"a001", "a002", "b001"}, "a[001-002],b001"},
+		{[]string{"login", "a001", "a002"}, "a[001-002],login"},
+	}
+	for _, tc := range tests {
+		if got := NodeNameRange(tc.in); got != tc.want {
+			t.Errorf("NodeNameRange(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestExpandNodeRange(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"a001", []string{"a001"}},
+		{"a[001-003]", []string{"a001", "a002", "a003"}},
+		{"a[001-002],b001", []string{"a001", "a002", "b001"}},
+		{"a[001,005]", []string{"a001", "a005"}},
+		{"login,a[001-002]", []string{"login", "a001", "a002"}},
+	}
+	for _, tc := range tests {
+		got, err := ExpandNodeRange(tc.in)
+		if err != nil {
+			t.Fatalf("ExpandNodeRange(%q): %v", tc.in, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ExpandNodeRange(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+	if _, err := ExpandNodeRange("a[001-"); err == nil {
+		t.Error("expected error for unterminated bracket")
+	}
+}
+
+// Property: expanding a compressed range yields the original sorted set.
+func TestNodeRangeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		seen := make(map[string]bool)
+		var names []string
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("a%03d", 1+r.Intn(200))
+			if !seen[name] {
+				seen[name] = true
+				names = append(names, name)
+			}
+		}
+		compressed := NodeNameRange(names)
+		expanded, err := ExpandNodeRange(compressed)
+		if err != nil {
+			return false
+		}
+		if len(expanded) != len(names) {
+			return false
+		}
+		back := make(map[string]bool, len(expanded))
+		for _, e := range expanded {
+			back[e] = true
+		}
+		for _, want := range names {
+			if !back[want] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package slurm
+
+import "time"
+
+// Partition is a named set of nodes with shared limits, matching Slurm's
+// partition concept. The dashboard's System Status widget (§3.3) summarizes
+// utilization per partition.
+type Partition struct {
+	Name     string
+	Nodes    []string // node names; kept sorted
+	MaxTime  time.Duration
+	State    string // "UP" or "DOWN"
+	Default  bool
+	Priority int // partition priority factor added to job priority
+}
+
+// Up reports whether the partition accepts and schedules jobs.
+func (p *Partition) Up() bool { return p.State != "DOWN" }
+
+// Clone returns a deep copy safe for concurrent readers.
+func (p *Partition) Clone() *Partition {
+	cp := *p
+	cp.Nodes = append([]string(nil), p.Nodes...)
+	return &cp
+}
+
+// PartitionUtilization is a point-in-time utilization summary for one
+// partition, the unit of the System Status widget.
+type PartitionUtilization struct {
+	Name       string
+	State      string
+	TotalCPUs  int
+	AllocCPUs  int
+	TotalGPUs  int
+	AllocGPUs  int
+	TotalNodes int
+	// Node state counts, keyed by effective state.
+	NodesByState map[NodeState]int
+	PendingJobs  int
+	RunningJobs  int
+}
+
+// CPUPercent returns allocated CPUs as a percentage of total.
+func (u PartitionUtilization) CPUPercent() float64 {
+	if u.TotalCPUs == 0 {
+		return 0
+	}
+	return 100 * float64(u.AllocCPUs) / float64(u.TotalCPUs)
+}
+
+// GPUPercent returns allocated GPUs as a percentage of total.
+func (u PartitionUtilization) GPUPercent() float64 {
+	if u.TotalGPUs == 0 {
+		return 0
+	}
+	return 100 * float64(u.AllocGPUs) / float64(u.TotalGPUs)
+}

@@ -1,0 +1,22 @@
+package slurm
+
+// PendingReason enumerates why a pending job has not started. Values match
+// Slurm's reason strings so the dashboard's friendly-message table (§4.1 of
+// the paper) can key off the same identifiers users see in squeue.
+type PendingReason string
+
+// Pending reasons produced by the simulator's scheduler.
+const (
+	ReasonNone               PendingReason = "None"
+	ReasonPriority           PendingReason = "Priority"
+	ReasonResources          PendingReason = "Resources"
+	ReasonAssocGrpCpuLimit   PendingReason = "AssocGrpCpuLimit"
+	ReasonAssocGrpGpuLimit   PendingReason = "AssocGrpGRES"
+	ReasonQOSMaxJobsPerUser  PendingReason = "QOSMaxJobsPerUserLimit"
+	ReasonDependency         PendingReason = "Dependency"
+	ReasonBeginTime          PendingReason = "BeginTime"
+	ReasonPartitionDown      PendingReason = "PartitionDown"
+	ReasonReqNodeNotAvail    PendingReason = "ReqNodeNotAvail"
+	ReasonJobHeldUser        PendingReason = "JobHeldUser"
+	ReasonPartitionTimeLimit PendingReason = "PartitionTimeLimit"
+)

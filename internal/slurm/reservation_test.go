@@ -1,0 +1,179 @@
+package slurm
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMaintenanceWindowLifecycle(t *testing.T) {
+	cl, clock := testCluster(t)
+	start := clock.Now().Add(2 * time.Hour)
+	end := start.Add(4 * time.Hour)
+	id, err := cl.Ctl.ScheduleMaintenance("july-pm", start, end, nil, "firmware updates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id == 0 {
+		t.Fatal("zero window id")
+	}
+
+	// Before the window: nodes are normal.
+	cl.Ctl.Tick()
+	for _, n := range cl.Ctl.Nodes() {
+		if n.Maint {
+			t.Fatalf("node %s in maint before window", n.Name)
+		}
+	}
+	// During the window: every node is in maintenance.
+	clock.Advance(3 * time.Hour)
+	cl.Ctl.Tick()
+	for _, n := range cl.Ctl.Nodes() {
+		if !n.Maint || n.EffectiveState() != NodeMaint {
+			t.Fatalf("node %s not in maint during window: %s", n.Name, n.EffectiveState())
+		}
+	}
+	// After the window: nodes recover.
+	clock.Advance(4 * time.Hour)
+	cl.Ctl.Tick()
+	for _, n := range cl.Ctl.Nodes() {
+		if n.Maint {
+			t.Fatalf("node %s still in maint after window", n.Name)
+		}
+	}
+}
+
+func TestMaintenanceBlocksOverlappingJobs(t *testing.T) {
+	cl, clock := testCluster(t)
+	start := clock.Now().Add(2 * time.Hour)
+	if _, err := cl.Ctl.ScheduleMaintenance("pm", start, start.Add(8*time.Hour), nil, "pm"); err != nil {
+		t.Fatal(err)
+	}
+	// A 4-hour job would run into the window: blocked with ReqNodeNotAvail.
+	long := submitOne(t, cl, SubmitRequest{
+		User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: TRES{CPUs: 1, MemMB: 512}, TimeLimit: 4 * time.Hour,
+		Profile: UsageProfile{ActualDuration: 3 * time.Hour, CPUUtilization: 0.5, MemUtilization: 0.5},
+	})
+	// A 1-hour job fits before the window and starts.
+	short := submitOne(t, cl, SubmitRequest{
+		User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: TRES{CPUs: 1, MemMB: 512}, TimeLimit: time.Hour,
+		Profile: UsageProfile{ActualDuration: 30 * time.Minute, CPUUtilization: 0.5, MemUtilization: 0.5},
+	})
+	cl.Ctl.Tick()
+	jl := cl.Ctl.Job(long)
+	if jl.State != StatePending || jl.Reason != ReasonReqNodeNotAvail {
+		t.Fatalf("long job = %s/%s, want PENDING/ReqNodeNotAvail", jl.State, jl.Reason)
+	}
+	if got := cl.Ctl.Job(short).State; got != StateRunning {
+		t.Fatalf("short job = %s, want RUNNING", got)
+	}
+	// Once the window passes, the long job starts.
+	clock.Advance(11 * time.Hour)
+	cl.Ctl.Tick()
+	if got := cl.Ctl.Job(long).State; got != StateRunning {
+		t.Fatalf("long job after window = %s", got)
+	}
+}
+
+func TestMaintenancePartialNodeList(t *testing.T) {
+	cl, clock := testCluster(t)
+	start := clock.Now().Add(time.Minute)
+	if _, err := cl.Ctl.ScheduleMaintenance("one-node", start, start.Add(time.Hour),
+		[]string{"c001"}, "dimm swap"); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Minute)
+	cl.Ctl.Tick()
+	if n := cl.Ctl.Node("c001"); !n.Maint {
+		t.Fatal("c001 not in maint")
+	}
+	if n := cl.Ctl.Node("c002"); n.Maint {
+		t.Fatal("c002 wrongly in maint")
+	}
+	// Scheduling flows around the reserved node.
+	id := submitOne(t, cl, SubmitRequest{
+		User: "alice", Account: "lab-a", Partition: "cpu",
+		ReqTRES: TRES{CPUs: 1, MemMB: 512}, TimeLimit: 24 * time.Hour,
+		Profile: UsageProfile{ActualDuration: time.Hour, CPUUtilization: 0.5, MemUtilization: 0.5},
+	})
+	cl.Ctl.Tick()
+	j := cl.Ctl.Job(id)
+	if j.State != StateRunning || j.Nodes[0] == "c001" {
+		t.Fatalf("job = %s on %v", j.State, j.Nodes)
+	}
+}
+
+func TestMaintenanceValidation(t *testing.T) {
+	cl, clock := testCluster(t)
+	now := clock.Now()
+	if _, err := cl.Ctl.ScheduleMaintenance("bad", now.Add(time.Hour), now, nil, ""); err == nil {
+		t.Fatal("expected error for inverted window")
+	}
+	if _, err := cl.Ctl.ScheduleMaintenance("bad", now, now.Add(time.Hour), []string{"zz"}, ""); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+}
+
+func TestMaintenanceCancel(t *testing.T) {
+	cl, clock := testCluster(t)
+	start := clock.Now().Add(time.Minute)
+	id, err := cl.Ctl.ScheduleMaintenance("oops", start, start.Add(time.Hour), nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ctl.CancelMaintenance(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Ctl.CancelMaintenance(id); err == nil {
+		t.Fatal("double cancel should fail")
+	}
+	clock.Advance(2 * time.Minute)
+	cl.Ctl.Tick()
+	for _, n := range cl.Ctl.Nodes() {
+		if n.Maint {
+			t.Fatalf("cancelled window still applied to %s", n.Name)
+		}
+	}
+}
+
+func TestManualMaintSurvivesWindows(t *testing.T) {
+	cl, clock := testCluster(t)
+	if err := cl.Ctl.SetNodeMaint("c002", true); err != nil {
+		t.Fatal(err)
+	}
+	cl.Ctl.Tick()
+	if n := cl.Ctl.Node("c002"); !n.Maint {
+		t.Fatal("manual maint not applied")
+	}
+	// A window on another node comes and goes; c002 stays in manual maint.
+	start := clock.Now().Add(time.Minute)
+	if _, err := cl.Ctl.ScheduleMaintenance("w", start, start.Add(time.Hour), []string{"c001"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Hour)
+	cl.Ctl.Tick()
+	if n := cl.Ctl.Node("c002"); !n.Maint {
+		t.Fatal("manual maint cleared by unrelated window expiry")
+	}
+	if err := cl.Ctl.SetNodeMaint("c002", false); err != nil {
+		t.Fatal(err)
+	}
+	cl.Ctl.Tick()
+	if n := cl.Ctl.Node("c002"); n.Maint {
+		t.Fatal("manual maint not cleared")
+	}
+}
+
+func TestMaintenanceWindowsPruned(t *testing.T) {
+	cl, clock := testCluster(t)
+	start := clock.Now().Add(time.Minute)
+	if _, err := cl.Ctl.ScheduleMaintenance("old", start, start.Add(time.Hour), nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(48 * time.Hour)
+	cl.Ctl.Tick()
+	if got := len(cl.Ctl.MaintenanceWindows()); got != 0 {
+		t.Fatalf("windows after prune = %d", got)
+	}
+}

@@ -1,0 +1,487 @@
+package slurm
+
+import (
+	"sort"
+	"time"
+)
+
+// schedQueueDepth caps how many placement attempts one scheduling pass
+// makes, mirroring slurmctld's default_queue_depth / bf_max_job_test.
+const schedQueueDepth = 200
+
+// Tick advances the simulation to the clock's current time: it completes
+// jobs whose run time has elapsed, fails jobs on downed nodes, runs one
+// scheduling pass over the pending queue, refreshes node load figures, and
+// purges finished jobs older than the retention window.
+//
+// Tick is cheap enough to call after every clock advance; the dashboard
+// benchmarks call it from a driver loop to simulate a live cluster.
+func (c *Controller) Tick() {
+	now := c.clock.Now()
+
+	type finished struct {
+		job *Job
+	}
+	var done []finished
+
+	c.mu.Lock()
+	// 0. Enter/leave scheduled maintenance windows.
+	c.applyMaintenanceLocked(now)
+	// 1. Fail jobs (running or suspended) whose nodes went down.
+	for _, id := range c.jobOrder {
+		j := c.jobs[id]
+		if j == nil || (j.State != StateRunning && j.State != StateSuspended) {
+			continue
+		}
+		for _, nname := range j.Nodes {
+			if n := c.nodes[nname]; n != nil && n.State == NodeDown {
+				c.freeJobResourcesLocked(j)
+				j.State = StateNodeFail
+				j.Reason = ReasonNone
+				j.EndTime = now
+				j.ExitCode = 1
+				c.emitJobEvent(EventNodeFail, j, now)
+				done = append(done, finished{job: j.Clone()})
+				break
+			}
+		}
+	}
+	// 2. Complete jobs whose run time elapsed.
+	for _, id := range c.jobOrder {
+		j := c.jobs[id]
+		if j == nil || j.State != StateRunning {
+			continue
+		}
+		end, state := j.scheduledEnd()
+		if !now.Before(end) {
+			c.freeJobResourcesLocked(j)
+			j.State = state
+			j.Reason = ReasonNone
+			j.EndTime = end // exact end, not tick time: deterministic accounting
+			j.ExitCode = j.Profile.ExitCode
+			if state == StateTimeout || state == StateOutOfMemory {
+				j.ExitCode = 1
+			}
+			c.emitJobEvent(stateEventKind(state), j, end)
+			done = append(done, finished{job: j.Clone()})
+		}
+	}
+	// 3. Schedule the pending queue.
+	c.scheduleLocked(now)
+	// 4. Refresh node CPU load from running jobs' utilization profiles.
+	c.refreshNodeLoadLocked()
+	// 5. Purge finished jobs past the retention window.
+	c.purgeLocked(now)
+	c.mu.Unlock()
+
+	for _, f := range done {
+		c.dbd.recordJob(f.job)
+		c.dbd.chargeUsage(f.job, now)
+	}
+}
+
+// scheduledEnd returns when a running job will finish and in which state.
+// A profile whose memory utilization exceeds the request models a job that
+// outgrows its allocation: the kernel OOM-kills it partway through. Time
+// spent suspended pushes the end out.
+func (j *Job) scheduledEnd() (time.Time, JobState) {
+	run := j.Profile.ActualDuration
+	state := j.Profile.terminalState()
+	switch {
+	case j.Profile.MemUtilization > 1.0:
+		if run <= 0 || run >= j.TimeLimit {
+			run = j.TimeLimit / 2
+		}
+		state = StateOutOfMemory
+	case run <= 0 || run >= j.TimeLimit:
+		run = j.TimeLimit
+		state = StateTimeout
+	}
+	return j.StartTime.Add(run + j.SuspendTotal), state
+}
+
+// scheduleLocked runs one priority-ordered scheduling pass with simple
+// backfill: the highest-priority job that cannot start is marked Resources
+// (it is "next in line"), and lower-priority jobs that do fit are started
+// anyway, mirroring Slurm's backfill scheduler in the absence of future
+// reservations. Caller holds c.mu.
+func (c *Controller) scheduleLocked(now time.Time) {
+	pending := make([]*Job, 0, 64)
+	runningPerUserQOS := make(map[[2]string]int)
+	cpusInUsePerAccount := make(map[string]int)
+	gpusInUsePerAccount := make(map[string]int)
+	for _, id := range c.jobOrder {
+		j := c.jobs[id]
+		if j == nil {
+			continue
+		}
+		switch j.State {
+		case StatePending:
+			pending = append(pending, j)
+		case StateRunning:
+			runningPerUserQOS[[2]string{j.User, j.QOS}]++
+			cpusInUsePerAccount[j.Account] += j.AllocTRES.CPUs
+			gpusInUsePerAccount[j.Account] += j.AllocTRES.GPUs
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+
+	// Refresh priorities (age factor grows as jobs wait) and sort. The
+	// fair-share penalty is per account and constant within one pass, so
+	// compute it once per account rather than once per job.
+	penalties := make(map[string]int64)
+	for _, j := range pending {
+		if _, ok := penalties[j.Account]; !ok {
+			penalties[j.Account] = c.fairSharePenaltyLocked(j.Account)
+		}
+		j.Priority = c.priorityLocked(j, now) + penalties[j.Account]
+	}
+	sort.Slice(pending, func(i, k int) bool {
+		if pending[i].Priority != pending[k].Priority {
+			return pending[i].Priority > pending[k].Priority
+		}
+		if !pending[i].SubmitTime.Equal(pending[k].SubmitTime) {
+			return pending[i].SubmitTime.Before(pending[k].SubmitTime)
+		}
+		return pending[i].ID < pending[k].ID
+	})
+
+	// Like slurmctld's default_queue_depth, bound the expensive part of the
+	// pass: placement attempts. Cheap gating checks (limits, holds,
+	// dependencies) still run for the whole queue so limit-blocked jobs at
+	// the head never starve placeable jobs behind them.
+	attempts := 0
+
+	blockedOnResources := false
+	for _, j := range pending {
+		if attempts >= schedQueueDepth {
+			break
+		}
+		// Gating checks that leave the job pending with a descriptive reason.
+		if j.Reason == ReasonJobHeldUser {
+			continue
+		}
+		if !j.BeginTime.IsZero() && j.BeginTime.After(now) {
+			j.Reason = ReasonBeginTime
+			continue
+		}
+		if j.Dependency != 0 {
+			dep := c.jobs[j.Dependency]
+			if dep == nil {
+				// Dependency aged out of controller memory; consult accounting.
+				dep = c.dbd.Job(j.Dependency)
+			}
+			if dep == nil || !dep.State.Terminal() {
+				j.Reason = ReasonDependency
+				continue
+			}
+		}
+		part := c.partitions[j.Partition]
+		if part == nil || !part.Up() {
+			j.Reason = ReasonPartitionDown
+			continue
+		}
+		assoc := c.dbd.Association(AssocKey{Account: j.Account})
+		if assoc != nil && assoc.GrpCPULimit > 0 &&
+			cpusInUsePerAccount[j.Account]+j.ReqTRES.CPUs > assoc.GrpCPULimit {
+			j.Reason = ReasonAssocGrpCpuLimit
+			continue
+		}
+		if j.QOS != "" {
+			if q := c.qos[j.QOS]; q != nil && q.MaxJobsPerUser > 0 &&
+				runningPerUserQOS[[2]string{j.User, j.QOS}] >= q.MaxJobsPerUser {
+				j.Reason = ReasonQOSMaxJobsPerUser
+				continue
+			}
+		}
+
+		// Placement, then preemption for the job at the head of the queue.
+		attempts++
+		nodes := c.placeLocked(j, part)
+		if nodes == nil && !blockedOnResources {
+			nodes = c.tryPreemptLocked(j, part, now)
+		}
+		if nodes == nil {
+			switch {
+			case c.allNodesMaintBlockedLocked(j, part, now):
+				// Slurm reports "ReqNodeNotAvail, Reserved for maintenance".
+				j.Reason = ReasonReqNodeNotAvail
+			case blockedOnResources:
+				j.Reason = ReasonPriority
+			default:
+				j.Reason = ReasonResources
+				blockedOnResources = true
+			}
+			continue
+		}
+		c.startJobLocked(j, nodes, now)
+		runningPerUserQOS[[2]string{j.User, j.QOS}]++
+		cpusInUsePerAccount[j.Account] += j.AllocTRES.CPUs
+		gpusInUsePerAccount[j.Account] += j.AllocTRES.GPUs
+	}
+}
+
+// priorityLocked computes the multifactor-style priority without the
+// fair-share term: a base plus QOS and partition factors plus an age factor
+// (one point per minute waited). The caller adds the per-account fair-share
+// penalty (see fairSharePenaltyLocked).
+func (c *Controller) priorityLocked(j *Job, now time.Time) int64 {
+	p := int64(1000)
+	if q := c.qos[j.QOS]; q != nil {
+		p += int64(q.Priority)
+	}
+	if part := c.partitions[j.Partition]; part != nil {
+		p += int64(part.Priority)
+	}
+	age := now.Sub(j.SubmitTime)
+	if age > 0 {
+		p += int64(age / time.Minute)
+	}
+	return p
+}
+
+// fairSharePenaltyLocked derives the (negative) fair-share factor from the
+// account's accumulated core-hours — heavy accounts slowly lose ground to
+// light ones, a simplified version of Slurm's fair-share. Caller holds c.mu.
+func (c *Controller) fairSharePenaltyLocked(account string) int64 {
+	a := c.dbd.Association(AssocKey{Account: account})
+	if a == nil {
+		return 0
+	}
+	penalty := int64(a.CPUTimeUsed / 200) // one point per 200 core-hours
+	if penalty > 400 {
+		penalty = 400
+	}
+	return -penalty
+}
+
+// perNodeShare splits a job allocation evenly across n nodes, rounding up so
+// the allocation is never undercounted on any node.
+func perNodeShare(t TRES, n int) TRES {
+	if n <= 1 {
+		return t
+	}
+	return TRES{
+		CPUs:  (t.CPUs + n - 1) / n,
+		MemMB: (t.MemMB + int64(n) - 1) / int64(n),
+		GPUs:  (t.GPUs + n - 1) / n,
+	}
+}
+
+// placeLocked finds nodes for the job, or nil when it cannot start now.
+// Single-node jobs take the first schedulable node with room (first-fit over
+// name order keeps placement deterministic); multi-node jobs need N nodes
+// that can each hold an even share. Caller holds c.mu.
+func (c *Controller) placeLocked(j *Job, part *Partition) []string {
+	want := j.ReqTRES.Nodes
+	if want <= 0 {
+		want = 1
+	}
+	now := c.clock.Now()
+	share := perNodeShare(j.ReqTRES, want)
+	var chosen []string
+	for _, name := range part.Nodes {
+		n := c.nodes[name]
+		if n == nil || !n.Schedulable() || !n.HasFeatures(j.Constraint) {
+			continue
+		}
+		if c.nodeBlockedByMaintenanceLocked(name, now, j.TimeLimit) {
+			continue
+		}
+		if share.Fits(n.Free()) {
+			chosen = append(chosen, name)
+			if len(chosen) == want {
+				return chosen
+			}
+		}
+	}
+	return nil
+}
+
+// startJobLocked transitions a pending job to running on the given nodes.
+// Caller holds c.mu; the accounting update is deferred to the caller's
+// unlock via recordJob on the next Tick (the dbd copy is refreshed here
+// synchronously because recordJob takes no controller locks).
+func (c *Controller) startJobLocked(j *Job, nodes []string, now time.Time) {
+	want := len(nodes)
+	share := perNodeShare(j.ReqTRES, want)
+	alloc := TRES{Nodes: want}
+	for _, name := range nodes {
+		n := c.nodes[name]
+		n.Alloc = n.Alloc.Add(share)
+		n.RunningJobs = append(n.RunningJobs, j.ID)
+		alloc.CPUs += share.CPUs
+		alloc.MemMB += share.MemMB
+		alloc.GPUs += share.GPUs
+	}
+	j.State = StateRunning
+	j.Reason = ReasonNone
+	j.StartTime = now
+	j.AllocTRES = alloc
+	j.Nodes = append([]string(nil), nodes...)
+	c.emitJobEvent(EventStarted, j, now)
+	c.dbd.recordJob(j)
+}
+
+// allNodesMaintBlockedLocked reports whether every schedulable node in the
+// partition that could otherwise host j is unavailable solely because of an
+// upcoming maintenance window. Caller holds c.mu.
+func (c *Controller) allNodesMaintBlockedLocked(j *Job, part *Partition, now time.Time) bool {
+	if len(c.maintWindows) == 0 {
+		return false
+	}
+	blocked := false
+	for _, name := range part.Nodes {
+		n := c.nodes[name]
+		if n == nil || !n.Schedulable() {
+			continue
+		}
+		if c.nodeBlockedByMaintenanceLocked(name, now, j.TimeLimit) {
+			blocked = true
+			continue
+		}
+		// At least one node is free of maintenance constraints; the job is
+		// blocked by capacity, not reservations.
+		return false
+	}
+	return blocked
+}
+
+// tryPreemptLocked attempts to free room for j by requeueing running jobs
+// whose QOS is preemptable (Slurm's PreemptMode=REQUEUE, the standby-tier
+// semantics). It first verifies feasibility per node — current free space
+// plus the shares of preemptable victims must cover j's per-node share on
+// enough nodes — so victims are only requeued when j will actually start.
+// Returns the chosen node list, or nil. Caller holds c.mu.
+func (c *Controller) tryPreemptLocked(j *Job, part *Partition, now time.Time) []string {
+	// A preemptable job must never preempt others.
+	if q := c.qos[j.QOS]; q != nil && q.Preemptable {
+		return nil
+	}
+	want := j.ReqTRES.Nodes
+	if want <= 0 {
+		want = 1
+	}
+	share := perNodeShare(j.ReqTRES, want)
+	var (
+		chosen  []string
+		victims []*Job
+		seen    = make(map[JobID]bool)
+	)
+	for _, name := range part.Nodes {
+		n := c.nodes[name]
+		if n == nil || !n.Schedulable() || !n.HasFeatures(j.Constraint) {
+			continue
+		}
+		if c.nodeBlockedByMaintenanceLocked(name, now, j.TimeLimit) {
+			continue
+		}
+		free := n.Free()
+		if share.Fits(free) {
+			chosen = append(chosen, name)
+			if len(chosen) == want {
+				break
+			}
+			continue
+		}
+		var nodeVictims []*Job
+		for _, id := range n.RunningJobs {
+			v := c.jobs[id]
+			if v == nil || v.State != StateRunning || seen[v.ID] {
+				continue
+			}
+			q := c.qos[v.QOS]
+			if q == nil || !q.Preemptable {
+				continue
+			}
+			free = free.Add(perNodeShare(v.AllocTRES, len(v.Nodes)))
+			nodeVictims = append(nodeVictims, v)
+			if share.Fits(free) {
+				break
+			}
+		}
+		if share.Fits(free) {
+			chosen = append(chosen, name)
+			for _, v := range nodeVictims {
+				seen[v.ID] = true
+			}
+			victims = append(victims, nodeVictims...)
+			if len(chosen) == want {
+				break
+			}
+		}
+	}
+	if len(chosen) < want {
+		return nil
+	}
+	for _, v := range victims {
+		c.requeueLocked(v, now)
+	}
+	return chosen
+}
+
+// requeueLocked returns a preempted job to the pending queue with its
+// original request intact. Caller holds c.mu.
+func (c *Controller) requeueLocked(v *Job, now time.Time) {
+	c.freeJobResourcesLocked(v)
+	c.emitJobEvent(EventPreempted, v, now)
+	v.State = StatePending
+	v.Reason = ReasonPriority
+	v.StartTime = time.Time{}
+	v.EndTime = time.Time{}
+	v.AllocTRES = TRES{}
+	v.Nodes = nil
+	v.ExitCode = 0
+	c.dbd.recordJob(v)
+}
+
+// refreshNodeLoadLocked recomputes each node's CPU load from the CPU
+// utilization of the jobs running on it. Caller holds c.mu.
+func (c *Controller) refreshNodeLoadLocked() {
+	for _, name := range c.nodeOrder {
+		n := c.nodes[name]
+		load := 0.0
+		for _, id := range n.RunningJobs {
+			j := c.jobs[id]
+			if j == nil || j.State != StateRunning {
+				continue
+			}
+			share := perNodeShare(j.AllocTRES, len(j.Nodes))
+			load += float64(share.CPUs) * j.Profile.CPUUtilization
+		}
+		n.CPULoad = load
+		if load > 0 {
+			n.LastBusy = c.clock.Now()
+		}
+	}
+}
+
+// purgeLocked drops finished jobs older than the retention window from
+// controller memory (they remain queryable via the accounting daemon).
+// Caller holds c.mu.
+func (c *Controller) purgeLocked(now time.Time) {
+	cutoff := now.Add(-c.retention)
+	keep := c.jobOrder[:0]
+	for _, id := range c.jobOrder {
+		j := c.jobs[id]
+		if j == nil {
+			continue
+		}
+		if j.State.Terminal() && !j.EndTime.IsZero() && j.EndTime.Before(cutoff) {
+			delete(c.jobs, id)
+			continue
+		}
+		keep = append(keep, id)
+	}
+	c.jobOrder = keep
+}
+
+// ActiveJobCount returns the number of jobs currently held in controller
+// memory (pending + running + recently finished). Not an RPC.
+func (c *Controller) ActiveJobCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.jobOrder)
+}

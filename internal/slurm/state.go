@@ -1,0 +1,97 @@
+package slurm
+
+// JobState enumerates the job lifecycle states the simulator models. The
+// string values match Slurm's long-form state names as printed by sacct and
+// scontrol so the CLI emulation layer can format them verbatim.
+type JobState string
+
+// Job states.
+const (
+	StatePending     JobState = "PENDING"
+	StateRunning     JobState = "RUNNING"
+	StateSuspended   JobState = "SUSPENDED"
+	StateCompleting  JobState = "COMPLETING"
+	StateCompleted   JobState = "COMPLETED"
+	StateFailed      JobState = "FAILED"
+	StateCancelled   JobState = "CANCELLED"
+	StateTimeout     JobState = "TIMEOUT"
+	StateNodeFail    JobState = "NODE_FAIL"
+	StateOutOfMemory JobState = "OUT_OF_MEMORY"
+	StatePreempted   JobState = "PREEMPTED"
+)
+
+// Active reports whether the job still occupies or is waiting for resources.
+func (s JobState) Active() bool {
+	switch s {
+	case StatePending, StateRunning, StateSuspended, StateCompleting:
+		return true
+	}
+	return false
+}
+
+// Terminal reports whether the job has reached a final state.
+func (s JobState) Terminal() bool { return !s.Active() }
+
+// ShortCode returns Slurm's two-letter state code used in squeue's ST column.
+func (s JobState) ShortCode() string {
+	switch s {
+	case StatePending:
+		return "PD"
+	case StateRunning:
+		return "R"
+	case StateSuspended:
+		return "S"
+	case StateCompleting:
+		return "CG"
+	case StateCompleted:
+		return "CD"
+	case StateFailed:
+		return "F"
+	case StateCancelled:
+		return "CA"
+	case StateTimeout:
+		return "TO"
+	case StateNodeFail:
+		return "NF"
+	case StateOutOfMemory:
+		return "OOM"
+	case StatePreempted:
+		return "PR"
+	}
+	return "??"
+}
+
+// AllJobStates lists every state the simulator can produce, in display order.
+var AllJobStates = []JobState{
+	StatePending, StateRunning, StateSuspended, StateCompleting,
+	StateCompleted, StateFailed, StateCancelled, StateTimeout,
+	StateNodeFail, StateOutOfMemory, StatePreempted,
+}
+
+// NodeState enumerates node states as shown by sinfo/scontrol.
+type NodeState string
+
+// Node states. Compound states like MIXED+DRAIN are represented with the
+// Drain flag on the node rather than extra enum values.
+const (
+	NodeIdle      NodeState = "IDLE"
+	NodeAllocated NodeState = "ALLOCATED"
+	NodeMixed     NodeState = "MIXED"
+	NodeDown      NodeState = "DOWN"
+	NodeDraining  NodeState = "DRAINING"
+	NodeDrained   NodeState = "DRAINED"
+	NodeMaint     NodeState = "MAINT"
+)
+
+// Schedulable reports whether new work may be placed on a node in state s.
+func (s NodeState) Schedulable() bool {
+	switch s {
+	case NodeIdle, NodeAllocated, NodeMixed:
+		return true
+	}
+	return false
+}
+
+// Online reports whether the node is reachable (possibly drained or in
+// maintenance, but not down).
+func (s NodeState) Online() bool { return s != NodeDown }

@@ -1,0 +1,147 @@
+package slurm
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTRESAddSub(t *testing.T) {
+	a := TRES{CPUs: 4, MemMB: 8000, GPUs: 1, Nodes: 1}
+	b := TRES{CPUs: 2, MemMB: 2000, GPUs: 0, Nodes: 1}
+	sum := a.Add(b)
+	if sum != (TRES{CPUs: 6, MemMB: 10000, GPUs: 1, Nodes: 2}) {
+		t.Fatalf("Add = %+v", sum)
+	}
+	if got := sum.Sub(b); got != a {
+		t.Fatalf("Sub = %+v, want %+v", got, a)
+	}
+}
+
+func TestTRESFits(t *testing.T) {
+	free := TRES{CPUs: 8, MemMB: 16000, GPUs: 2}
+	tests := []struct {
+		req  TRES
+		want bool
+	}{
+		{TRES{CPUs: 8, MemMB: 16000, GPUs: 2}, true},
+		{TRES{CPUs: 9, MemMB: 1, GPUs: 0}, false},
+		{TRES{CPUs: 1, MemMB: 16001, GPUs: 0}, false},
+		{TRES{CPUs: 1, MemMB: 1, GPUs: 3}, false},
+		{TRES{}, true},
+		// Nodes dimension must be ignored by Fits.
+		{TRES{CPUs: 1, Nodes: 99}, true},
+	}
+	for _, tc := range tests {
+		if got := tc.req.Fits(free); got != tc.want {
+			t.Errorf("(%v).Fits(%v) = %v, want %v", tc.req, free, got, tc.want)
+		}
+	}
+}
+
+func TestTRESStringRoundTrip(t *testing.T) {
+	tests := []TRES{
+		{},
+		{CPUs: 4},
+		{CPUs: 4, MemMB: 8000},
+		{CPUs: 128, MemMB: 256 * 1024, GPUs: 4, Nodes: 2},
+	}
+	for _, tr := range tests {
+		got, err := ParseTRES(tr.String())
+		if err != nil {
+			t.Fatalf("ParseTRES(%q): %v", tr.String(), err)
+		}
+		if got != tr {
+			t.Errorf("round trip %v -> %q -> %v", tr, tr.String(), got)
+		}
+	}
+}
+
+func TestTRESStringFormat(t *testing.T) {
+	tr := TRES{CPUs: 4, MemMB: 8000, GPUs: 1, Nodes: 1}
+	want := "cpu=4,mem=8000M,gres/gpu=1,node=1"
+	if got := tr.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if got := (TRES{}).String(); got != "" {
+		t.Fatalf("zero TRES String = %q, want empty", got)
+	}
+}
+
+func TestParseTRESErrors(t *testing.T) {
+	for _, bad := range []string{"cpu", "cpu=x", "mem=1Q2", "gres/gpu=1.5", "node=-"} {
+		if _, err := ParseTRES(bad); err == nil {
+			t.Errorf("ParseTRES(%q): expected error", bad)
+		}
+	}
+}
+
+func TestParseTRESIgnoresUnknownDimensions(t *testing.T) {
+	got, err := ParseTRES("cpu=2,billing=48,energy=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CPUs != 2 {
+		t.Fatalf("CPUs = %d, want 2", got.CPUs)
+	}
+}
+
+func TestParseMemMB(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int64
+	}{
+		{"512", 512},
+		{"512M", 512},
+		{"16G", 16 * 1024},
+		{"1T", 1024 * 1024},
+		{"2048K", 2},
+		{"0", 0},
+	}
+	for _, tc := range tests {
+		got, err := parseMemMB(tc.in)
+		if err != nil {
+			t.Fatalf("parseMemMB(%q): %v", tc.in, err)
+		}
+		if got != tc.want {
+			t.Errorf("parseMemMB(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if _, err := parseMemMB(""); err == nil {
+		t.Error("parseMemMB(\"\"): expected error")
+	}
+}
+
+// genTRES generates non-negative TRES values for property tests.
+func genTRES(r *rand.Rand) TRES {
+	return TRES{
+		CPUs:  r.Intn(1 << 16),
+		MemMB: int64(r.Intn(1 << 24)),
+		GPUs:  r.Intn(64),
+		Nodes: r.Intn(1 << 10),
+	}
+}
+
+func TestTRESRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := genTRES(r)
+		got, err := ParseTRES(tr.String())
+		return err == nil && got == tr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTRESAddSubInverseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := genTRES(r), genTRES(r)
+		return reflect.DeepEqual(a.Add(b).Sub(b), a) && reflect.DeepEqual(a.Add(b), b.Add(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package slurmcli emulates the Slurm command-line query surface (squeue,
+// sinfo, sacct, scontrol show ...) on top of the internal/slurm simulator.
+//
+// The paper's dashboard backend runs Slurm commands and parses their output
+// (§2.2.2); this package preserves that architecture. A Runner runs a named
+// command with argv-style arguments and returns its stdout; SimRunner
+// implements it against a simulated cluster, formatting output the way the
+// real commands do (parsable pipe-separated records, key=value scontrol
+// blocks, D-HH:MM:SS elapsed times). Client wrappers (Squeue, Sacct, ...)
+// build the argument lists, run the command, and parse the text back into
+// typed rows — so the backend's code path is spawn → parse → cache, exactly
+// as on a production cluster, and a real Runner backed by os/exec could be
+// swapped in on a live system.
+package slurmcli

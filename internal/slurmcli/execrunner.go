@@ -1,0 +1,64 @@
+package slurmcli
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os/exec"
+	"time"
+)
+
+// ExecRunner implements Runner with real processes — the production
+// configuration, where the dashboard host has Slurm's client commands
+// installed and configured for the cluster (§8: the bulk of the system
+// relies on Slurm commands available on any OnDemand server).
+//
+// The simulator-backed SimRunner and this runner are interchangeable
+// behind the Runner interface; swapping them is the entire difference
+// between the reproduction and a real deployment.
+type ExecRunner struct {
+	// Dir is the working directory for commands (empty = inherit).
+	Dir string
+	// Timeout bounds each command; zero means DefaultExecTimeout. The
+	// backend's cache sits in front of these calls, so a hung slurmctld
+	// degrades one widget instead of wedging request handlers forever.
+	Timeout time.Duration
+	// Prefix is prepended to every command name, e.g. {"ssh", "login1"}
+	// to run the commands on a login node rather than the web host.
+	Prefix []string
+}
+
+// DefaultExecTimeout bounds Slurm commands when ExecRunner.Timeout is zero.
+const DefaultExecTimeout = 30 * time.Second
+
+// Run implements Runner.
+func (r *ExecRunner) Run(name string, args ...string) (string, error) {
+	timeout := r.Timeout
+	if timeout <= 0 {
+		timeout = DefaultExecTimeout
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	argv := append(append([]string(nil), r.Prefix...), name)
+	argv = append(argv, args...)
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Dir = r.Dir
+	// Without WaitDelay a killed command's children (srun helpers, ssh
+	// multiplexers) can hold the output pipes open and block Wait forever.
+	cmd.WaitDelay = time.Second
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		if ctx.Err() == context.DeadlineExceeded {
+			return "", fmt.Errorf("slurmcli: %s timed out after %v", name, timeout)
+		}
+		msg := bytes.TrimSpace(stderr.Bytes())
+		if len(msg) > 0 {
+			return "", fmt.Errorf("slurmcli: %s: %v: %s", name, err, msg)
+		}
+		return "", fmt.Errorf("slurmcli: %s: %v", name, err)
+	}
+	return stdout.String(), nil
+}

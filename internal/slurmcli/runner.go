@@ -1,0 +1,115 @@
+package slurmcli
+
+import (
+	"fmt"
+	"strings"
+
+	"ooddash/internal/slurm"
+)
+
+// Runner runs a Slurm command and returns its stdout. The dashboard backend
+// depends only on this interface; SimRunner serves it from the simulator,
+// and a production deployment would implement it with os/exec.
+type Runner interface {
+	Run(name string, args ...string) (string, error)
+}
+
+// SimRunner implements Runner against a simulated cluster.
+type SimRunner struct {
+	Cluster *slurm.Cluster
+}
+
+// NewSimRunner returns a Runner serving commands from the cluster.
+func NewSimRunner(cl *slurm.Cluster) *SimRunner {
+	return &SimRunner{Cluster: cl}
+}
+
+// Run dispatches to the emulated command. Unknown commands return an error
+// the way a missing binary would.
+func (r *SimRunner) Run(name string, args ...string) (string, error) {
+	if r.Cluster == nil {
+		return "", fmt.Errorf("slurmcli: runner has no cluster")
+	}
+	switch name {
+	case "squeue":
+		return runSqueue(r.Cluster, args)
+	case "sinfo":
+		return runSinfo(r.Cluster, args)
+	case "sacct":
+		return runSacct(r.Cluster, args)
+	case "scontrol":
+		return runScontrol(r.Cluster, args)
+	case "scancel":
+		return runScancel(r.Cluster, args)
+	case "sdiag":
+		return runSdiag(r.Cluster, args)
+	case "sprio":
+		return runSprio(r.Cluster, args)
+	case "sreport":
+		return runSreport(r.Cluster, args)
+	default:
+		return "", fmt.Errorf("slurmcli: %s: command not found", name)
+	}
+}
+
+// argScanner walks an argv list supporting both "-u user" and "--flag=value"
+// spellings, which is how the Slurm tools accept options.
+type argScanner struct {
+	args []string
+	pos  int
+}
+
+func (s *argScanner) next() (string, bool) {
+	if s.pos >= len(s.args) {
+		return "", false
+	}
+	a := s.args[s.pos]
+	s.pos++
+	return a, true
+}
+
+// value returns the option value for the flag just read: either the text
+// after "=" in flag itself, or the next argument.
+func (s *argScanner) value(flag string) (string, error) {
+	if _, v, ok := strings.Cut(flag, "="); ok {
+		return v, nil
+	}
+	v, ok := s.next()
+	if !ok {
+		return "", fmt.Errorf("slurmcli: option %s requires a value", flag)
+	}
+	return v, nil
+}
+
+// flagName strips any "=value" suffix for switch matching.
+func flagName(arg string) string {
+	name, _, _ := strings.Cut(arg, "=")
+	return name
+}
+
+// parseStates parses a comma-separated squeue/sacct state list. The special
+// value "all" returns nil (match every state).
+func parseStates(s string) ([]slurm.JobState, error) {
+	if strings.EqualFold(s, "all") {
+		return nil, nil
+	}
+	var out []slurm.JobState
+	for _, part := range strings.Split(s, ",") {
+		part = strings.ToUpper(strings.TrimSpace(part))
+		if part == "" {
+			continue
+		}
+		found := false
+		for _, st := range slurm.AllJobStates {
+			if string(st) == part || st.ShortCode() == part {
+				out = append(out, st)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("slurmcli: invalid job state %q", part)
+		}
+	}
+	return out, nil
+}

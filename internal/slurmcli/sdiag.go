@@ -1,0 +1,84 @@
+package slurmcli
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ooddash/internal/slurm"
+)
+
+// runSdiag emulates sdiag: a dump of scheduler/daemon statistics. The
+// simulator reports its per-RPC counters for both daemons, which is what
+// the load experiments read through the command surface.
+func runSdiag(cl *slurm.Cluster, args []string) (string, error) {
+	for _, a := range args {
+		if a != "" {
+			return "", fmt.Errorf("slurmcli: sdiag: unknown option %q", a)
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "*** %s statistics ***\n", "slurmctld")
+	fmt.Fprintf(&b, "Jobs in memory: %d\n", cl.Ctl.ActiveJobCount())
+	writeCounts(&b, cl.Ctl.Stats().Snapshot())
+	fmt.Fprintf(&b, "\n*** %s statistics ***\n", "slurmdbd")
+	fmt.Fprintf(&b, "Job records: %d\n", cl.DBD.JobCount())
+	writeCounts(&b, cl.DBD.Stats().Snapshot())
+	return b.String(), nil
+}
+
+func writeCounts(b *strings.Builder, counts map[slurm.RPCKind]int64) {
+	kinds := make([]string, 0, len(counts))
+	for k := range counts {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(b, "%s: %d\n", k, counts[slurm.RPCKind(k)])
+	}
+}
+
+// DaemonDiag is the parsed sdiag output for one daemon.
+type DaemonDiag struct {
+	Name      string
+	Records   int64 // jobs in memory (ctld) or job records (dbd)
+	RPCCounts map[string]int64
+}
+
+// Sdiag runs sdiag through the Runner and parses both daemon sections.
+func Sdiag(r Runner) (ctld, dbd DaemonDiag, err error) {
+	out, err := r.Run("sdiag")
+	if err != nil {
+		return ctld, dbd, err
+	}
+	cur := &ctld
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "*** "):
+			name := strings.TrimSuffix(strings.TrimPrefix(line, "*** "), " statistics ***")
+			if name == "slurmdbd" {
+				cur = &dbd
+			}
+			cur.Name = name
+			cur.RPCCounts = make(map[string]int64)
+		default:
+			key, val, ok := strings.Cut(line, ": ")
+			if !ok {
+				continue
+			}
+			n, perr := strconv.ParseInt(val, 10, 64)
+			if perr != nil {
+				return ctld, dbd, fmt.Errorf("slurmcli: sdiag: bad count %q", line)
+			}
+			if key == "Jobs in memory" || key == "Job records" {
+				cur.Records = n
+				continue
+			}
+			cur.RPCCounts[key] = n
+		}
+	}
+	return ctld, dbd, nil
+}

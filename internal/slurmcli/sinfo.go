@@ -1,0 +1,304 @@
+package slurmcli
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"ooddash/internal/slurm"
+)
+
+// runSinfo emulates sinfo. Supported options: -h/--noheader, -p/--partition,
+// -o/--format with a verb subset, and --json, which serializes the full
+// per-partition utilization summary the way modern Slurm's `sinfo --json`
+// exposes machine-readable state.
+func runSinfo(cl *slurm.Cluster, args []string) (string, error) {
+	var (
+		noHeader  bool
+		partition string
+		format    = "%9P %5a %10l %6D %10T %N"
+		asJSON    bool
+	)
+	sc := &argScanner{args: args}
+	for {
+		arg, ok := sc.next()
+		if !ok {
+			break
+		}
+		switch flagName(arg) {
+		case "-h", "--noheader":
+			noHeader = true
+		case "-p", "--partition":
+			v, err := sc.value(arg)
+			if err != nil {
+				return "", err
+			}
+			partition = v
+		case "-o", "--format":
+			v, err := sc.value(arg)
+			if err != nil {
+				return "", err
+			}
+			format = v
+		case "--json":
+			asJSON = true
+		default:
+			return "", fmt.Errorf("slurmcli: sinfo: unknown option %q", arg)
+		}
+	}
+
+	if asJSON {
+		util := cl.Ctl.Utilization()
+		if partition != "" {
+			filtered := util[:0]
+			for _, u := range util {
+				if u.Name == partition {
+					filtered = append(filtered, u)
+				}
+			}
+			util = filtered
+		}
+		return marshalSinfoJSON(util)
+	}
+
+	// Text mode: group nodes by (partition, effective state).
+	nodes := cl.Ctl.Nodes()
+	parts := cl.Ctl.Partitions()
+	type groupKey struct {
+		part  string
+		state slurm.NodeState
+	}
+	groups := make(map[groupKey][]string)
+	for _, n := range nodes {
+		st := n.EffectiveState()
+		for _, p := range n.Partitions {
+			if partition != "" && p != partition {
+				continue
+			}
+			k := groupKey{part: p, state: st}
+			groups[k] = append(groups[k], n.Name)
+		}
+	}
+	partMeta := make(map[string]*slurm.Partition, len(parts))
+	for _, p := range parts {
+		partMeta[p.Name] = p
+	}
+
+	keys := make([]groupKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].part != keys[j].part {
+			return keys[i].part < keys[j].part
+		}
+		return keys[i].state < keys[j].state
+	})
+
+	var b strings.Builder
+	if !noHeader {
+		b.WriteString(sinfoLine(format, sinfoRow{}, true))
+		b.WriteByte('\n')
+	}
+	for _, k := range keys {
+		p := partMeta[k.part]
+		row := sinfoRow{
+			partition: k.part,
+			isDefault: p != nil && p.Default,
+			avail:     "up",
+			timeLimit: "UNLIMITED",
+			nodes:     len(groups[k]),
+			state:     k.state,
+			nodeList:  slurm.NodeNameRange(groups[k]),
+		}
+		if p != nil {
+			if !p.Up() {
+				row.avail = "down"
+			}
+			if p.MaxTime > 0 {
+				row.timeLimit = FormatDuration(p.MaxTime)
+			}
+		}
+		b.WriteString(sinfoLine(format, row, false))
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+type sinfoRow struct {
+	partition string
+	isDefault bool
+	avail     string
+	timeLimit string
+	nodes     int
+	state     slurm.NodeState
+	nodeList  string
+}
+
+func sinfoLine(format string, r sinfoRow, header bool) string {
+	var b strings.Builder
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		i++
+		width := 0
+		for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+			width = width*10 + int(format[i]-'0')
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		i++
+		var val string
+		if header {
+			switch verb {
+			case 'P':
+				val = "PARTITION"
+			case 'a':
+				val = "AVAIL"
+			case 'l':
+				val = "TIMELIMIT"
+			case 'D':
+				val = "NODES"
+			case 't', 'T':
+				val = "STATE"
+			case 'N':
+				val = "NODELIST"
+			}
+		} else {
+			switch verb {
+			case 'P':
+				val = r.partition
+				if r.isDefault {
+					val += "*"
+				}
+			case 'a':
+				val = r.avail
+			case 'l':
+				val = r.timeLimit
+			case 'D':
+				val = fmt.Sprintf("%d", r.nodes)
+			case 't':
+				val = strings.ToLower(string(r.state))
+			case 'T':
+				val = string(r.state)
+			case 'N':
+				val = r.nodeList
+			default:
+				val = "%" + string(verb)
+			}
+		}
+		if width > 0 && len(val) < width {
+			val = val + strings.Repeat(" ", width-len(val))
+		}
+		b.WriteString(val)
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// sinfoJSON mirrors the subset of `sinfo --json` the dashboard consumes.
+type sinfoJSON struct {
+	Partitions []sinfoJSONPartition `json:"partitions"`
+}
+
+type sinfoJSONPartition struct {
+	Name        string         `json:"name"`
+	State       string         `json:"state"`
+	TotalNodes  int            `json:"total_nodes"`
+	TotalCPUs   int            `json:"total_cpus"`
+	AllocCPUs   int            `json:"alloc_cpus"`
+	TotalGPUs   int            `json:"total_gpus"`
+	AllocGPUs   int            `json:"alloc_gpus"`
+	PendingJobs int            `json:"pending_jobs"`
+	RunningJobs int            `json:"running_jobs"`
+	NodeStates  map[string]int `json:"node_states"`
+}
+
+func marshalSinfoJSON(util []slurm.PartitionUtilization) (string, error) {
+	doc := sinfoJSON{Partitions: make([]sinfoJSONPartition, 0, len(util))}
+	for _, u := range util {
+		p := sinfoJSONPartition{
+			Name:        u.Name,
+			State:       u.State,
+			TotalNodes:  u.TotalNodes,
+			TotalCPUs:   u.TotalCPUs,
+			AllocCPUs:   u.AllocCPUs,
+			TotalGPUs:   u.TotalGPUs,
+			AllocGPUs:   u.AllocGPUs,
+			PendingJobs: u.PendingJobs,
+			RunningJobs: u.RunningJobs,
+			NodeStates:  make(map[string]int, len(u.NodesByState)),
+		}
+		for st, n := range u.NodesByState {
+			p.NodeStates[string(st)] = n
+		}
+		doc.Partitions = append(doc.Partitions, p)
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return "", fmt.Errorf("slurmcli: sinfo --json: %v", err)
+	}
+	return string(out), nil
+}
+
+// PartitionStatus is the typed view of one partition from `sinfo --json`.
+type PartitionStatus struct {
+	Name        string
+	State       string
+	TotalNodes  int
+	TotalCPUs   int
+	AllocCPUs   int
+	TotalGPUs   int
+	AllocGPUs   int
+	PendingJobs int
+	RunningJobs int
+	NodeStates  map[string]int
+}
+
+// CPUPercent returns allocated CPUs as a percentage of total.
+func (p PartitionStatus) CPUPercent() float64 {
+	if p.TotalCPUs == 0 {
+		return 0
+	}
+	return 100 * float64(p.AllocCPUs) / float64(p.TotalCPUs)
+}
+
+// GPUPercent returns allocated GPUs as a percentage of total.
+func (p PartitionStatus) GPUPercent() float64 {
+	if p.TotalGPUs == 0 {
+		return 0
+	}
+	return 100 * float64(p.AllocGPUs) / float64(p.TotalGPUs)
+}
+
+// Sinfo runs `sinfo --json` through the Runner and parses the result.
+func Sinfo(r Runner) ([]PartitionStatus, error) {
+	out, err := r.Run("sinfo", "--json")
+	if err != nil {
+		return nil, err
+	}
+	var doc sinfoJSON
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		return nil, fmt.Errorf("slurmcli: parsing sinfo --json: %v", err)
+	}
+	statuses := make([]PartitionStatus, 0, len(doc.Partitions))
+	for _, p := range doc.Partitions {
+		statuses = append(statuses, PartitionStatus{
+			Name: p.Name, State: p.State,
+			TotalNodes: p.TotalNodes,
+			TotalCPUs:  p.TotalCPUs, AllocCPUs: p.AllocCPUs,
+			TotalGPUs: p.TotalGPUs, AllocGPUs: p.AllocGPUs,
+			PendingJobs: p.PendingJobs, RunningJobs: p.RunningJobs,
+			NodeStates: p.NodeStates,
+		})
+	}
+	return statuses, nil
+}

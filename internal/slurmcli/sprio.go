@@ -1,0 +1,101 @@
+package slurmcli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ooddash/internal/slurm"
+)
+
+// runSprio emulates sprio: the priority-factor breakdown for every pending
+// job. Supported options: -h/--noheader, -u/--user.
+func runSprio(cl *slurm.Cluster, args []string) (string, error) {
+	var (
+		noHeader bool
+		user     string
+	)
+	sc := &argScanner{args: args}
+	for {
+		arg, ok := sc.next()
+		if !ok {
+			break
+		}
+		switch flagName(arg) {
+		case "-h", "--noheader":
+			noHeader = true
+		case "-u", "--user":
+			v, err := sc.value(arg)
+			if err != nil {
+				return "", err
+			}
+			user = v
+		default:
+			return "", fmt.Errorf("slurmcli: sprio: unknown option %q", arg)
+		}
+	}
+	var b strings.Builder
+	if !noHeader {
+		fmt.Fprintf(&b, "%10s %9s %10s %6s %6s %10s %10s\n",
+			"JOBID", "USER", "PRIORITY", "AGE", "QOS", "PARTITION", "FAIRSHARE")
+	}
+	for _, f := range cl.Ctl.PendingPriorities() {
+		if user != "" && f.User != user {
+			continue
+		}
+		fmt.Fprintf(&b, "%10d %9s %10d %6d %6d %10d %10d\n",
+			f.JobID, f.User, f.Priority, f.Age, f.QOS, f.Partition, f.FairShare)
+	}
+	return b.String(), nil
+}
+
+// PriorityRow is one parsed sprio row.
+type PriorityRow struct {
+	JobID     slurm.JobID
+	User      string
+	Priority  int64
+	Age       int64
+	QOS       int64
+	Partition int64
+	FairShare int64
+}
+
+// Sprio runs sprio through the Runner and parses the rows (highest
+// priority first).
+func Sprio(r Runner, user string) ([]PriorityRow, error) {
+	args := []string{"-h"}
+	if user != "" {
+		args = append(args, "-u", user)
+	}
+	out, err := r.Run("sprio", args...)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PriorityRow
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 7 {
+			return nil, fmt.Errorf("slurmcli: sprio row has %d fields: %q", len(fields), line)
+		}
+		var row PriorityRow
+		id, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("slurmcli: bad sprio job id %q", fields[0])
+		}
+		row.JobID = slurm.JobID(id)
+		row.User = fields[1]
+		ints := []*int64{&row.Priority, &row.Age, &row.QOS, &row.Partition, &row.FairShare}
+		for i, dst := range ints {
+			n, err := strconv.ParseInt(fields[i+2], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("slurmcli: bad sprio field %q", fields[i+2])
+			}
+			*dst = n
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,135 @@
+package slurmcli
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ooddash/internal/slurm"
+)
+
+// runSreport emulates the subset of sreport the dashboard's accounting
+// views rest on: `sreport cluster AccountUtilizationByUser start=<t>
+// end=<t> [-P] [-n]`, reporting core-hours and GPU-hours charged per
+// (account, user) within the window, computed from finished accounting
+// records the way slurmdbd's rollups are.
+func runSreport(cl *slurm.Cluster, args []string) (string, error) {
+	if len(args) < 2 || args[0] != "cluster" ||
+		!strings.EqualFold(args[1], "AccountUtilizationByUser") {
+		return "", fmt.Errorf("slurmcli: sreport: only 'cluster AccountUtilizationByUser' is supported")
+	}
+	var (
+		start, end time.Time
+		parsable   bool
+		noHeader   bool
+		err        error
+	)
+	for _, arg := range args[2:] {
+		switch {
+		case strings.HasPrefix(arg, "start="):
+			if start, err = ParseTime(strings.TrimPrefix(arg, "start=")); err != nil {
+				return "", err
+			}
+		case strings.HasPrefix(arg, "end="):
+			if end, err = ParseTime(strings.TrimPrefix(arg, "end=")); err != nil {
+				return "", err
+			}
+		case arg == "-P" || arg == "--parsable2":
+			parsable = true
+		case arg == "-n" || arg == "--noheader":
+			noHeader = true
+		default:
+			return "", fmt.Errorf("slurmcli: sreport: unknown option %q", arg)
+		}
+	}
+
+	now := cl.Ctl.Now()
+	if end.IsZero() {
+		end = now
+	}
+	rows := cl.DBD.Jobs(slurm.JobFilter{Start: start, End: end}, now)
+	type key struct{ account, user string }
+	type usage struct{ cpu, gpu float64 }
+	agg := make(map[key]usage)
+	for _, j := range rows {
+		if j.EndTime.IsZero() || j.EndTime.Before(start) || j.EndTime.After(end) {
+			continue // sreport buckets usage by when it was charged
+		}
+		k := key{j.Account, j.User}
+		u := agg[k]
+		u.cpu += j.CPUTimeUsed(now).Hours()
+		u.gpu += j.GPUHoursUsed(now)
+		agg[k] = u
+	}
+	keys := make([]key, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].account != keys[j].account {
+			return keys[i].account < keys[j].account
+		}
+		return keys[i].user < keys[j].user
+	})
+
+	sep := "|"
+	if !parsable {
+		sep = "  "
+	}
+	var b strings.Builder
+	if !noHeader {
+		fmt.Fprintf(&b, "Cluster%sAccount%sLogin%sCPUHours%sGPUHours\n", sep, sep, sep, sep)
+	}
+	for _, k := range keys {
+		u := agg[k]
+		fmt.Fprintf(&b, "%s%s%s%s%s%s%.2f%s%.2f\n",
+			cl.Name, sep, k.account, sep, k.user, sep, u.cpu, sep, u.gpu)
+	}
+	return b.String(), nil
+}
+
+// UtilizationRow is one parsed sreport AccountUtilizationByUser record.
+type UtilizationRow struct {
+	Cluster  string
+	Account  string
+	User     string
+	CPUHours float64
+	GPUHours float64
+}
+
+// SreportAccountUtilization runs the report over [start, end] and parses
+// the rows (sorted by account, then user).
+func SreportAccountUtilization(r Runner, start, end time.Time) ([]UtilizationRow, error) {
+	args := []string{"cluster", "AccountUtilizationByUser", "-P", "-n"}
+	if !start.IsZero() {
+		args = append(args, "start="+FormatTime(start))
+	}
+	if !end.IsZero() {
+		args = append(args, "end="+FormatTime(end))
+	}
+	out, err := r.Run("sreport", args...)
+	if err != nil {
+		return nil, err
+	}
+	var rows []UtilizationRow
+	for _, line := range strings.Split(out, "\n") {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		f := strings.Split(line, "|")
+		if len(f) != 5 {
+			return nil, fmt.Errorf("slurmcli: sreport row has %d fields: %q", len(f), line)
+		}
+		row := UtilizationRow{Cluster: f[0], Account: f[1], User: f[2]}
+		if row.CPUHours, err = strconv.ParseFloat(f[3], 64); err != nil {
+			return nil, fmt.Errorf("slurmcli: bad CPUHours %q", f[3])
+		}
+		if row.GPUHours, err = strconv.ParseFloat(f[4], 64); err != nil {
+			return nil, fmt.Errorf("slurmcli: bad GPUHours %q", f[4])
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,190 @@
+// Package storagedb simulates the ZFS/GPFS storage quota database behind
+// the dashboard's Storage widget (§3.5, Table 1). The real deployment polls
+// filesystem quota databases for each user's home, scratch, and group depot
+// directories; this package keeps the same shape: per-directory usage, file
+// counts, and quota limits, queryable by user with group expansion.
+package storagedb
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// FilesystemKind distinguishes the two storage backends the paper names.
+type FilesystemKind string
+
+// Filesystem kinds.
+const (
+	ZFS  FilesystemKind = "zfs"
+	GPFS FilesystemKind = "gpfs"
+)
+
+// DirectoryKind classifies a directory by its role.
+type DirectoryKind string
+
+// Directory kinds, matching the widget's sections: every user has a home
+// and a scratch directory, plus depot space per group/allocation.
+const (
+	KindHome    DirectoryKind = "home"
+	KindScratch DirectoryKind = "scratch"
+	KindDepot   DirectoryKind = "depot"
+)
+
+// Directory is one quota-tracked directory.
+type Directory struct {
+	Path       string
+	Filesystem FilesystemKind
+	Kind       DirectoryKind
+	// Owner is a username for home/scratch, a group/account name for depot.
+	Owner      string
+	UsedBytes  int64
+	QuotaBytes int64
+	FileCount  int64
+	FileLimit  int64
+}
+
+// UsagePercent returns used space as a percentage of quota (0 when
+// unlimited).
+func (d *Directory) UsagePercent() float64 {
+	if d.QuotaBytes <= 0 {
+		return 0
+	}
+	return 100 * float64(d.UsedBytes) / float64(d.QuotaBytes)
+}
+
+// FilePercent returns the file count as a percentage of the file limit.
+func (d *Directory) FilePercent() float64 {
+	if d.FileLimit <= 0 {
+		return 0
+	}
+	return 100 * float64(d.FileCount) / float64(d.FileLimit)
+}
+
+// Database is a thread-safe directory store. Queries count lookups so
+// experiments can verify the storage cache shields it.
+type Database struct {
+	mu      sync.RWMutex
+	dirs    map[string]*Directory // keyed by path
+	queries int64
+}
+
+// New returns an empty storage database.
+func New() *Database {
+	return &Database{dirs: make(map[string]*Directory)}
+}
+
+// AddDirectory registers (or replaces) a directory record.
+func (db *Database) AddDirectory(d Directory) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cp := d
+	db.dirs[d.Path] = &cp
+}
+
+// SetUsage updates usage counters for a path.
+func (db *Database) SetUsage(path string, usedBytes, fileCount int64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	d, ok := db.dirs[path]
+	if !ok {
+		return fmt.Errorf("storagedb: unknown directory %q", path)
+	}
+	d.UsedBytes = usedBytes
+	d.FileCount = fileCount
+	return nil
+}
+
+// Directory returns a copy of the record for path.
+func (db *Database) Directory(path string) (Directory, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	d, ok := db.dirs[path]
+	if !ok {
+		return Directory{}, false
+	}
+	return *d, true
+}
+
+// DirectoriesFor returns the directories visible to a user: their own home
+// and scratch plus the depot directories of the given groups, sorted with
+// home first, scratch second, then depots by path. This is the privacy
+// boundary the paper describes — users only see their own disks (§2.4).
+func (db *Database) DirectoriesFor(user string, groups []string) []Directory {
+	db.mu.Lock()
+	db.queries++
+	db.mu.Unlock()
+
+	groupSet := make(map[string]bool, len(groups))
+	for _, g := range groups {
+		groupSet[g] = true
+	}
+	db.mu.RLock()
+	var out []Directory
+	for _, d := range db.dirs {
+		switch d.Kind {
+		case KindHome, KindScratch:
+			if d.Owner == user {
+				out = append(out, *d)
+			}
+		case KindDepot:
+			if groupSet[d.Owner] {
+				out = append(out, *d)
+			}
+		}
+	}
+	db.mu.RUnlock()
+
+	rank := func(k DirectoryKind) int {
+		switch k {
+		case KindHome:
+			return 0
+		case KindScratch:
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if rank(out[i].Kind) != rank(out[j].Kind) {
+			return rank(out[i].Kind) < rank(out[j].Kind)
+		}
+		return out[i].Path < out[j].Path
+	})
+	return out
+}
+
+// Queries returns how many per-user lookups the database has served.
+func (db *Database) Queries() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.queries
+}
+
+// Len returns the number of registered directories.
+func (db *Database) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.dirs)
+}
+
+// ProvisionUser creates the standard home (ZFS, 25 GiB) and scratch (GPFS,
+// 100 TiB, 2M files) directories for a user, matching typical RCAC layouts.
+func (db *Database) ProvisionUser(user string) {
+	db.AddDirectory(Directory{
+		Path: "/home/" + user, Filesystem: ZFS, Kind: KindHome, Owner: user,
+		QuotaBytes: 25 << 30, FileLimit: 500_000,
+	})
+	db.AddDirectory(Directory{
+		Path: "/scratch/" + user, Filesystem: GPFS, Kind: KindScratch, Owner: user,
+		QuotaBytes: 100 << 40, FileLimit: 2_000_000,
+	})
+}
+
+// ProvisionGroup creates the depot directory for a group/allocation.
+func (db *Database) ProvisionGroup(group string, quotaBytes int64) {
+	db.AddDirectory(Directory{
+		Path: "/depot/" + group, Filesystem: GPFS, Kind: KindDepot, Owner: group,
+		QuotaBytes: quotaBytes, FileLimit: 10_000_000,
+	})
+}

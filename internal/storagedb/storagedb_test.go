@@ -1,0 +1,93 @@
+package storagedb
+
+import (
+	"testing"
+)
+
+func TestProvisionAndQuery(t *testing.T) {
+	db := New()
+	db.ProvisionUser("alice")
+	db.ProvisionGroup("lab-a", 5<<40)
+	db.ProvisionUser("bob")
+	db.ProvisionGroup("lab-b", 1<<40)
+
+	dirs := db.DirectoriesFor("alice", []string{"lab-a"})
+	if len(dirs) != 3 {
+		t.Fatalf("dirs = %d, want 3 (home, scratch, depot)", len(dirs))
+	}
+	if dirs[0].Kind != KindHome || dirs[0].Path != "/home/alice" {
+		t.Fatalf("dirs[0] = %+v", dirs[0])
+	}
+	if dirs[1].Kind != KindScratch {
+		t.Fatalf("dirs[1] = %+v", dirs[1])
+	}
+	if dirs[2].Kind != KindDepot || dirs[2].Owner != "lab-a" {
+		t.Fatalf("dirs[2] = %+v", dirs[2])
+	}
+}
+
+func TestPrivacyBoundary(t *testing.T) {
+	db := New()
+	db.ProvisionUser("alice")
+	db.ProvisionUser("bob")
+	db.ProvisionGroup("lab-b", 1<<40)
+
+	dirs := db.DirectoriesFor("alice", nil)
+	for _, d := range dirs {
+		if d.Owner != "alice" {
+			t.Fatalf("alice sees %s owned by %s", d.Path, d.Owner)
+		}
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("alice dirs = %d, want 2", len(dirs))
+	}
+}
+
+func TestSetUsageAndPercents(t *testing.T) {
+	db := New()
+	db.ProvisionUser("alice")
+	if err := db.SetUsage("/home/alice", 20<<30, 250_000); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := db.Directory("/home/alice")
+	if !ok {
+		t.Fatal("directory missing")
+	}
+	if got := d.UsagePercent(); got != 80 {
+		t.Fatalf("usage%% = %v, want 80", got)
+	}
+	if got := d.FilePercent(); got != 50 {
+		t.Fatalf("file%% = %v, want 50", got)
+	}
+	if err := db.SetUsage("/nope", 1, 1); err == nil {
+		t.Fatal("expected error for unknown path")
+	}
+}
+
+func TestUnlimitedQuota(t *testing.T) {
+	d := Directory{UsedBytes: 100, QuotaBytes: 0, FileCount: 10, FileLimit: 0}
+	if d.UsagePercent() != 0 || d.FilePercent() != 0 {
+		t.Fatal("unlimited quota should report 0%")
+	}
+}
+
+func TestQueriesCounter(t *testing.T) {
+	db := New()
+	db.ProvisionUser("alice")
+	db.DirectoriesFor("alice", nil)
+	db.DirectoriesFor("alice", nil)
+	if db.Queries() != 2 {
+		t.Fatalf("queries = %d, want 2", db.Queries())
+	}
+}
+
+func TestDirectoryReturnsCopy(t *testing.T) {
+	db := New()
+	db.ProvisionUser("alice")
+	d, _ := db.Directory("/home/alice")
+	d.UsedBytes = 999
+	d2, _ := db.Directory("/home/alice")
+	if d2.UsedBytes == 999 {
+		t.Fatal("Directory exposed internal state")
+	}
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+func buildSmall(t *testing.T) *Env {
+	t.Helper()
+	env, err := Build(SmallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestBuildSmallEnv(t *testing.T) {
+	env := buildSmall(t)
+	spec := env.Spec
+
+	if got := len(env.UserNames); got != spec.Users {
+		t.Fatalf("users = %d, want %d", got, spec.Users)
+	}
+	if got := len(env.GroupNames); got != spec.Groups {
+		t.Fatalf("groups = %d, want %d", got, spec.Groups)
+	}
+	// Roughly HistoryDays*JobsPerDay records (arrays add tasks, partition
+	// rejections subtract a few).
+	want := spec.HistoryDays * spec.JobsPerDay
+	got := env.Cluster.DBD.JobCount()
+	if got < want/2 || got > want*3 {
+		t.Fatalf("job records = %d, want around %d", got, want)
+	}
+}
+
+func TestTraceHasRealisticStateMix(t *testing.T) {
+	env := buildSmall(t)
+	now := env.Clock.Now()
+	jobs := env.Cluster.DBD.Jobs(slurm.JobFilter{}, now)
+	counts := make(map[slurm.JobState]int)
+	interactive := 0
+	gpuJobs := 0
+	arrays := 0
+	for _, j := range jobs {
+		counts[j.State]++
+		if j.InteractiveApp != "" {
+			interactive++
+		}
+		if j.ReqTRES.GPUs > 0 {
+			gpuJobs++
+		}
+		if j.IsArrayTask() {
+			arrays++
+		}
+	}
+	if counts[slurm.StateCompleted] == 0 {
+		t.Fatal("no completed jobs in trace")
+	}
+	if counts[slurm.StateFailed] == 0 {
+		t.Fatal("no failed jobs in trace")
+	}
+	if counts[slurm.StateTimeout] == 0 {
+		t.Fatal("no timeout jobs in trace")
+	}
+	if interactive == 0 || gpuJobs == 0 || arrays == 0 {
+		t.Fatalf("mix: interactive=%d gpu=%d arrays=%d", interactive, gpuJobs, arrays)
+	}
+	// Failure fraction within loose bounds of the spec.
+	frac := float64(counts[slurm.StateFailed]) / float64(len(jobs))
+	if frac < 0.02 || frac > 0.2 {
+		t.Fatalf("failure fraction = %v", frac)
+	}
+}
+
+func TestTraceDeterministic(t *testing.T) {
+	a := buildSmall(t)
+	b := buildSmall(t)
+	ja := a.Cluster.DBD.Jobs(slurm.JobFilter{Limit: 50}, a.Clock.Now())
+	jb := b.Cluster.DBD.Jobs(slurm.JobFilter{Limit: 50}, b.Clock.Now())
+	if len(ja) != len(jb) {
+		t.Fatalf("lengths differ: %d vs %d", len(ja), len(jb))
+	}
+	for i := range ja {
+		if ja[i].ID != jb[i].ID || ja[i].Name != jb[i].Name || ja[i].User != jb[i].User ||
+			ja[i].State != jb[i].State || !ja[i].SubmitTime.Equal(jb[i].SubmitTime) {
+			t.Fatalf("job %d differs:\n%+v\n%+v", i, ja[i], jb[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	spec := SmallSpec()
+	spec.Seed = 7
+	a, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := buildSmall(t) // seed 42
+	ja := a.Cluster.DBD.Jobs(slurm.JobFilter{Limit: 20}, a.Clock.Now())
+	jb := b.Cluster.DBD.Jobs(slurm.JobFilter{Limit: 20}, b.Clock.Now())
+	same := true
+	for i := 0; i < len(ja) && i < len(jb); i++ {
+		if ja[i].Name != jb[i].Name || ja[i].User != jb[i].User {
+			same = false
+			break
+		}
+	}
+	if same && len(ja) == len(jb) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestAnnouncementsSeeded(t *testing.T) {
+	env := buildSmall(t)
+	arts := env.Feed.Recent(0)
+	if len(arts) != env.Spec.Announcements {
+		t.Fatalf("announcements = %d, want %d", len(arts), env.Spec.Announcements)
+	}
+}
+
+func TestStorageProvisioned(t *testing.T) {
+	env := buildSmall(t)
+	u := env.UserNames[0]
+	user, _ := env.Users.Lookup(u)
+	dirs := env.Storage.DirectoriesFor(u, user.Accounts)
+	if len(dirs) < 3 {
+		t.Fatalf("dirs for %s = %d, want >= 3", u, len(dirs))
+	}
+}
+
+func TestLogsWritten(t *testing.T) {
+	env := buildSmall(t)
+	jobs := env.Cluster.DBD.Jobs(slurm.JobFilter{}, env.Clock.Now())
+	found := false
+	for _, j := range jobs {
+		if env.Logs.Exists(j.StdoutPath) {
+			found = true
+			lines, total, err := env.Logs.ReadTail(j.StdoutPath, 10)
+			if err != nil || total == 0 || len(lines) == 0 {
+				t.Fatalf("log read: %v %d", err, total)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no job logs were written")
+	}
+}
+
+func TestQueueWaitsExist(t *testing.T) {
+	// With 3.5k jobs/day replayed on a small 22-node cluster, some jobs
+	// must have waited in the queue — the trace exercises contention.
+	env := buildSmall(t)
+	jobs := env.Cluster.DBD.Jobs(slurm.JobFilter{}, env.Clock.Now())
+	waited := 0
+	for _, j := range jobs {
+		if !j.StartTime.IsZero() && j.StartTime.Sub(j.SubmitTime) > time.Minute {
+			waited++
+		}
+	}
+	if waited == 0 {
+		t.Fatal("no job ever waited; trace has no contention")
+	}
+}
+
+func TestRunnerServesTrace(t *testing.T) {
+	env := buildSmall(t)
+	rows, err := slurmcli.Sacct(env.Runner, slurmcli.SacctOptions{
+		User: env.UserNames[0], Limit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("first user has no accounting rows")
+	}
+	parts, err := slurmcli.Sinfo(env.Runner)
+	if err != nil || len(parts) != 4 {
+		t.Fatalf("sinfo = %d partitions, err %v", len(parts), err)
+	}
+}
