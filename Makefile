@@ -1,12 +1,19 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: test race bench harness run verify
+.PHONY: check test vet test-race race bench harness run verify
+
+check: test vet test-race  ## the default CI gate: build + tests + vet + race detector
 
 test:            ## full test suite
-	go build ./... && go vet ./... && go test ./...
+	go build ./... && go test ./...
 
-race:            ## test suite under the race detector
+vet:             ## static analysis
+	go vet ./...
+
+test-race:       ## test suite under the race detector
 	go test -race ./...
+
+race: test-race  ## alias for test-race
 
 bench:           ## every benchmark (one per paper table/figure + package benches)
 	go test -bench=. -benchmem ./...

@@ -5,12 +5,24 @@
 // Usage:
 //
 //	dashboard [-addr :8080] [-small] [-seed 42] [-warp 60]
+//	          [-fault-cmd squeue] [-fault-rate 0.2] [-fault-outage]
+//	          [-fault-latency 300ms] [-fault-jitter 200ms]
+//	          [-fault-burst-len 3 -fault-burst-every 10]
+//	          [-fault-after 30s] [-fault-seed 1]
 //
 // Open http://localhost:8080/ with an X-Remote-User header (any generated
 // user, e.g. user001) to browse the dashboard; the JSON API lives under
 // /api/. The -warp factor compresses simulated time: with -warp 60, one
 // wall-clock second advances the cluster by a minute, so job churn is
 // visible while you watch.
+//
+// The -fault-* flags arm the fault-injection layer for live failure drills:
+// -fault-cmd picks the Slurm command to sabotage ("*" for all), and the
+// remaining flags shape the fault (added latency, transient error rate,
+// deterministic bursts, or a full outage). -fault-after delays arming so the
+// fault lands mid-run against warm caches — watch widgets flip to degraded
+// (stale) mode on /api/admin/health and /metrics, or measure it with
+// cmd/loadgen.
 package main
 
 import (
@@ -26,6 +38,8 @@ import (
 	"syscall"
 	"time"
 
+	"ooddash/internal/auth"
+	"ooddash/internal/slurmcli"
 	"ooddash/internal/workload"
 )
 
@@ -35,6 +49,16 @@ func main() {
 		small = flag.Bool("small", false, "use the small workload (fast startup)")
 		seed  = flag.Int64("seed", 42, "workload generator seed")
 		warp  = flag.Duration("warp", time.Minute, "simulated time advanced per wall-clock second")
+
+		faultCmd        = flag.String("fault-cmd", "", `inject faults into this Slurm command ("*" = all; empty disables injection)`)
+		faultRate       = flag.Float64("fault-rate", 0, "probability (0..1) a matching call fails")
+		faultOutage     = flag.Bool("fault-outage", false, "fail every matching call (full outage)")
+		faultLatency    = flag.Duration("fault-latency", 0, "added latency per matching call")
+		faultJitter     = flag.Duration("fault-jitter", 0, "extra random latency, uniform in [0, jitter]")
+		faultBurstLen   = flag.Int("fault-burst-len", 0, "with -fault-burst-every: first N of every M matching calls fail")
+		faultBurstEvery = flag.Int("fault-burst-every", 0, "burst cycle length M")
+		faultAfter      = flag.Duration("fault-after", 0, "arm fault injection this long after startup (0 = immediately)")
+		faultSeed       = flag.Int64("fault-seed", 1, "fault-injection RNG seed")
 	)
 	flag.Parse()
 
@@ -54,6 +78,10 @@ func main() {
 		time.Since(start).Round(time.Millisecond),
 		env.Cluster.DBD.JobCount(), env.Cluster.Ctl.ActiveJobCount())
 
+	// A staff account for the admin-only observability surface
+	// (/api/admin/health, /api/admin/overview, /metrics).
+	env.Users.AddUser(auth.User{Name: "staff", FullName: "Center Staff", Admin: true})
+
 	// News feed on its own listener, as a separate service (Figure 1).
 	newsLn, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -66,6 +94,37 @@ func main() {
 		}
 	}()
 	log.Printf("news API at %s", newsURL)
+
+	// Fault injection for live failure drills: wrap the runner before the
+	// server is built so every route goes through it.
+	if *faultCmd != "" {
+		cmd := *faultCmd
+		if cmd == "*" {
+			cmd = "" // FaultRule: empty command matches everything
+		}
+		rule := slurmcli.FaultRule{
+			Command:       cmd,
+			Latency:       *faultLatency,
+			LatencyJitter: *faultJitter,
+			ErrorRate:     *faultRate,
+			Outage:        *faultOutage,
+			BurstLen:      *faultBurstLen,
+			BurstEvery:    *faultBurstEvery,
+		}
+		fr := slurmcli.NewFaultRunner(env.Runner, *faultSeed, nil)
+		env.Runner = fr
+		arm := func() {
+			fr.SetRules(rule)
+			log.Printf("fault injection armed: cmd=%q rate=%g outage=%v latency=%v burst=%d/%d",
+				*faultCmd, *faultRate, *faultOutage, *faultLatency, *faultBurstLen, *faultBurstEvery)
+		}
+		if *faultAfter > 0 {
+			log.Printf("fault injection arming in %v", *faultAfter)
+			time.AfterFunc(*faultAfter, arm)
+		} else {
+			arm()
+		}
+	}
 
 	server, err := env.NewServer(newsURL)
 	if err != nil {

@@ -9,6 +9,14 @@
 //
 //	loadgen [-url http://localhost:8080] [-users 50] [-duration 30s]
 //	        [-interval 5s] [-userprefix user] [-usercount 40]
+//	        [-max-error-rate 0.01] [-max-degraded-rate 0.2]
+//
+// Besides latency, loadgen reports each widget's error rate and
+// degraded-response rate (responses carrying the X-OODDash-Degraded header,
+// i.e. stale last-known-good data served during a source outage). The
+// -max-*-rate gates turn a failure drill into a scriptable check: run
+// cmd/dashboard with -fault-* flags, point loadgen at it, and the exit
+// status says whether the degraded-mode budget held.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"sort"
 	"sync"
 	"time"
@@ -35,20 +44,32 @@ func main() {
 		interval  = flag.Duration("interval", 5*time.Second, "per-user reload interval")
 		prefix    = flag.String("userprefix", "user", "username prefix (userNNN)")
 		userCount = flag.Int("usercount", 40, "distinct usernames to rotate through")
+
+		maxErrRate = flag.Float64("max-error-rate", -1, "exit 1 if the overall widget error rate exceeds this (0..1; negative disables)")
+		maxDegRate = flag.Float64("max-degraded-rate", -1, "exit 1 if the overall degraded-response rate exceeds this (0..1; negative disables)")
 	)
 	flag.Parse()
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	type sample struct {
-		netTime time.Duration
-		instant int
-		fetches int
-		failed  int
+		netTime  time.Duration
+		instant  int
+		fetches  int
+		degraded int
+		failed   int
+	}
+	// widgetAgg tracks one widget's health across the run: how often it was
+	// requested, errored outright, or was served in degraded (stale) mode.
+	type widgetAgg struct {
+		requests int
+		errors   int
+		degraded int
 	}
 	var (
-		mu      sync.Mutex
-		samples []sample
-		wg      sync.WaitGroup
+		mu        sync.Mutex
+		samples   []sample
+		perWidget = make(map[string]*widgetAgg)
+		wg        sync.WaitGroup
 	)
 	deadline := time.Now().Add(*duration)
 	log.Printf("load: %d browsers against %s for %v (reload every %v)",
@@ -64,11 +85,26 @@ func main() {
 				load := b.LoadHomepage()
 				mu.Lock()
 				samples = append(samples, sample{
-					netTime: load.NetworkTime,
-					instant: load.InstantPaints,
-					fetches: load.NetworkFetches,
-					failed:  load.Failed,
+					netTime:  load.NetworkTime,
+					instant:  load.InstantPaints,
+					fetches:  load.NetworkFetches,
+					degraded: load.DegradedPaints,
+					failed:   load.Failed,
 				})
+				for _, wr := range load.Widgets {
+					agg := perWidget[wr.Name]
+					if agg == nil {
+						agg = &widgetAgg{}
+						perWidget[wr.Name] = agg
+					}
+					agg.requests++
+					if wr.Err != nil {
+						agg.errors++
+					}
+					if wr.Degraded {
+						agg.degraded++
+					}
+				}
 				mu.Unlock()
 				time.Sleep(*interval)
 			}
@@ -83,6 +119,7 @@ func main() {
 		lats           []time.Duration
 		totalInstant   int
 		totalFetches   int
+		totalDegraded  int
 		totalFailed    int
 		widgetsPainted int
 	)
@@ -90,6 +127,7 @@ func main() {
 		lats = append(lats, s.netTime)
 		totalInstant += s.instant
 		totalFetches += s.fetches
+		totalDegraded += s.degraded
 		totalFailed += s.failed
 		widgetsPainted += s.instant + s.fetches
 	}
@@ -103,8 +141,42 @@ func main() {
 	fmt.Printf("  instant (client cache): %d (%.1f%%)\n",
 		totalInstant, 100*float64(totalInstant)/float64(widgetsPainted))
 	fmt.Printf("  network fetches:        %d\n", totalFetches)
+	fmt.Printf("  degraded (stale) :      %d (%.1f%%)\n",
+		totalDegraded, 100*float64(totalDegraded)/float64(widgetsPainted))
 	fmt.Printf("  failed widgets:         %d\n", totalFailed)
 	fmt.Printf("network time per reload: p50=%v p90=%v p99=%v max=%v\n",
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+
+	// Per-widget health: error rate and degraded-response rate, the numbers
+	// a failure drill (EXPERIMENTS.md) is run to observe.
+	names := make([]string, 0, len(perWidget))
+	for name := range perWidget {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("\n%-16s %9s %8s %7s %9s %7s\n",
+		"widget", "requests", "errors", "err%", "degraded", "degr%")
+	var totalReq, totalErr, totalDeg int
+	for _, name := range names {
+		agg := perWidget[name]
+		totalReq += agg.requests
+		totalErr += agg.errors
+		totalDeg += agg.degraded
+		fmt.Printf("%-16s %9d %8d %6.1f%% %9d %6.1f%%\n",
+			name, agg.requests,
+			agg.errors, 100*float64(agg.errors)/float64(agg.requests),
+			agg.degraded, 100*float64(agg.degraded)/float64(agg.requests))
+	}
+
+	errRate := float64(totalErr) / float64(totalReq)
+	degRate := float64(totalDeg) / float64(totalReq)
+	if *maxErrRate >= 0 && errRate > *maxErrRate {
+		log.Printf("FAIL: error rate %.3f exceeds -max-error-rate %.3f", errRate, *maxErrRate)
+		os.Exit(1)
+	}
+	if *maxDegRate >= 0 && degRate > *maxDegRate {
+		log.Printf("FAIL: degraded rate %.3f exceeds -max-degraded-rate %.3f", degRate, *maxDegRate)
+		os.Exit(1)
+	}
 }

@@ -43,7 +43,11 @@ type WidgetResult struct {
 	Name   string
 	Source clientcache.FetchSource
 	Bytes  int
-	Err    error
+	// Degraded is set when the backend answered from its stale-while-error
+	// fallback (X-OODDash-Degraded header): the widget painted, but with
+	// last-known-good data because the data source is down.
+	Degraded bool
+	Err      error
 }
 
 // PageLoad aggregates one page load.
@@ -56,6 +60,9 @@ type PageLoad struct {
 	NetworkFetches int
 	// NetworkTime is the wall-clock time spent in backend requests.
 	NetworkTime time.Duration
+	// DegradedPaints counts widgets the backend served in degraded mode
+	// (stale last-known-good data during a source outage).
+	DegradedPaints int
 	// Failed counts widgets that errored with no cached fallback.
 	Failed int
 }
@@ -95,27 +102,29 @@ func New(user, baseURL string, client *http.Client, clock Clock) *Browser {
 	}
 }
 
-// fetchAPI performs one authenticated backend request.
-func (b *Browser) fetchAPI(path string) ([]byte, error) {
+// fetchAPI performs one authenticated backend request. degraded reports
+// whether the server marked the response as stale-while-error fallback.
+func (b *Browser) fetchAPI(path string) (body []byte, degraded bool, err error) {
 	req, err := http.NewRequest("GET", b.BaseURL+path, nil)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	req.Header.Set(auth.UserHeader, b.User)
 	req.Header.Set("Accept", "application/json")
 	resp, err := b.Client.Do(req)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	degraded = resp.Header.Get("X-OODDash-Degraded") != ""
+	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, err
+		return nil, degraded, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("browser: %s returned %d: %.120s", path, resp.StatusCode, body)
+		return nil, degraded, fmt.Errorf("browser: %s returned %d: %.120s", path, resp.StatusCode, body)
 	}
-	return body, nil
+	return body, degraded, nil
 }
 
 // LoadPage loads one page: every widget goes through the client cache
@@ -123,19 +132,24 @@ func (b *Browser) fetchAPI(path string) ([]byte, error) {
 func (b *Browser) LoadPage(widgets []WidgetRequest) PageLoad {
 	var out PageLoad
 	for _, w := range widgets {
+		degraded := false
 		res, err := b.store.Fetch(w.Path, w.TTL, func() ([]byte, error) {
 			start := time.Now()
-			body, ferr := b.fetchAPI(w.Path)
+			body, deg, ferr := b.fetchAPI(w.Path)
 			out.NetworkTime += time.Since(start)
 			out.NetworkFetches++
+			degraded = deg
 			return body, ferr
 		})
-		wr := WidgetResult{Name: w.Name, Err: err}
+		wr := WidgetResult{Name: w.Name, Degraded: degraded, Err: err}
 		if err == nil {
 			wr.Source = res.Source
 			wr.Bytes = len(res.Value)
 			if res.Source == clientcache.SourceFresh || res.Source == clientcache.SourceStale {
 				out.InstantPaints++
+			}
+			if degraded {
+				out.DegradedPaints++
 			}
 		} else {
 			out.Failed++

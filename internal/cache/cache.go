@@ -7,9 +7,16 @@
 // into a single computation (singleflight), so a burst of users refreshing
 // the dashboard costs one Slurm query, not N — the stampede protection the
 // paper's caching design implies.
+//
+// FetchStale adds stale-while-error: an expired entry is retained for a
+// configurable grace window past its TTL, and when the recompute fails the
+// last-known-good value is served flagged as degraded instead of surfacing
+// the upstream error. This is what keeps dashboard widgets populated through
+// a slurmctld outage.
 package cache
 
 import (
+	"errors"
 	"sync"
 	"time"
 )
@@ -26,22 +33,45 @@ func (realClock) Now() time.Time { return time.Now() }
 
 // Stats reports cache effectiveness counters.
 type Stats struct {
-	Hits      int64 // Fetch served from a live entry
-	Misses    int64 // Fetch computed a new value
-	Stale     int64 // misses caused by an expired entry (subset of Misses)
-	Collapsed int64 // concurrent Fetch calls that waited on another's compute
-	Errors    int64 // compute functions that returned an error
+	Hits        int64 // Fetch served from a live entry
+	Misses      int64 // Fetch computed a new value
+	Stale       int64 // misses caused by an expired entry (subset of Misses)
+	Collapsed   int64 // concurrent Fetch calls that waited on another's compute
+	Errors      int64 // compute functions that returned an error
+	StaleServed int64 // degraded responses served from an expired entry after a compute error
+	BreakerOpen int64 // compute errors that were circuit-breaker short-circuits
+}
+
+// breakerOpenError is how the cache recognizes a short-circuit from the
+// resilience layer without importing it: any error in the chain exposing
+// this marker method counts toward Stats.BreakerOpen.
+type breakerOpenError interface {
+	error
+	BreakerOpen() bool
 }
 
 type entry struct {
-	value     any
-	expiresAt time.Time
+	value      any
+	storedAt   time.Time
+	expiresAt  time.Time // fresh until here
+	staleUntil time.Time // then servable as degraded until here
 }
 
 type call struct {
 	wg    sync.WaitGroup
 	value any
 	err   error
+}
+
+// Result is the outcome of a FetchStale: the value plus whether it was
+// served stale after a compute error, and how old it is.
+type Result struct {
+	Value any
+	// Degraded is true when the value is a retained last-known-good served
+	// because recomputing failed.
+	Degraded bool
+	// Age is how long ago the value was computed.
+	Age time.Duration
 }
 
 // Cache is a TTL key-value cache with singleflight miss collapsing. The zero
@@ -74,28 +104,57 @@ func New(clock Clock) *Cache {
 // Fetch returns the cached value for key, computing and storing it with the
 // given TTL on a miss. Concurrent misses for the same key share a single
 // computation. Compute errors are returned to every waiter and nothing is
-// cached, so the next Fetch retries.
+// cached, so the next Fetch retries. A ttl <= 0 bypasses storage entirely:
+// the compute runs on every call and its result is never cached.
 func (c *Cache) Fetch(key string, ttl time.Duration, compute func() (any, error)) (any, error) {
+	res, err := c.FetchStale(key, ttl, 0, compute)
+	return res.Value, err
+}
+
+// FetchStale is Fetch with a stale-while-error grace window: after an entry
+// expires it is retained for a further staleFor, and if recomputing fails
+// while a retained value exists, that value is returned with
+// Result.Degraded set and the error suppressed. Only a cold cache (or an
+// entry past its grace window) surfaces the compute error.
+func (c *Cache) FetchStale(key string, ttl, staleFor time.Duration, compute func() (any, error)) (Result, error) {
 	if c.Disabled {
-		return compute()
+		v, err := compute()
+		return Result{Value: v}, err
 	}
 	now := c.clock.Now()
 
 	c.mu.Lock()
+	if ttl <= 0 {
+		// Caching disabled for this key: never store, never serve stale.
+		c.stats.Misses++
+		c.mu.Unlock()
+		v, err := compute()
+		if err != nil {
+			c.mu.Lock()
+			c.stats.Errors++
+			c.mu.Unlock()
+			return Result{}, err
+		}
+		return Result{Value: v}, nil
+	}
 	if e, ok := c.entries[key]; ok {
 		if now.Before(e.expiresAt) {
 			c.stats.Hits++
 			c.mu.Unlock()
-			return e.value, nil
+			return Result{Value: e.value, Age: now.Sub(e.storedAt)}, nil
 		}
+		// Expired: count the stale miss but keep the entry — it is the
+		// last-known-good fallback if the recompute fails.
 		c.stats.Stale++
-		delete(c.entries, key)
 	}
 	if inflight, ok := c.calls[key]; ok {
 		c.stats.Collapsed++
 		c.mu.Unlock()
 		inflight.wg.Wait()
-		return inflight.value, inflight.err
+		if inflight.err != nil {
+			return c.serveStale(key, inflight.err)
+		}
+		return Result{Value: inflight.value}, nil
 	}
 	c.stats.Misses++
 	cl := &call{}
@@ -109,15 +168,41 @@ func (c *Cache) Fetch(key string, ttl time.Duration, compute func() (any, error)
 	c.mu.Lock()
 	delete(c.calls, key)
 	if cl.err == nil {
-		c.entries[key] = entry{value: cl.value, expiresAt: c.clock.Now().Add(ttl)}
-	} else {
-		c.stats.Errors++
+		done := c.clock.Now()
+		c.entries[key] = entry{
+			value:      cl.value,
+			storedAt:   done,
+			expiresAt:  done.Add(ttl),
+			staleUntil: done.Add(ttl + staleFor),
+		}
+		c.mu.Unlock()
+		return Result{Value: cl.value}, nil
 	}
+	c.stats.Errors++
 	c.mu.Unlock()
-	return cl.value, cl.err
+	return c.serveStale(key, cl.err)
 }
 
-// Get returns the live value for key, if any.
+// serveStale falls back to a retained expired entry after a compute error,
+// returning it flagged degraded; when no servable entry exists the error
+// surfaces unchanged.
+func (c *Cache) serveStale(key string, err error) (Result, error) {
+	now := c.clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var boe breakerOpenError
+	if errors.As(err, &boe) && boe.BreakerOpen() {
+		c.stats.BreakerOpen++
+	}
+	e, ok := c.entries[key]
+	if !ok || !now.Before(e.staleUntil) {
+		return Result{}, err
+	}
+	c.stats.StaleServed++
+	return Result{Value: e.value, Degraded: true, Age: now.Sub(e.storedAt)}, nil
+}
+
+// Get returns the live (unexpired) value for key, if any.
 func (c *Cache) Get(key string) (any, bool) {
 	now := c.clock.Now()
 	c.mu.Lock()
@@ -129,12 +214,13 @@ func (c *Cache) Get(key string) (any, bool) {
 	return e.value, true
 }
 
-// Set stores value under key with the given TTL, replacing any entry.
+// Set stores value under key with the given TTL, replacing any entry. Values
+// stored with Set have no stale grace window.
 func (c *Cache) Set(key string, value any, ttl time.Duration) {
 	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.entries[key] = entry{value: value, expiresAt: now.Add(ttl)}
+	c.entries[key] = entry{value: value, storedAt: now, expiresAt: now.Add(ttl), staleUntil: now.Add(ttl)}
 }
 
 // Delete removes key.
@@ -152,15 +238,17 @@ func (c *Cache) Clear() {
 	c.stats = Stats{}
 }
 
-// Purge drops expired entries and reports how many were removed. Long-lived
-// servers call this periodically (the Rails cache does the same lazily).
+// Purge drops entries past their stale grace window and reports how many
+// were removed. Expired-but-graced entries survive: they are still servable
+// as degraded fallbacks. Long-lived servers call this periodically (the
+// Rails cache does the same lazily).
 func (c *Cache) Purge() int {
 	now := c.clock.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	removed := 0
 	for k, e := range c.entries {
-		if !now.Before(e.expiresAt) {
+		if !now.Before(e.staleUntil) {
 			delete(c.entries, k)
 			removed++
 		}

@@ -1,6 +1,10 @@
 package core
 
-import "time"
+import (
+	"time"
+
+	"ooddash/internal/resilience"
+)
 
 // CacheTTLs holds the per-data-source cache expiration times. The defaults
 // reproduce §2.4 of the paper: slow-moving sources (announcements, storage)
@@ -33,6 +37,19 @@ func DefaultTTLs() CacheTTLs {
 	}
 }
 
+// ResilienceConfig tunes the fault-handling layer between the cache and the
+// data sources.
+type ResilienceConfig struct {
+	// StaleFor is how long past its TTL a cached value stays servable as a
+	// degraded fallback when its source is down. Zero means the default
+	// (15 minutes); negative disables stale serving entirely.
+	StaleFor time.Duration
+	// Policy is the base retry/timeout/breaker policy applied to every data
+	// source; zero-valued fields fall back to resilience.DefaultPolicy. The
+	// server adds the per-source availability classifier itself.
+	Policy resilience.Policy
+}
+
 // Config configures a dashboard Server.
 type Config struct {
 	// ClusterName appears in page titles and the CSV exports.
@@ -49,6 +66,9 @@ type Config struct {
 	AnnouncementsLimit int
 	// UserGuideURL is linked from the Accounts widget header.
 	UserGuideURL string
+	// Resilience tunes timeouts, retries, circuit breaking, and degraded
+	// (stale-while-error) serving.
+	Resilience ResilienceConfig
 }
 
 // withDefaults fills unset fields.
@@ -95,6 +115,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UserGuideURL == "" {
 		c.UserGuideURL = "https://www.rcac.example.edu/knowledge/accounts"
+	}
+	switch {
+	case c.Resilience.StaleFor == 0:
+		c.Resilience.StaleFor = 15 * time.Minute
+	case c.Resilience.StaleFor < 0:
+		c.Resilience.StaleFor = 0
 	}
 	return c
 }

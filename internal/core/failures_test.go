@@ -1,7 +1,8 @@
 package core
 
 import (
-	"errors"
+	"bytes"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -40,7 +41,9 @@ func (f *flakyRunner) Run(name string, args ...string) (string, error) {
 	}
 	f.mu.Unlock()
 	if shouldFail {
-		return "", errors.New("slurm_load_jobs error: Unable to contact slurm controller (connect failure)")
+		// Wrap the availability sentinel so the resilience layer treats this
+		// as an outage (retry + breaker + 503), not a semantic error.
+		return "", fmt.Errorf("slurm_load_jobs error: Unable to contact slurm controller (connect failure): %w", slurm.ErrUnavailable)
 	}
 	return f.inner.Run(name, args...)
 }
@@ -80,10 +83,11 @@ func TestSlurmOutageDegradesOneWidget(t *testing.T) {
 		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
 		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
 	})
-	// squeue is down: recent jobs fails; sinfo- and storage-backed widgets
-	// keep serving (§2.4 modularity under partial Slurm outage).
+	// squeue is down: recent jobs fails (503, cold cache, no stale copy);
+	// sinfo- and storage-backed widgets keep serving (§2.4 modularity under
+	// partial Slurm outage).
 	flaky.failNext("squeue", 100)
-	e.wantStatus("alice", "/api/recent_jobs", 500)
+	e.wantStatus("alice", "/api/recent_jobs", 503)
 	e.wantStatus("alice", "/api/system_status", 200)
 	e.wantStatus("alice", "/api/storage", 200)
 	e.wantStatus("alice", "/api/myjobs?range=24h", 200) // sacct unaffected
@@ -96,8 +100,10 @@ func TestErrorsAreNotCached(t *testing.T) {
 		ReqTRES: slurm.TRES{CPUs: 1, MemMB: 512},
 		Profile: slurm.UsageProfile{ActualDuration: time.Hour},
 	})
-	flaky.failNext("squeue", 1)
-	e.wantStatus("alice", "/api/recent_jobs", 500)
+	// Two failures: the retry budget is two attempts per request, so the
+	// first request exhausts both and surfaces the outage.
+	flaky.failNext("squeue", 2)
+	e.wantStatus("alice", "/api/recent_jobs", 503)
 	// The failure must not poison the cache: the very next request retries
 	// the command and succeeds without waiting for any TTL.
 	var resp RecentJobsResponse
@@ -107,10 +113,21 @@ func TestErrorsAreNotCached(t *testing.T) {
 	}
 }
 
-func TestRecoveredResultIsCachedAgain(t *testing.T) {
+// TestSingleTransientFailureIsRetriedInline: one blip is absorbed by the
+// in-request retry — the user never sees it.
+func TestSingleTransientFailureIsRetriedInline(t *testing.T) {
 	e, flaky := newFlakyEnv(t)
 	flaky.failNext("squeue", 1)
-	e.wantStatus("alice", "/api/recent_jobs", 500)
+	e.wantStatus("alice", "/api/recent_jobs", 200)
+	if got := flaky.calls("squeue"); got != 2 {
+		t.Fatalf("squeue calls = %d, want 2 (failed attempt + retry)", got)
+	}
+}
+
+func TestRecoveredResultIsCachedAgain(t *testing.T) {
+	e, flaky := newFlakyEnv(t)
+	flaky.failNext("squeue", 2)
+	e.wantStatus("alice", "/api/recent_jobs", 503)
 	e.wantStatus("alice", "/api/recent_jobs", 200)
 	before := flaky.calls("squeue")
 	for i := 0; i < 5; i++ {
@@ -124,9 +141,11 @@ func TestRecoveredResultIsCachedAgain(t *testing.T) {
 func TestSacctOutageBreaksHistoryRoutesOnly(t *testing.T) {
 	e, flaky := newFlakyEnv(t)
 	flaky.failNext("sacct", 100)
-	e.wantStatus("alice", "/api/myjobs?range=24h", 500)
-	e.wantStatus("alice", "/api/jobperf?range=24h", 500)
-	e.wantStatus("alice", "/api/insights?range=24h", 500)
+	// Three consecutive failed requests trip the slurmdbd breaker (threshold
+	// 3); whether short-circuited or not, each surfaces as 503.
+	e.wantStatus("alice", "/api/myjobs?range=24h", 503)
+	e.wantStatus("alice", "/api/jobperf?range=24h", 503)
+	e.wantStatus("alice", "/api/insights?range=24h", 503)
 	e.wantStatus("alice", "/api/recent_jobs", 200)
 	e.wantStatus("alice", "/api/cluster_status", 200)
 }
@@ -138,9 +157,22 @@ func TestScontrolOutageWithWarmCacheKeepsServing(t *testing.T) {
 	e.wantStatus("alice", "/api/cluster_status", 200)
 	flaky.failNext("scontrol", 100)
 	e.wantStatus("alice", "/api/cluster_status", 200)
-	// Past the TTL the outage finally surfaces.
+	// Past the TTL the cache falls back to the last-known-good snapshot and
+	// marks the response degraded instead of failing the widget.
 	e.advance(2 * time.Minute)
-	e.wantStatus("alice", "/api/cluster_status", 500)
+	status, header, body := e.getFull("alice", "/api/cluster_status")
+	if status != 200 {
+		t.Fatalf("degraded cluster_status = %d: %s", status, body)
+	}
+	if got := header.Get("X-OODDash-Degraded"); got != "stale" {
+		t.Fatalf("X-OODDash-Degraded = %q, want %q", got, "stale")
+	}
+	if !bytes.Contains(body, []byte(`"degraded":true`)) {
+		t.Fatalf("degraded body missing marker: %s", body)
+	}
+	if !bytes.Contains(body, []byte(`"age_seconds":`)) {
+		t.Fatalf("degraded body missing age_seconds: %s", body)
+	}
 }
 
 // TestConcurrentRouteAccess hammers mixed routes from many goroutines;

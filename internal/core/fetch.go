@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ooddash/internal/resilience"
+	"ooddash/internal/slurmcli"
+)
+
+// Data-source names the resilience layer keys its breakers by. Each source
+// fails independently — a slurmdbd outage must not open the slurmctld
+// breaker — so they get separate circuits, matching the daemon split in the
+// simulator.
+const (
+	srcCtld    = "slurmctld"
+	srcDBD     = "slurmdbd"
+	srcNews    = "news"
+	srcStorage = "storage"
+)
+
+// degradedHeader marks responses served from an expired cache entry because
+// the backing source is down. Clients (and the load generator) count it.
+const degradedHeader = "X-OODDash-Degraded"
+
+// fetchMeta describes how a widget's data was obtained: fresh, or stale
+// last-known-good after an upstream failure.
+type fetchMeta struct {
+	Degraded bool
+	Age      time.Duration
+}
+
+// absorb merges another fetch's metadata, for handlers assembled from
+// several cache entries: the response is degraded if any part is, and its
+// age is the oldest part's.
+func (m *fetchMeta) absorb(other fetchMeta) {
+	m.Degraded = m.Degraded || other.Degraded
+	if other.Age > m.Age {
+		m.Age = other.Age
+	}
+}
+
+// fetchVia is the policy path every cached route goes through: the cache in
+// front, then the source's retry/timeout/circuit-breaker policy around the
+// compute. On compute failure a retained last-known-good value comes back
+// with Degraded set instead of the error.
+func (s *Server) fetchVia(r *http.Request, source, key string, ttl time.Duration, compute func() (any, error)) (any, fetchMeta, error) {
+	res, err := s.cache.FetchStale(key, ttl, s.cfg.Resilience.StaleFor, func() (any, error) {
+		return s.res.Do(source, r.Context(), func(context.Context) (any, error) {
+			return compute()
+		})
+	})
+	if err != nil {
+		return nil, fetchMeta{}, err
+	}
+	return res.Value, fetchMeta{Degraded: res.Degraded, Age: res.Age}, nil
+}
+
+// runResilient runs an uncached upstream call through the source's policy —
+// for the few routes that query outside the cache.
+func (s *Server) runResilient(r *http.Request, source string, op func() (any, error)) (any, error) {
+	return s.res.Do(source, r.Context(), func(context.Context) (any, error) {
+		return op()
+	})
+}
+
+// isUnavailable reports whether err means the data source could not serve —
+// an injected or simulated outage, a timed-out attempt, or the resilience
+// layer's own wrappers — as opposed to a semantic error like an unknown job.
+func isUnavailable(err error) bool {
+	var oe *resilience.OpenError
+	var ue *resilience.UpstreamError
+	return errors.As(err, &oe) || errors.As(err, &ue) || slurmcli.IsUnavailable(err)
+}
+
+// writeFetchError maps a fetch failure to its response. Source-unavailable
+// errors become 503 with a Retry-After hint (the breaker's remaining open
+// window); everything else goes through the usual status mapping.
+func writeFetchError(w http.ResponseWriter, err error) {
+	var retryAfter time.Duration
+	var oe *resilience.OpenError
+	var ue *resilience.UpstreamError
+	switch {
+	case errors.As(err, &oe):
+		retryAfter = oe.RetryAfter
+	case errors.As(err, &ue):
+		retryAfter = ue.RetryAfter
+	case slurmcli.IsUnavailable(err):
+		// Unavailable but not wrapped by the policy layer (e.g. a direct
+		// runner call): still a 503, with a nominal retry hint.
+	default:
+		writeError(w, err)
+		return
+	}
+	secs := int64(retryAfter+time.Second-1) / int64(time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
+}
+
+// writeWidgetJSON writes a widget payload, annotating degraded responses:
+// the X-OODDash-Degraded header plus "degraded": true and "age_seconds"
+// injected into the JSON object, so both generic HTTP clients and the
+// widget frontend can tell stale data from fresh.
+func writeWidgetJSON(w http.ResponseWriter, status int, meta fetchMeta, v any) {
+	if !meta.Degraded {
+		writeJSON(w, status, v)
+		return
+	}
+	w.Header().Set(degradedHeader, "stale")
+	raw, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, fmt.Errorf("core: encoding degraded response: %v", err))
+		return
+	}
+	var obj map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &obj); err != nil {
+		// Non-object payload: serve it unannotated; the header still marks it.
+		writeJSON(w, status, v)
+		return
+	}
+	obj["degraded"] = json.RawMessage("true")
+	obj["age_seconds"] = json.RawMessage(strconv.FormatInt(int64(meta.Age/time.Second), 10))
+	writeJSON(w, status, obj)
+}
+
+// setDegradedHeader marks non-JSON (CSV/XLSX export) responses that were
+// built from stale data.
+func setDegradedHeader(w http.ResponseWriter, meta fetchMeta) {
+	if meta.Degraded {
+		w.Header().Set(degradedHeader, "stale")
+	}
+}

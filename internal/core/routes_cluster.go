@@ -59,14 +59,14 @@ type ClusterStatusResponse struct {
 }
 
 // fetchAllNodes loads and caches the full node table.
-func (s *Server) fetchAllNodes() ([]*slurmcli.NodeDetail, error) {
-	v, err := s.cache.Fetch("cluster_nodes", s.cfg.TTLs.ClusterNodes, func() (any, error) {
+func (s *Server) fetchAllNodes(r *http.Request) ([]*slurmcli.NodeDetail, fetchMeta, error) {
+	v, meta, err := s.fetchVia(r, srcCtld, "cluster_nodes", s.cfg.TTLs.ClusterNodes, func() (any, error) {
 		return slurmcli.ShowAllNodes(s.runner)
 	})
 	if err != nil {
-		return nil, err
+		return nil, fetchMeta{}, err
 	}
-	return v.([]*slurmcli.NodeDetail), nil
+	return v.([]*slurmcli.NodeDetail), meta, nil
 }
 
 func nodeCellFromDetail(d *slurmcli.NodeDetail) NodeCell {
@@ -112,9 +112,9 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	details, err := s.fetchAllNodes()
+	details, meta, err := s.fetchAllNodes(r)
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	q := r.URL.Query()
@@ -139,7 +139,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // sortNodeCells orders the list view by any sortable column (§6).
@@ -226,11 +226,17 @@ func (s *Server) handleNodeOverview(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	key := "node:" + name
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.NodeDetail, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.NodeDetail, func() (any, error) {
 		return slurmcli.ShowNode(s.runner, name)
 	})
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: node %s: %v", errNotFound, name, err))
+		// An unreachable controller is a 503; only a healthy "no such
+		// node" answer maps to 404.
+		if isUnavailable(err) {
+			writeFetchError(w, err)
+		} else {
+			writeError(w, fmt.Errorf("%w: node %s: %v", errNotFound, name, err))
+		}
 		return
 	}
 	d := v.(*slurmcli.NodeDetail)
@@ -263,7 +269,7 @@ func (s *Server) handleNodeOverview(w http.ResponseWriter, r *http.Request) {
 	if d.GPUTotal > 0 {
 		resp.GPUPercent = 100 * float64(d.GPUAlloc) / float64(d.GPUTotal)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // NodeJobRow is one row in the Node Overview running-jobs tab.
@@ -292,13 +298,13 @@ func (s *Server) handleNodeJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	// One shared squeue snapshot serves every node's running-jobs tab.
-	v, err := s.cache.Fetch("running_jobs_all", s.cfg.TTLs.NodeDetail, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcCtld, "running_jobs_all", s.cfg.TTLs.NodeDetail, func() (any, error) {
 		return slurmcli.Squeue(s.runner, slurmcli.SqueueOptions{
 			States: []slurm.JobState{slurm.StateRunning},
 		})
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	entries := v.([]slurmcli.QueueEntry)
@@ -331,5 +337,5 @@ func (s *Server) handleNodeJobs(w http.ResponseWriter, r *http.Request) {
 			OverviewURL: "/job/" + e.JobID,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }

@@ -122,7 +122,7 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("insights:%s:%d:%d", user.Name, start.Unix(), end.Unix())
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
 		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
@@ -137,10 +137,10 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 		}, nil
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v.(*InsightsResponse))
+	writeWidgetJSON(w, http.StatusOK, meta, v.(*InsightsResponse))
 }
 
 // --- Admin overview (permission-based accounting) --------------------------------
@@ -182,7 +182,7 @@ func (s *Server) handleAdminOverview(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("admin_overview:%d:%d", start.Unix(), end.Unix())
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
 		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
 			AllUsers: true, Start: start, End: end,
 		})
@@ -192,10 +192,10 @@ func (s *Server) handleAdminOverview(w http.ResponseWriter, r *http.Request) {
 		return buildAdminOverview(rows, end), nil
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v.(*AdminOverviewResponse))
+	writeWidgetJSON(w, http.StatusOK, meta, v.(*AdminOverviewResponse))
 }
 
 func buildAdminOverview(rows []slurmcli.SacctRow, end time.Time) *AdminOverviewResponse {

@@ -45,11 +45,11 @@ func (s *Server) handleAnnouncements(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: no news source configured", errNotFound))
 		return
 	}
-	v, err := s.cache.Fetch("announcements", s.cfg.TTLs.Announcements, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcNews, "announcements", s.cfg.TTLs.Announcements, func() (any, error) {
 		return s.news.Fetch(s.cfg.AnnouncementsLimit)
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	articles := v.([]newsfeed.Article)
@@ -68,7 +68,7 @@ func (s *Server) handleAnnouncements(w http.ResponseWriter, r *http.Request) {
 			PostedAt: a.PostedAt, StartsAt: a.StartsAt, EndsAt: a.EndsAt,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // --- Recent Jobs widget (§3.2) ---------------------------------------------
@@ -101,13 +101,13 @@ func (s *Server) handleRecentJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "recent_jobs:" + user.Name
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.RecentJobs, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.RecentJobs, func() (any, error) {
 		return slurmcli.Squeue(s.runner, slurmcli.SqueueOptions{
 			User: user.Name, AllStates: true, Limit: s.cfg.RecentJobsLimit,
 		})
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	entries := v.([]slurmcli.QueueEntry)
@@ -115,7 +115,7 @@ func (s *Server) handleRecentJobs(w http.ResponseWriter, r *http.Request) {
 	for i := range entries {
 		resp.Jobs = append(resp.Jobs, recentJobFromEntry(&entries[i]))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // stateDescriptions back the hoverable status tooltips (§3.2).
@@ -221,7 +221,7 @@ func (s *Server) handleSystemStatus(w http.ResponseWriter, r *http.Request) {
 		Parts        []slurmcli.PartitionStatus
 		Reservations []slurmcli.ReservationDetail
 	}
-	v, err := s.cache.Fetch("system_status", s.cfg.TTLs.SystemStatus, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcCtld, "system_status", s.cfg.TTLs.SystemStatus, func() (any, error) {
 		parts, err := slurmcli.Sinfo(s.runner)
 		if err != nil {
 			return nil, err
@@ -233,7 +233,7 @@ func (s *Server) handleSystemStatus(w http.ResponseWriter, r *http.Request) {
 		return statusData{Parts: parts, Reservations: res}, nil
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	data := v.(statusData)
@@ -267,7 +267,7 @@ func (s *Server) handleSystemStatus(w http.ResponseWriter, r *http.Request) {
 			Reason: res.Comment,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // --- Accounts widget (§3.4) ------------------------------------------------
@@ -314,8 +314,8 @@ type accountUserUsage struct {
 
 // fetchAccountUsage loads one account's usage through the command layer,
 // caching under a per-account key so group members share the entry.
-func (s *Server) fetchAccountUsage(account string) (*accountUsage, error) {
-	v, err := s.cache.Fetch("account_usage:"+account, s.cfg.TTLs.Accounts, func() (any, error) {
+func (s *Server) fetchAccountUsage(r *http.Request, account string) (*accountUsage, fetchMeta, error) {
+	v, meta, err := s.fetchVia(r, srcCtld, "account_usage:"+account, s.cfg.TTLs.Accounts, func() (any, error) {
 		assocs, err := slurmcli.ShowAssocs(s.runner, account, "")
 		if err != nil {
 			return nil, err
@@ -367,9 +367,9 @@ func (s *Server) fetchAccountUsage(account string) (*accountUsage, error) {
 		return u, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fetchMeta{}, err
 	}
-	return v.(*accountUsage), nil
+	return v.(*accountUsage), meta, nil
 }
 
 func sortAccountUsers(users []accountUserUsage) {
@@ -395,12 +395,14 @@ func (s *Server) handleAccounts(w http.ResponseWriter, r *http.Request) {
 		Accounts:     make([]AccountRow, 0, len(user.Accounts)),
 		UserGuideURL: s.cfg.UserGuideURL,
 	}
+	var meta fetchMeta
 	for _, account := range user.Accounts {
-		u, err := s.fetchAccountUsage(account)
+		u, m, err := s.fetchAccountUsage(r, account)
 		if err != nil {
-			writeError(w, err)
+			writeFetchError(w, err)
 			return
 		}
+		meta.absorb(m)
 		row := AccountRow{
 			Account:         u.Account,
 			CPUsInUse:       u.CPUsInUse,
@@ -415,7 +417,7 @@ func (s *Server) handleAccounts(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Accounts = append(resp.Accounts, row)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // resolveAccountExport authorizes and loads the per-user breakdown behind
@@ -431,11 +433,13 @@ func (s *Server) resolveAccountExport(w http.ResponseWriter, r *http.Request) (*
 		writeError(w, fmt.Errorf("%w: %s is not a member of account %s", errForbidden, user.Name, account))
 		return nil, false
 	}
-	u, err := s.fetchAccountUsage(account)
+	u, meta, err := s.fetchAccountUsage(r, account)
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return nil, false
 	}
+	// Exports are not JSON, so stale data is flagged via the header alone.
+	setDegradedHeader(w, meta)
 	return u, true
 }
 
@@ -531,11 +535,11 @@ func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "storage:" + user.Name
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.Storage, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcStorage, key, s.cfg.TTLs.Storage, func() (any, error) {
 		return s.storage.DirectoriesFor(user.Name, user.Accounts), nil
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	dirs := v.([]storagedb.Directory)
@@ -557,5 +561,5 @@ func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
 			FilesAppURL:  "/pun/sys/files/fs" + d.Path,
 		})
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }

@@ -105,22 +105,22 @@ func parseJobID(raw string) (slurm.JobID, error) {
 }
 
 // fetchJobDetail loads scontrol's view of a job, cached briefly.
-func (s *Server) fetchJobDetail(id slurm.JobID) (*slurmcli.JobDetail, error) {
+func (s *Server) fetchJobDetail(r *http.Request, id slurm.JobID) (*slurmcli.JobDetail, fetchMeta, error) {
 	key := fmt.Sprintf("job:%d", id)
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobDetail, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.JobDetail, func() (any, error) {
 		return slurmcli.ShowJob(s.runner, id)
 	})
 	if err != nil {
-		return nil, err
+		return nil, fetchMeta{}, err
 	}
-	return v.(*slurmcli.JobDetail), nil
+	return v.(*slurmcli.JobDetail), meta, nil
 }
 
 // fetchJobAccounting loads sacct's usage view of a job (for the efficiency
 // card), cached with the detail TTL.
-func (s *Server) fetchJobAccounting(id slurm.JobID) (*slurmcli.SacctRow, error) {
+func (s *Server) fetchJobAccounting(r *http.Request, id slurm.JobID) (*slurmcli.SacctRow, fetchMeta, error) {
 	key := fmt.Sprintf("job_acct:%d", id)
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobDetail, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobDetail, func() (any, error) {
 		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
 			JobIDs: []slurm.JobID{id}, AllUsers: true,
 		})
@@ -133,26 +133,30 @@ func (s *Server) fetchJobAccounting(id slurm.JobID) (*slurmcli.SacctRow, error) 
 		return &rows[0], nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fetchMeta{}, err
 	}
-	return v.(*slurmcli.SacctRow), nil
+	return v.(*slurmcli.SacctRow), meta, nil
 }
 
 // resolveJobForViewer loads a job and enforces the visibility rule: own
-// jobs and group jobs only (§2.4 Privacy).
-func (s *Server) resolveJobForViewer(user *auth.User, rawID string) (*slurmcli.JobDetail, error) {
+// jobs and group jobs only (§2.4 Privacy). Unavailability errors pass
+// through unwrapped so the caller can answer 503 instead of 404.
+func (s *Server) resolveJobForViewer(user *auth.User, r *http.Request, rawID string) (*slurmcli.JobDetail, fetchMeta, error) {
 	id, err := parseJobID(rawID)
 	if err != nil {
-		return nil, err
+		return nil, fetchMeta{}, err
 	}
-	d, err := s.fetchJobDetail(id)
+	d, meta, err := s.fetchJobDetail(r, id)
 	if err != nil {
-		return nil, fmt.Errorf("%w: job %s: %v", errNotFound, rawID, err)
+		if isUnavailable(err) {
+			return nil, fetchMeta{}, err
+		}
+		return nil, fetchMeta{}, fmt.Errorf("%w: job %s: %v", errNotFound, rawID, err)
 	}
 	if !auth.CanViewJob(user, d.User, d.Account) {
-		return nil, fmt.Errorf("%w: job %s belongs to another group", errForbidden, rawID)
+		return nil, fetchMeta{}, fmt.Errorf("%w: job %s belongs to another group", errForbidden, rawID)
 	}
-	return d, nil
+	return d, meta, nil
 }
 
 func (s *Server) handleJobOverview(w http.ResponseWriter, r *http.Request) {
@@ -161,9 +165,9 @@ func (s *Server) handleJobOverview(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	d, err := s.resolveJobForViewer(user, r.PathValue("id"))
+	d, meta, err := s.resolveJobForViewer(user, r, r.PathValue("id"))
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	now := s.clock.Now()
@@ -218,10 +222,12 @@ func (s *Server) handleJobOverview(w http.ResponseWriter, r *http.Request) {
 		{Label: "Ended", Time: d.EndTime, Done: !d.EndTime.IsZero()},
 	}
 
-	// Efficiency card from accounting.
-	if acct, err := s.fetchJobAccounting(d.ID); err == nil && acct != nil {
+	// Efficiency card from accounting. A dead slurmdbd quietly costs the
+	// card, not the page: the overview still renders from scontrol data.
+	if acct, m, err := s.fetchJobAccounting(r, d.ID); err == nil && acct != nil {
 		resp.Efficiency = efficiencyView(efficiency.Compute(acct))
 		resp.CPUTimeSeconds = int64(acct.TotalCPU / time.Second)
+		meta.absorb(m)
 	}
 
 	// Session tab.
@@ -245,7 +251,7 @@ func (s *Server) handleJobOverview(w http.ResponseWriter, r *http.Request) {
 		resp.ArrayJobID = strconv.FormatInt(int64(d.ArrayJobID), 10)
 		resp.ArrayURL = fmt.Sprintf("/api/job/%d/array", d.ArrayJobID)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // --- Output/error log tabs (§7) ----------------------------------------------
@@ -274,9 +280,13 @@ func (s *Server) handleJobLogs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	d, err := s.fetchJobDetail(id)
+	d, _, err := s.fetchJobDetail(r, id)
 	if err != nil {
-		writeError(w, fmt.Errorf("%w: job %d: %v", errNotFound, id, err))
+		if isUnavailable(err) {
+			writeFetchError(w, err)
+		} else {
+			writeError(w, fmt.Errorf("%w: job %d: %v", errNotFound, id, err))
+		}
 		return
 	}
 	// Logs inherit filesystem permissions: owner only (§7).
@@ -351,13 +361,13 @@ func (s *Server) handleJobArray(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("job_array:%d", id)
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
 		return slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
 			ArrayJob: strconv.FormatInt(int64(id), 10), AllUsers: true,
 		})
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	rows := v.([]slurmcli.SacctRow)
@@ -397,5 +407,5 @@ func (s *Server) handleJobArray(w http.ResponseWriter, r *http.Request) {
 		})
 		resp.StateCounts[string(row.State)]++
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }

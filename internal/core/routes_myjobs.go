@@ -195,9 +195,9 @@ func jobRowFromSacct(row *slurmcli.SacctRow, now time.Time, th efficiency.Thresh
 // strings are the expensive part of this route, so they are computed once
 // per TTL instead of once per request; filters and pagination then run over
 // the cached slice.
-func (s *Server) fetchUserJobs(userName string, accounts []string, start, end time.Time) ([]JobRow, error) {
+func (s *Server) fetchUserJobs(r *http.Request, userName string, accounts []string, start, end time.Time) ([]JobRow, fetchMeta, error) {
 	key := fmt.Sprintf("myjobs:%s:%d:%d", userName, start.Unix(), end.Unix())
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
 		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
 			Accounts: accounts, AllUsers: true,
 			Start: start, End: end,
@@ -218,9 +218,9 @@ func (s *Server) fetchUserJobs(userName string, accounts []string, start, end ti
 		return converted, nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, fetchMeta{}, err
 	}
-	return v.([]JobRow), nil
+	return v.([]JobRow), meta, nil
 }
 
 func (s *Server) handleMyJobs(w http.ResponseWriter, r *http.Request) {
@@ -235,9 +235,9 @@ func (s *Server) handleMyJobs(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rows, err := s.fetchUserJobs(user.Name, user.Accounts, start, end)
+	rows, meta, err := s.fetchUserJobs(r, user.Name, user.Accounts, start, end)
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 
@@ -292,7 +292,7 @@ func (s *Server) handleMyJobs(w http.ResponseWriter, r *http.Request) {
 	if limit > 0 && len(resp.Jobs) > limit {
 		resp.Jobs = resp.Jobs[:limit]
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // handleMyJobsExport streams the (filtered) My Jobs table as CSV — the
@@ -310,15 +310,16 @@ func (s *Server) handleMyJobsExport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rows, err := s.fetchUserJobs(user.Name, user.Accounts, start, end)
+	rows, meta, err := s.fetchUserJobs(r, user.Name, user.Accounts, start, end)
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	q := r.URL.Query()
 	stateFilter := strings.ToUpper(q.Get("state"))
 	onlyMine := q.Get("mine") == "1"
 
+	setDegradedHeader(w, meta)
 	w.Header().Set("Content-Type", "text/csv")
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%s-jobs-%s.csv", s.cfg.ClusterName, user.Name))
@@ -399,9 +400,9 @@ func (s *Server) handleMyJobsCharts(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	rows, err := s.fetchUserJobs(user.Name, user.Accounts, start, end)
+	rows, meta, err := s.fetchUserJobs(r, user.Name, user.Accounts, start, end)
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 
@@ -439,7 +440,7 @@ func (s *Server) handleMyJobsCharts(w http.ResponseWriter, r *http.Request) {
 		}
 		return resp.GPUHours[i].User < resp.GPUHours[j].User
 	})
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // --- Job Performance Metrics (§5) --------------------------------------------
@@ -478,18 +479,18 @@ func (s *Server) handleJobPerf(w http.ResponseWriter, r *http.Request) {
 	}
 	// Job Performance Metrics covers the user's own jobs only.
 	key := fmt.Sprintf("jobperf:%s:%d:%d", user.Name, start.Unix(), end.Unix())
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
 		return slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
 	rows := v.([]slurmcli.SacctRow)
 	resp := aggregateJobPerf(rows, start, end, now)
-	writeJSON(w, http.StatusOK, resp)
+	writeWidgetJSON(w, http.StatusOK, meta, resp)
 }
 
 // aggregateJobPerf folds accounting rows into the summary metrics.

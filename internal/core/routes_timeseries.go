@@ -57,11 +57,15 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 	}
 	if start.IsZero() {
 		// "all" range: anchor at the earliest record rather than the epoch.
-		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{User: user.Name, Limit: 0})
+		// Uncached, so the call still goes through the slurmdbd policy.
+		v, err := s.runResilient(r, srcDBD, func() (any, error) {
+			return slurmcli.Sacct(s.runner, slurmcli.SacctOptions{User: user.Name, Limit: 0})
+		})
 		if err != nil {
-			writeError(w, err)
+			writeFetchError(w, err)
 			return
 		}
+		rows := v.([]slurmcli.SacctRow)
 		if len(rows) == 0 {
 			writeJSON(w, http.StatusOK, TimeseriesResponse{
 				User: user.Name, BucketSecs: int64(bucket / time.Second),
@@ -72,7 +76,7 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 	}
 
 	key := fmt.Sprintf("jobperf_ts:%s:%d:%d:%d", user.Name, start.Unix(), end.Unix(), bucket/time.Second)
-	v, err := s.cache.Fetch(key, s.cfg.TTLs.JobHistory, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
 		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
@@ -82,10 +86,10 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 		return buildTimeseries(user.Name, rows, start, end, bucket), nil
 	})
 	if err != nil {
-		writeError(w, err)
+		writeFetchError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, v.(*TimeseriesResponse))
+	writeWidgetJSON(w, http.StatusOK, meta, v.(*TimeseriesResponse))
 }
 
 // buildTimeseries folds accounting rows into evenly spaced buckets keyed by
@@ -131,21 +135,59 @@ func buildTimeseries(user string, rows []slurmcli.SacctRow, start, end time.Time
 
 // --- Admin health / observability -------------------------------------------------
 
+// BreakerView is one data source's circuit state in the health payload.
+type BreakerView struct {
+	Source              string `json:"source"`
+	State               string `json:"state"` // "closed", "half-open", "open"
+	ConsecutiveFailures int    `json:"consecutive_failures"`
+	Attempts            int64  `json:"attempts"`
+	Retries             int64  `json:"retries"`
+	Successes           int64  `json:"successes"`
+	Failures            int64  `json:"failures"`
+	ShortCircuits       int64  `json:"short_circuits"`
+	Opens               int64  `json:"opens"`
+}
+
 // HealthResponse is the admin-only backend observability snapshot: cache
-// effectiveness and per-daemon RPC counters — the quantities the paper's
-// performance argument is about, exposed where operators can watch them.
+// effectiveness, degraded-mode counters, per-source breaker states, and
+// per-daemon RPC counters — the quantities the paper's performance argument
+// is about, exposed where operators can watch them.
 type HealthResponse struct {
 	Time time.Time `json:"time"`
 
-	CacheHits      int64   `json:"cache_hits"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheHitRate   float64 `json:"cache_hit_rate"`
-	CacheCollapsed int64   `json:"cache_collapsed"`
-	CacheErrors    int64   `json:"cache_errors"`
-	CacheEntries   int     `json:"cache_entries"`
+	CacheHits        int64   `json:"cache_hits"`
+	CacheMisses      int64   `json:"cache_misses"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	CacheCollapsed   int64   `json:"cache_collapsed"`
+	CacheErrors      int64   `json:"cache_errors"`
+	CacheEntries     int     `json:"cache_entries"`
+	CacheStaleServed int64   `json:"cache_stale_served"`
+	CacheBreakerOpen int64   `json:"cache_breaker_open"`
+
+	Breakers []BreakerView `json:"breakers"`
 
 	CtldRPCs map[string]int64 `json:"slurmctld_rpcs,omitempty"`
 	DBDRPCs  map[string]int64 `json:"slurmdbd_rpcs,omitempty"`
+}
+
+// breakerViews maps the resilience snapshot into the API shape.
+func (s *Server) breakerViews() []BreakerView {
+	snap := s.res.Snapshot()
+	out := make([]BreakerView, 0, len(snap))
+	for _, b := range snap {
+		out = append(out, BreakerView{
+			Source:              b.Source,
+			State:               b.State.String(),
+			ConsecutiveFailures: b.ConsecutiveFailures,
+			Attempts:            b.Attempts,
+			Retries:             b.Retries,
+			Successes:           b.Successes,
+			Failures:            b.Failures,
+			ShortCircuits:       b.ShortCircuits,
+			Opens:               b.Opens,
+		})
+	}
+	return out
 }
 
 func (s *Server) handleAdminHealth(w http.ResponseWriter, r *http.Request) {
@@ -160,16 +202,20 @@ func (s *Server) handleAdminHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.cache.Stats()
 	resp := HealthResponse{
-		Time:           s.clock.Now(),
-		CacheHits:      st.Hits,
-		CacheMisses:    st.Misses,
-		CacheHitRate:   st.HitRate(),
-		CacheCollapsed: st.Collapsed,
-		CacheErrors:    st.Errors,
-		CacheEntries:   s.cache.Len(),
+		Time:             s.clock.Now(),
+		CacheHits:        st.Hits,
+		CacheMisses:      st.Misses,
+		CacheHitRate:     st.HitRate(),
+		CacheCollapsed:   st.Collapsed,
+		CacheErrors:      st.Errors,
+		CacheEntries:     s.cache.Len(),
+		CacheStaleServed: st.StaleServed,
+		CacheBreakerOpen: st.BreakerOpen,
+		Breakers:         s.breakerViews(),
 	}
 	// Daemon counters come through the command surface (sdiag), so the
-	// health view works against a real cluster too.
+	// health view works against a real cluster too. During an outage sdiag
+	// fails like everything else; the health view must still render.
 	if ctld, dbd, err := slurmcli.Sdiag(s.runner); err == nil {
 		resp.CtldRPCs = ctld.RPCCounts
 		resp.DBDRPCs = dbd.RPCCounts
@@ -204,6 +250,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "# HELP ooddash_cache_entries Current server cache entries.\n")
 	fmt.Fprintf(w, "# TYPE ooddash_cache_entries gauge\n")
 	fmt.Fprintf(w, "ooddash_cache_entries %d\n", s.cache.Len())
+	fmt.Fprintf(w, "# HELP ooddash_cache_stale_served_total Degraded responses served from expired entries.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_cache_stale_served_total counter\n")
+	fmt.Fprintf(w, "ooddash_cache_stale_served_total %d\n", st.StaleServed)
+	fmt.Fprintf(w, "# HELP ooddash_cache_breaker_open_total Compute errors that were breaker short-circuits.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_cache_breaker_open_total counter\n")
+	fmt.Fprintf(w, "ooddash_cache_breaker_open_total %d\n", st.BreakerOpen)
+	breakers := s.res.Snapshot()
+	fmt.Fprintf(w, "# HELP ooddash_breaker_state Circuit state per data source (0 closed, 1 half-open, 2 open).\n")
+	fmt.Fprintf(w, "# TYPE ooddash_breaker_state gauge\n")
+	for _, b := range breakers {
+		fmt.Fprintf(w, "ooddash_breaker_state{source=%q} %d\n", b.Source, int(b.State))
+	}
+	fmt.Fprintf(w, "# HELP ooddash_breaker_opens_total Breaker transitions into open, per data source.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_breaker_opens_total counter\n")
+	for _, b := range breakers {
+		fmt.Fprintf(w, "ooddash_breaker_opens_total{source=%q} %d\n", b.Source, b.Opens)
+	}
+	fmt.Fprintf(w, "# HELP ooddash_retries_total Retry attempts beyond the first, per data source.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_retries_total counter\n")
+	for _, b := range breakers {
+		fmt.Fprintf(w, "ooddash_retries_total{source=%q} %d\n", b.Source, b.Retries)
+	}
+	fmt.Fprintf(w, "# HELP ooddash_short_circuits_total Calls rejected by an open breaker, per data source.\n")
+	fmt.Fprintf(w, "# TYPE ooddash_short_circuits_total counter\n")
+	for _, b := range breakers {
+		fmt.Fprintf(w, "ooddash_short_circuits_total{source=%q} %d\n", b.Source, b.ShortCircuits)
+	}
 	if ctld, dbd, err := slurmcli.Sdiag(s.runner); err == nil {
 		fmt.Fprintf(w, "# HELP ooddash_slurm_rpcs_total Slurm RPCs served, by daemon and message type.\n")
 		fmt.Fprintf(w, "# TYPE ooddash_slurm_rpcs_total counter\n")

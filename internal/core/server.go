@@ -2,12 +2,16 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"ooddash/internal/auth"
 	"ooddash/internal/cache"
 	"ooddash/internal/newsfeed"
+	"ooddash/internal/resilience"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/storagedb"
 )
@@ -36,6 +40,10 @@ type Deps struct {
 	// Events enables the real-time monitoring feed (§9 extension); nil
 	// disables the /api/events route's data source.
 	Events EventSource
+	// Sleep pauses between retry attempts; nil means time.Sleep, unless
+	// Clock itself exposes a Sleep method (slurm.SimClock does), in which
+	// case retry backoff advances the simulated clock instead of blocking.
+	Sleep func(time.Duration)
 }
 
 // Server is the dashboard backend: a set of JSON API routes (one per
@@ -51,6 +59,7 @@ type Server struct {
 	clock   Clock
 	events  EventSource
 	cache   *cache.Cache
+	res     *resilience.Set
 	mux     *http.ServeMux
 	widgets []Widget
 }
@@ -69,6 +78,13 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 	if deps.Logs == nil {
 		deps.Logs = NewMemLogStore()
 	}
+	if deps.Sleep == nil {
+		if sl, ok := deps.Clock.(interface{ Sleep(time.Duration) }); ok {
+			deps.Sleep = sl.Sleep
+		} else {
+			deps.Sleep = time.Sleep
+		}
+	}
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		runner:  deps.Runner,
@@ -81,6 +97,23 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 		cache:   cache.New(deps.Clock),
 		mux:     http.NewServeMux(),
 	}
+	s.res = resilience.NewSet(resilience.Options{
+		Clock: deps.Clock,
+		Sleep: deps.Sleep,
+		Seed:  1,
+		OnStateChange: func(c resilience.StateChange) {
+			log.Printf("core: breaker %s: %s -> %s", c.Source, c.From, c.To)
+		},
+	})
+	// The Slurm sources get the availability classifier so semantic errors
+	// (unknown job, bad flags) neither retry nor trip the breaker; for the
+	// news API and storage database every error counts.
+	slurmPolicy := s.cfg.Resilience.Policy
+	slurmPolicy.Classify = slurmcli.IsUnavailable
+	s.res.Register(srcCtld, slurmPolicy)
+	s.res.Register(srcDBD, slurmPolicy)
+	s.res.Register(srcNews, s.cfg.Resilience.Policy)
+	s.res.Register(srcStorage, s.cfg.Resilience.Policy)
 	s.registerWidgets()
 	if err := s.Mount(s.mux); err != nil {
 		return nil, err
@@ -100,6 +133,10 @@ func (s *Server) Cache() *cache.Cache { return s.cache }
 
 // Config returns the effective configuration (defaults applied).
 func (s *Server) Config() Config { return s.cfg }
+
+// Resilience exposes the per-source breaker set for inspection (health
+// routes, experiments, failure drills).
+func (s *Server) Resilience() *resilience.Set { return s.res }
 
 // Widget is one modular dashboard feature: a named JSON API route with its
 // cache TTL. Widgets are self-contained so they can be mounted individually
@@ -218,9 +255,12 @@ func (s *Server) Mount(mux *http.ServeMux, names ...string) error {
 		delete(want, w.Name)
 	}
 	if len(names) > 0 && len(want) > 0 {
+		unknown := make([]string, 0, len(want))
 		for n := range want {
-			return fmt.Errorf("core: Mount: unknown widget %q", n)
+			unknown = append(unknown, n)
 		}
+		sort.Strings(unknown)
+		return fmt.Errorf("core: Mount: unknown widgets: %s", strings.Join(unknown, ", "))
 	}
 	if mounted == 0 {
 		return fmt.Errorf("core: Mount: no widgets mounted")

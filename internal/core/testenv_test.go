@@ -156,6 +156,28 @@ func (e *env) get(user, path string) (int, []byte) {
 	return resp.StatusCode, body
 }
 
+// getFull performs an authenticated GET and returns status + headers + body.
+func (e *env) getFull(user, path string) (int, http.Header, []byte) {
+	e.t.Helper()
+	req, err := http.NewRequest("GET", e.web.URL+path, nil)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	if user != "" {
+		req.Header.Set(auth.UserHeader, user)
+	}
+	resp, err := e.web.Client().Do(req)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		e.t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, body
+}
+
 // getJSON performs an authenticated GET and decodes the response into out,
 // failing the test on non-200.
 func (e *env) getJSON(user, path string, out any) {

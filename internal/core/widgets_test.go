@@ -3,6 +3,7 @@ package core
 import (
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -84,14 +85,24 @@ func TestMountUnknownWidget(t *testing.T) {
 	if err := e.server.Mount(http.NewServeMux(), "nonexistent"); err == nil {
 		t.Fatal("expected error for unknown widget name")
 	}
+	// All unknown names are reported, deterministically sorted, with known
+	// names accepted alongside.
+	err := e.server.Mount(http.NewServeMux(), "zeta", "recent_jobs", "alpha")
+	if err == nil {
+		t.Fatal("expected error for unknown widget names")
+	}
+	if !strings.Contains(err.Error(), "alpha, zeta") {
+		t.Fatalf("Mount error = %q, want all unknown names sorted", err)
+	}
 }
 
 func TestWidgetFailureIsolation(t *testing.T) {
 	e := newEnv(t)
-	// Kill the news backend: announcements must fail alone while every
-	// other widget keeps serving (§2.4 Modularity).
+	// Kill the news backend: announcements must fail alone (503: upstream
+	// unavailable, no stale copy) while every other widget keeps serving
+	// (§2.4 Modularity).
 	e.feedSrv.Close()
-	e.wantStatus("alice", "/api/announcements", 500)
+	e.wantStatus("alice", "/api/announcements", 503)
 	e.wantStatus("alice", "/api/recent_jobs", 200)
 	e.wantStatus("alice", "/api/system_status", 200)
 	e.wantStatus("alice", "/api/storage", 200)

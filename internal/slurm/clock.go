@@ -48,6 +48,11 @@ func (c *SimClock) Advance(d time.Duration) time.Time {
 	return c.now
 }
 
+// Sleep advances the simulated clock by d. It satisfies the sleep hooks the
+// resilience and fault-injection layers take, so retry backoff and injected
+// latency consume simulated rather than wall-clock time in tests.
+func (c *SimClock) Sleep(d time.Duration) { c.Advance(d) }
+
 // Set jumps the clock to t if t is not before the current time.
 func (c *SimClock) Set(t time.Time) {
 	c.mu.Lock()

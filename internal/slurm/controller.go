@@ -33,6 +33,11 @@ type Controller struct {
 	maintWindows []MaintenanceWindow
 	maintSeq     int
 	manualMaint  map[string]bool // nodes placed in maintenance by hand
+
+	// healthGate simulates controller outages and brown-outs; queries are
+	// gated at the command surface (slurmcli.SimRunner), not here, so
+	// internal bookkeeping keeps working while "clients" see failures.
+	healthGate healthGate
 }
 
 // newController builds a controller from already-validated cluster state.

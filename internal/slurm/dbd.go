@@ -17,6 +17,10 @@ type DBD struct {
 	order  []JobID // ascending submit time (ties broken by ID)
 	assocs map[AssocKey]*Association
 	stats  *DaemonStats
+
+	// healthGate simulates accounting-database outages; sacct-style queries
+	// are gated at the command surface (slurmcli.SimRunner).
+	healthGate healthGate
 }
 
 // NewDBD returns an empty accounting database.

@@ -1,0 +1,119 @@
+package slurm
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrUnavailable marks availability failures: every error the simulated
+// daemons return while down or degraded wraps it, as do injected faults
+// (slurmcli.FaultRunner). Upper layers use it to tell "the daemon cannot be
+// reached" apart from semantic errors (unknown job, bad arguments), which is
+// the distinction the dashboard's retry and circuit-breaker policies key on.
+var ErrUnavailable = errors.New("slurm daemon unavailable")
+
+// DaemonHealth is the operator-controlled availability state of a simulated
+// daemon. Real Slurm controllers fail in both modes: hard outages (slurmctld
+// restart, network partition) and brown-outs where a saturated daemon times
+// out on a fraction of RPCs.
+type DaemonHealth int
+
+// Daemon health states.
+const (
+	// HealthUp serves every query normally.
+	HealthUp DaemonHealth = iota
+	// HealthDegraded fails every other query, deterministically — the
+	// "socket timed out on send/recv" brown-out of an overloaded daemon.
+	HealthDegraded
+	// HealthDown fails every query — the daemon is unreachable.
+	HealthDown
+)
+
+// String returns the lowercase state name.
+func (h DaemonHealth) String() string {
+	switch h {
+	case HealthUp:
+		return "up"
+	case HealthDegraded:
+		return "degraded"
+	case HealthDown:
+		return "down"
+	}
+	return "unknown"
+}
+
+// healthGate guards a daemon's query surface. The zero value is an always-up
+// gate, so existing constructors need no changes.
+type healthGate struct {
+	mu     sync.Mutex
+	health DaemonHealth
+	reason string
+	checks int // gate checks since entering degraded mode, for the 1-in-2 cadence
+}
+
+func (g *healthGate) set(h DaemonHealth, reason string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.health = h
+	g.reason = reason
+	g.checks = 0
+}
+
+func (g *healthGate) get() (DaemonHealth, string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.health, g.reason
+}
+
+// check returns nil when a query may proceed. msg is the daemon-appropriate
+// client-side error text (what squeue or sacct would print).
+func (g *healthGate) check(msg string) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	switch g.health {
+	case HealthDown:
+		return fmt.Errorf("%s: %w", msg, ErrUnavailable)
+	case HealthDegraded:
+		g.checks++
+		if g.checks%2 == 1 {
+			return fmt.Errorf("%s (degraded): %w", msg, ErrUnavailable)
+		}
+	}
+	return nil
+}
+
+// SetHealth changes the controller's availability state; reason is shown to
+// operators (scontrol ping would report it). Use it to script outages:
+//
+//	cluster.Ctl.SetHealth(slurm.HealthDown, "failure drill")
+func (c *Controller) SetHealth(h DaemonHealth, reason string) {
+	c.healthGate.set(h, reason)
+}
+
+// Health reports the controller's availability state and reason.
+func (c *Controller) Health() (DaemonHealth, string) {
+	return c.healthGate.get()
+}
+
+// Available returns nil when the controller can serve a query, or the error
+// a Slurm client command would print when it cannot.
+func (c *Controller) Available() error {
+	return c.healthGate.check("slurm_load_jobs error: Unable to contact slurm controller (connect failure)")
+}
+
+// SetHealth changes the accounting daemon's availability state.
+func (d *DBD) SetHealth(h DaemonHealth, reason string) {
+	d.healthGate.set(h, reason)
+}
+
+// Health reports the accounting daemon's availability state and reason.
+func (d *DBD) Health() (DaemonHealth, string) {
+	return d.healthGate.get()
+}
+
+// Available returns nil when the accounting daemon can serve a query, or the
+// error sacct would print when it cannot.
+func (d *DBD) Available() error {
+	return d.healthGate.check("sacct: error: Problem talking to the database: Connection refused")
+}

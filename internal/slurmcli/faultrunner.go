@@ -1,0 +1,145 @@
+package slurmcli
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ooddash/internal/slurm"
+)
+
+// FaultRule describes one fault-injection behavior. Rules are matched
+// first-to-last against the command name; the first match applies.
+type FaultRule struct {
+	// Command the rule applies to ("squeue", "sacct", ...); empty matches
+	// every command.
+	Command string
+	// Latency is added to every matching call, plus up to LatencyJitter
+	// drawn uniformly from the runner's seeded RNG.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// ErrorRate is the probability (0..1) a matching call fails with an
+	// availability error instead of running.
+	ErrorRate float64
+	// Outage fails every matching call — a full daemon outage.
+	Outage bool
+	// BurstLen/BurstEvery produce deterministic error bursts: of every
+	// BurstEvery consecutive matching calls, the first BurstLen fail. Both
+	// must be > 0 to take effect.
+	BurstLen   int
+	BurstEvery int
+}
+
+// FaultStats counts one command's traffic through a FaultRunner.
+type FaultStats struct {
+	Command  string
+	Calls    int64
+	Faults   int64
+	SleptFor time.Duration
+}
+
+// FaultRunner wraps a Runner with configurable fault injection: added
+// latency, random transient errors, deterministic error bursts, and full
+// outages, per command. All randomness comes from one seeded RNG so a given
+// (seed, request sequence) reproduces the same faults; latency goes through
+// an injectable sleep hook so tests can charge it to a simulated clock.
+type FaultRunner struct {
+	inner Runner
+	sleep func(time.Duration)
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules []FaultRule
+	calls map[string]int64 // per-command call counter driving bursts
+	stats map[string]*FaultStats
+}
+
+// NewFaultRunner wraps inner. seed fixes the RNG; sleep nil means
+// time.Sleep.
+func NewFaultRunner(inner Runner, seed int64, sleep func(time.Duration)) *FaultRunner {
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &FaultRunner{
+		inner: inner,
+		sleep: sleep,
+		rng:   rand.New(rand.NewSource(seed)),
+		calls: make(map[string]int64),
+		stats: make(map[string]*FaultStats),
+	}
+}
+
+// SetRules replaces the rule list. Safe to call while requests are in
+// flight, which is how failure drills flip a source down mid-run.
+func (f *FaultRunner) SetRules(rules ...FaultRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.rules = append([]FaultRule(nil), rules...)
+}
+
+// Run applies the first matching rule, then delegates to the wrapped
+// runner. Injected failures wrap slurm.ErrUnavailable so the resilience
+// layer classifies them as availability faults.
+func (f *FaultRunner) Run(name string, args ...string) (string, error) {
+	delay, fail := f.plan(name)
+	if delay > 0 {
+		f.sleep(delay)
+	}
+	if fail {
+		return "", fmt.Errorf("slurmcli: %s: injected fault: %w", name, slurm.ErrUnavailable)
+	}
+	return f.inner.Run(name, args...)
+}
+
+// plan decides, under the lock, what happens to this call: how long it
+// sleeps and whether it fails. The sleep itself happens outside the lock so
+// concurrent commands overlap like real daemon latency does.
+func (f *FaultRunner) plan(name string) (delay time.Duration, fail bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[name]++
+	st := f.stats[name]
+	if st == nil {
+		st = &FaultStats{Command: name}
+		f.stats[name] = st
+	}
+	st.Calls++
+	for i := range f.rules {
+		r := &f.rules[i]
+		if r.Command != "" && r.Command != name {
+			continue
+		}
+		delay = r.Latency
+		if r.LatencyJitter > 0 {
+			delay += time.Duration(f.rng.Int63n(int64(r.LatencyJitter) + 1))
+		}
+		switch {
+		case r.Outage:
+			fail = true
+		case r.BurstLen > 0 && r.BurstEvery > 0:
+			fail = (f.calls[name]-1)%int64(r.BurstEvery) < int64(r.BurstLen)
+		case r.ErrorRate > 0:
+			fail = f.rng.Float64() < r.ErrorRate
+		}
+		break
+	}
+	if fail {
+		st.Faults++
+	}
+	st.SleptFor += delay
+	return delay, fail
+}
+
+// Stats returns per-command counters, sorted by command name.
+func (f *FaultRunner) Stats() []FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]FaultStats, 0, len(f.stats))
+	for _, st := range f.stats {
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Command < out[j].Command })
+	return out
+}

@@ -1,6 +1,8 @@
 package slurmcli
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -24,11 +26,34 @@ func NewSimRunner(cl *slurm.Cluster) *SimRunner {
 	return &SimRunner{Cluster: cl}
 }
 
+// IsUnavailable reports whether err is an availability failure — the daemon
+// behind the command could not be reached (simulated outage, injected fault,
+// or a timed-out attempt) — as opposed to a semantic error from a healthy
+// daemon (unknown job, bad arguments). The dashboard's retry and
+// circuit-breaker policies only act on availability failures.
+func IsUnavailable(err error) bool {
+	return errors.Is(err, slurm.ErrUnavailable) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // Run dispatches to the emulated command. Unknown commands return an error
-// the way a missing binary would.
+// the way a missing binary would. Commands fail first when the daemon that
+// backs them is down or degraded: squeue/sinfo/scontrol/sdiag/sprio/scancel
+// need slurmctld, sacct/sreport need slurmdbd — the same blast radii a real
+// outage has.
 func (r *SimRunner) Run(name string, args ...string) (string, error) {
 	if r.Cluster == nil {
 		return "", fmt.Errorf("slurmcli: runner has no cluster")
+	}
+	switch name {
+	case "sacct", "sreport":
+		if err := r.Cluster.DBD.Available(); err != nil {
+			return "", err
+		}
+	case "squeue", "sinfo", "scontrol", "scancel", "sdiag", "sprio":
+		if err := r.Cluster.Ctl.Available(); err != nil {
+			return "", err
+		}
 	}
 	switch name {
 	case "squeue":
