@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: check test vet test-race race bench harness run verify
+.PHONY: check test vet test-race race bench bench-go harness run verify
 
 check: test vet test-race  ## the default CI gate: build + tests + vet + race detector
 
@@ -15,7 +15,11 @@ test-race:       ## test suite under the race detector
 
 race: test-race  ## alias for test-race
 
-bench:           ## every benchmark (one per paper table/figure + package benches)
+bench: check     ## CI gate + loadgen smoke on the simulated clock -> BENCH_latency.json
+	go run ./cmd/loadgen -smoke -users 25 -rounds 8 -interval 5s \
+		-max-error-rate 0 -bench-out BENCH_latency.json
+
+bench-go:        ## every Go benchmark (one per paper table/figure + package benches)
 	go test -bench=. -benchmem ./...
 
 harness:         ## regenerate every paper artifact (EXPERIMENTS.md numbers)

@@ -23,6 +23,13 @@
 // fault lands mid-run against warm caches — watch widgets flip to degraded
 // (stale) mode on /api/admin/health and /metrics, or measure it with
 // cmd/loadgen.
+//
+// -ops-addr starts a second, operators-only listener carrying net/http/pprof
+// (bind it to localhost — it is deliberately kept off the user-facing mux so
+// profiling endpoints never share a port with proxied user traffic).
+// -access-log enables one structured line per API request, each carrying the
+// request's trace ID — the same ID returned to clients in X-OODDash-Trace —
+// so a slow reload reported by a user can be joined against server logs.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,10 +53,12 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", ":8080", "dashboard listen address")
-		small = flag.Bool("small", false, "use the small workload (fast startup)")
-		seed  = flag.Int64("seed", 42, "workload generator seed")
-		warp  = flag.Duration("warp", time.Minute, "simulated time advanced per wall-clock second")
+		addr      = flag.String("addr", ":8080", "dashboard listen address")
+		opsAddr   = flag.String("ops-addr", "", "ops-only listen address for pprof (e.g. 127.0.0.1:6060; empty disables)")
+		accessLog = flag.Bool("access-log", false, "log one line per API request (includes the trace ID)")
+		small     = flag.Bool("small", false, "use the small workload (fast startup)")
+		seed      = flag.Int64("seed", 42, "workload generator seed")
+		warp      = flag.Duration("warp", time.Minute, "simulated time advanced per wall-clock second")
 
 		faultCmd        = flag.String("fault-cmd", "", `inject faults into this Slurm command ("*" = all; empty disables injection)`)
 		faultRate       = flag.Float64("fault-rate", 0, "probability (0..1) a matching call fails")
@@ -129,6 +139,26 @@ func main() {
 	server, err := env.NewServer(newsURL)
 	if err != nil {
 		log.Fatalf("server: %v", err)
+	}
+	if *accessLog {
+		server.SetAccessLog(func(line string) { log.Print(line) })
+	}
+
+	// Profiling on a dedicated ops mux, never on the user-facing listener:
+	// the default mux would expose /debug/pprof to anyone the proxy lets in.
+	if *opsAddr != "" {
+		opsMux := http.NewServeMux()
+		opsMux.HandleFunc("/debug/pprof/", pprof.Index)
+		opsMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		opsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		opsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		opsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("ops (pprof) listening on %s", *opsAddr)
+			if err := http.ListenAndServe(*opsAddr, opsMux); err != nil {
+				log.Printf("ops server: %v", err)
+			}
+		}()
 	}
 
 	// Drive the cluster forward in (warped) real time with fresh traffic.

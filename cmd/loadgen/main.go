@@ -1,28 +1,37 @@
-// Command loadgen load-tests a running dashboard (cmd/dashboard or a real
-// deployment) the way the paper's scale concern frames it: N users with
-// their own browser-side caches reloading the homepage on an interval. It
-// reports per-reload latency percentiles and how many widget paints were
-// served instantly from the client cache — the live counterpart of the
-// §2.4 cache-load experiment.
+// Command loadgen load-tests a dashboard the way the paper's scale concern
+// frames it: N users with their own browser-side caches reloading the
+// homepage on an interval. It reports per-reload latency percentiles,
+// per-widget p50/p95/p99 network latency, how many widget paints were
+// served instantly from the client cache, and each widget's error and
+// degraded-response rates — the live counterpart of the §2.4 cache-load
+// experiment.
 //
 // Usage:
 //
 //	loadgen [-url http://localhost:8080] [-users 50] [-duration 30s]
 //	        [-interval 5s] [-userprefix user] [-usercount 40]
 //	        [-max-error-rate 0.01] [-max-degraded-rate 0.2]
+//	        [-bench-out BENCH_latency.json]
+//	loadgen -smoke [-users 25] [-rounds 8] [-interval 5s] [-bench-out ...]
 //
-// Besides latency, loadgen reports each widget's error rate and
-// degraded-response rate (responses carrying the X-OODDash-Degraded header,
-// i.e. stale last-known-good data served during a source outage). The
-// -max-*-rate gates turn a failure drill into a scriptable check: run
-// cmd/dashboard with -fault-* flags, point loadgen at it, and the exit
-// status says whether the degraded-mode budget held.
+// With -smoke, loadgen needs no running dashboard: it builds the small
+// simulated cluster in-process, serves the dashboard on an ephemeral port,
+// and drives the reload loop on the simulated clock — each round advances
+// simulated time by -interval instead of sleeping, so cache TTLs expire
+// realistically while the whole run finishes in wall-clock seconds. That is
+// the `make bench` scenario that seeds the repo's latency trajectory.
+//
+// -bench-out writes a BENCH_*.json snapshot (per-widget percentiles and
+// health rates) so successive runs are comparable; the -max-*-rate gates
+// turn a failure drill into a scriptable check exactly as before.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"sort"
@@ -30,89 +39,115 @@ import (
 	"time"
 
 	"ooddash/internal/browser"
+	"ooddash/internal/workload"
 )
 
 type realClock struct{}
 
 func (realClock) Now() time.Time { return time.Now() }
 
-func main() {
-	var (
-		url       = flag.String("url", "http://localhost:8080", "dashboard base URL")
-		users     = flag.Int("users", 50, "concurrent simulated browsers")
-		duration  = flag.Duration("duration", 30*time.Second, "test duration")
-		interval  = flag.Duration("interval", 5*time.Second, "per-user reload interval")
-		prefix    = flag.String("userprefix", "user", "username prefix (userNNN)")
-		userCount = flag.Int("usercount", 40, "distinct usernames to rotate through")
+// widgetAgg tracks one widget's health and latency across the run.
+type widgetAgg struct {
+	requests int
+	fetches  int
+	errors   int
+	degraded int
+	lats     []time.Duration // network-fetch latencies only
+}
 
-		maxErrRate = flag.Float64("max-error-rate", -1, "exit 1 if the overall widget error rate exceeds this (0..1; negative disables)")
-		maxDegRate = flag.Float64("max-degraded-rate", -1, "exit 1 if the overall degraded-response rate exceeds this (0..1; negative disables)")
-	)
-	flag.Parse()
+// sample is one homepage reload.
+type sample struct {
+	netTime  time.Duration
+	instant  int
+	fetches  int
+	degraded int
+	failed   int
+}
 
-	client := &http.Client{Timeout: 10 * time.Second}
-	type sample struct {
-		netTime  time.Duration
-		instant  int
-		fetches  int
-		degraded int
-		failed   int
+// collector aggregates page loads across all simulated browsers.
+type collector struct {
+	mu        sync.Mutex
+	samples   []sample
+	perWidget map[string]*widgetAgg
+}
+
+func newCollector() *collector {
+	return &collector{perWidget: make(map[string]*widgetAgg)}
+}
+
+func (c *collector) record(load browser.PageLoad) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.samples = append(c.samples, sample{
+		netTime:  load.NetworkTime,
+		instant:  load.InstantPaints,
+		fetches:  load.NetworkFetches,
+		degraded: load.DegradedPaints,
+		failed:   load.Failed,
+	})
+	for _, wr := range load.Widgets {
+		agg := c.perWidget[wr.Name]
+		if agg == nil {
+			agg = &widgetAgg{}
+			c.perWidget[wr.Name] = agg
+		}
+		agg.requests++
+		if wr.NetworkTime > 0 {
+			agg.fetches++
+			agg.lats = append(agg.lats, wr.NetworkTime)
+		}
+		if wr.Err != nil {
+			agg.errors++
+		}
+		if wr.Degraded {
+			agg.degraded++
+		}
 	}
-	// widgetAgg tracks one widget's health across the run: how often it was
-	// requested, errored outright, or was served in degraded (stale) mode.
-	type widgetAgg struct {
-		requests int
-		errors   int
-		degraded int
-	}
-	var (
-		mu        sync.Mutex
-		samples   []sample
-		perWidget = make(map[string]*widgetAgg)
-		wg        sync.WaitGroup
-	)
-	deadline := time.Now().Add(*duration)
-	log.Printf("load: %d browsers against %s for %v (reload every %v)",
-		*users, *url, *duration, *interval)
+}
 
-	for i := 0; i < *users; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			name := fmt.Sprintf("%s%03d", *prefix, i%*userCount+1)
-			b := browser.New(name, *url, client, realClock{})
-			for time.Now().Before(deadline) {
-				load := b.LoadHomepage()
-				mu.Lock()
-				samples = append(samples, sample{
-					netTime:  load.NetworkTime,
-					instant:  load.InstantPaints,
-					fetches:  load.NetworkFetches,
-					degraded: load.DegradedPaints,
-					failed:   load.Failed,
-				})
-				for _, wr := range load.Widgets {
-					agg := perWidget[wr.Name]
-					if agg == nil {
-						agg = &widgetAgg{}
-						perWidget[wr.Name] = agg
-					}
-					agg.requests++
-					if wr.Err != nil {
-						agg.errors++
-					}
-					if wr.Degraded {
-						agg.degraded++
-					}
-				}
-				mu.Unlock()
-				time.Sleep(*interval)
-			}
-		}(i)
+// percentile reads the p-quantile from a sorted latency slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
 	}
-	wg.Wait()
+	return sorted[int(p*float64(len(sorted)-1))]
+}
 
-	if len(samples) == 0 {
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// benchWidget is one widget's row in the BENCH_*.json snapshot.
+type benchWidget struct {
+	Requests       int     `json:"requests"`
+	NetworkFetches int     `json:"network_fetches"`
+	Errors         int     `json:"errors"`
+	Degraded       int     `json:"degraded"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+// benchReport is the snapshot the perf trajectory tracks run over run.
+type benchReport struct {
+	Kind        string                 `json:"kind"` // "loadgen_latency"
+	Scenario    string                 `json:"scenario"`
+	GeneratedAt time.Time              `json:"generated_at"`
+	Users       int                    `json:"users"`
+	PageLoads   int                    `json:"page_loads"`
+	PageP50Ms   float64                `json:"page_network_p50_ms"`
+	PageP90Ms   float64                `json:"page_network_p90_ms"`
+	PageP99Ms   float64                `json:"page_network_p99_ms"`
+	ErrorRate   float64                `json:"error_rate"`
+	DegRate     float64                `json:"degraded_rate"`
+	Widgets     map[string]benchWidget `json:"widgets"`
+}
+
+// report prints the run summary, optionally writes the bench snapshot, and
+// returns the overall error and degraded rates for the exit gates.
+func (c *collector) report(scenario string, users int, benchOut string) (errRate, degRate float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.samples) == 0 {
 		log.Fatal("no samples collected — is the dashboard running?")
 	}
 	var (
@@ -123,7 +158,7 @@ func main() {
 		totalFailed    int
 		widgetsPainted int
 	)
-	for _, s := range samples {
+	for _, s := range c.samples {
 		lats = append(lats, s.netTime)
 		totalInstant += s.instant
 		totalFetches += s.fetches
@@ -132,11 +167,8 @@ func main() {
 		widgetsPainted += s.instant + s.fetches
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) time.Duration {
-		return lats[int(p*float64(len(lats)-1))]
-	}
 
-	fmt.Printf("\npage loads:              %d\n", len(samples))
+	fmt.Printf("\npage loads:              %d\n", len(c.samples))
 	fmt.Printf("widget paints:           %d\n", widgetsPainted)
 	fmt.Printf("  instant (client cache): %d (%.1f%%)\n",
 		totalInstant, 100*float64(totalInstant)/float64(widgetsPainted))
@@ -145,32 +177,108 @@ func main() {
 		totalDegraded, 100*float64(totalDegraded)/float64(widgetsPainted))
 	fmt.Printf("  failed widgets:         %d\n", totalFailed)
 	fmt.Printf("network time per reload: p50=%v p90=%v p99=%v max=%v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+		percentile(lats, 0.50).Round(time.Microsecond), percentile(lats, 0.90).Round(time.Microsecond),
+		percentile(lats, 0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 
-	// Per-widget health: error rate and degraded-response rate, the numbers
-	// a failure drill (EXPERIMENTS.md) is run to observe.
-	names := make([]string, 0, len(perWidget))
-	for name := range perWidget {
+	// Per-widget health and latency percentiles: error rate, degraded rate,
+	// and the p50/p95/p99 a fault drill or perf regression moves first.
+	names := make([]string, 0, len(c.perWidget))
+	for name := range c.perWidget {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("\n%-16s %9s %8s %7s %9s %7s\n",
-		"widget", "requests", "errors", "err%", "degraded", "degr%")
+	fmt.Printf("\n%-16s %9s %8s %7s %9s %7s %10s %10s %10s\n",
+		"widget", "requests", "errors", "err%", "degraded", "degr%", "p50", "p95", "p99")
 	var totalReq, totalErr, totalDeg int
+	widgets := make(map[string]benchWidget, len(names))
 	for _, name := range names {
-		agg := perWidget[name]
+		agg := c.perWidget[name]
 		totalReq += agg.requests
 		totalErr += agg.errors
 		totalDeg += agg.degraded
-		fmt.Printf("%-16s %9d %8d %6.1f%% %9d %6.1f%%\n",
+		sort.Slice(agg.lats, func(i, j int) bool { return agg.lats[i] < agg.lats[j] })
+		p50 := percentile(agg.lats, 0.50)
+		p95 := percentile(agg.lats, 0.95)
+		p99 := percentile(agg.lats, 0.99)
+		fmt.Printf("%-16s %9d %8d %6.1f%% %9d %6.1f%% %10v %10v %10v\n",
 			name, agg.requests,
 			agg.errors, 100*float64(agg.errors)/float64(agg.requests),
-			agg.degraded, 100*float64(agg.degraded)/float64(agg.requests))
+			agg.degraded, 100*float64(agg.degraded)/float64(agg.requests),
+			p50.Round(time.Microsecond), p95.Round(time.Microsecond), p99.Round(time.Microsecond))
+		bw := benchWidget{
+			Requests:       agg.requests,
+			NetworkFetches: agg.fetches,
+			Errors:         agg.errors,
+			Degraded:       agg.degraded,
+			P50Ms:          ms(p50),
+			P95Ms:          ms(p95),
+			P99Ms:          ms(p99),
+		}
+		if n := len(agg.lats); n > 0 {
+			bw.MaxMs = ms(agg.lats[n-1])
+		}
+		widgets[name] = bw
+	}
+	errRate = float64(totalErr) / float64(totalReq)
+	degRate = float64(totalDeg) / float64(totalReq)
+
+	if benchOut != "" {
+		rep := benchReport{
+			Kind:        "loadgen_latency",
+			Scenario:    scenario,
+			GeneratedAt: time.Now().UTC(),
+			Users:       users,
+			PageLoads:   len(c.samples),
+			PageP50Ms:   ms(percentile(lats, 0.50)),
+			PageP90Ms:   ms(percentile(lats, 0.90)),
+			PageP99Ms:   ms(percentile(lats, 0.99)),
+			ErrorRate:   errRate,
+			DegRate:     degRate,
+			Widgets:     widgets,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding bench snapshot: %v", err)
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", benchOut, err)
+		}
+		log.Printf("bench snapshot written to %s", benchOut)
+	}
+	return errRate, degRate
+}
+
+func main() {
+	var (
+		url       = flag.String("url", "http://localhost:8080", "dashboard base URL")
+		users     = flag.Int("users", 50, "concurrent simulated browsers")
+		duration  = flag.Duration("duration", 30*time.Second, "test duration")
+		interval  = flag.Duration("interval", 5*time.Second, "per-user reload interval")
+		prefix    = flag.String("userprefix", "user", "username prefix (userNNN)")
+		userCount = flag.Int("usercount", 40, "distinct usernames to rotate through")
+
+		smoke  = flag.Bool("smoke", false, "self-contained run: in-process dashboard over the small simulated cluster, reload rounds on the simulated clock")
+		rounds = flag.Int("rounds", 8, "reload rounds in -smoke mode (each advances simulated time by -interval)")
+
+		benchOut   = flag.String("bench-out", "", "write a BENCH_*.json latency snapshot to this path")
+		maxErrRate = flag.Float64("max-error-rate", -1, "exit 1 if the overall widget error rate exceeds this (0..1; negative disables)")
+		maxDegRate = flag.Float64("max-degraded-rate", -1, "exit 1 if the overall degraded-response rate exceeds this (0..1; negative disables)")
+	)
+	flag.Parse()
+
+	var (
+		col      *collector
+		scenario string
+	)
+	if *smoke {
+		scenario = "smoke"
+		col = runSmoke(*users, *rounds, *interval)
+	} else {
+		scenario = "live"
+		col = runLive(*url, *users, *duration, *interval, *prefix, *userCount)
 	}
 
-	errRate := float64(totalErr) / float64(totalReq)
-	degRate := float64(totalDeg) / float64(totalReq)
+	errRate, degRate := col.report(scenario, *users, *benchOut)
 	if *maxErrRate >= 0 && errRate > *maxErrRate {
 		log.Printf("FAIL: error rate %.3f exceeds -max-error-rate %.3f", errRate, *maxErrRate)
 		os.Exit(1)
@@ -179,4 +287,87 @@ func main() {
 		log.Printf("FAIL: degraded rate %.3f exceeds -max-degraded-rate %.3f", degRate, *maxDegRate)
 		os.Exit(1)
 	}
+}
+
+// runLive drives a running dashboard over the wall clock.
+func runLive(url string, users int, duration, interval time.Duration, prefix string, userCount int) *collector {
+	client := &http.Client{Timeout: 10 * time.Second}
+	col := newCollector()
+	deadline := time.Now().Add(duration)
+	log.Printf("load: %d browsers against %s for %v (reload every %v)",
+		users, url, duration, interval)
+
+	var wg sync.WaitGroup
+	for i := 0; i < users; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := fmt.Sprintf("%s%03d", prefix, i%userCount+1)
+			b := browser.New(name, url, client, realClock{})
+			for time.Now().Before(deadline) {
+				col.record(b.LoadHomepage())
+				time.Sleep(interval)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return col
+}
+
+// runSmoke builds the whole stack in-process and drives reload rounds on
+// the simulated clock: no wall-clock sleeping, but cache TTLs expire as
+// they would over minutes of real traffic, because each round advances the
+// shared simulated clock by interval.
+func runSmoke(users, rounds int, interval time.Duration) *collector {
+	spec := workload.SmallSpec()
+	log.Printf("smoke: building small workload (seed %d)...", spec.Seed)
+	env, err := workload.Build(spec)
+	if err != nil {
+		log.Fatalf("workload: %v", err)
+	}
+
+	newsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("news listener: %v", err)
+	}
+	defer newsLn.Close()
+	go func() { _ = http.Serve(newsLn, env.Feed) }()
+
+	server, err := env.NewServer(fmt.Sprintf("http://%s/", newsLn.Addr()))
+	if err != nil {
+		log.Fatalf("server: %v", err)
+	}
+	dashLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("dashboard listener: %v", err)
+	}
+	defer dashLn.Close()
+	go func() { _ = http.Serve(dashLn, server) }()
+	baseURL := fmt.Sprintf("http://%s", dashLn.Addr())
+	log.Printf("smoke: dashboard at %s, %d browsers, %d rounds (simulated %v apart)",
+		baseURL, users, rounds, interval)
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	col := newCollector()
+	browsers := make([]*browser.Browser, users)
+	for i := range browsers {
+		// Browsers share the simulated clock, so their client caches age in
+		// simulated time together with the server cache.
+		name := env.UserNames[i%len(env.UserNames)]
+		browsers[i] = browser.New(name, baseURL, client, env.Clock)
+	}
+	for round := 0; round < rounds; round++ {
+		var wg sync.WaitGroup
+		for _, b := range browsers {
+			wg.Add(1)
+			go func(b *browser.Browser) {
+				defer wg.Done()
+				col.record(b.LoadHomepage())
+			}(b)
+		}
+		wg.Wait()
+		env.Clock.Advance(interval)
+		env.Cluster.Ctl.Tick()
+	}
+	return col
 }

@@ -43,6 +43,10 @@ type WidgetResult struct {
 	Name   string
 	Source clientcache.FetchSource
 	Bytes  int
+	// NetworkTime is the wall-clock time this widget spent in its backend
+	// request; zero when the first paint came from cache with no refresh.
+	// Load generators aggregate it into per-widget latency percentiles.
+	NetworkTime time.Duration
 	// Degraded is set when the backend answered from its stale-while-error
 	// fallback (X-OODDash-Degraded header): the widget painted, but with
 	// last-known-good data because the data source is down.
@@ -133,15 +137,17 @@ func (b *Browser) LoadPage(widgets []WidgetRequest) PageLoad {
 	var out PageLoad
 	for _, w := range widgets {
 		degraded := false
+		var netTime time.Duration
 		res, err := b.store.Fetch(w.Path, w.TTL, func() ([]byte, error) {
 			start := time.Now()
 			body, deg, ferr := b.fetchAPI(w.Path)
-			out.NetworkTime += time.Since(start)
+			netTime = time.Since(start)
+			out.NetworkTime += netTime
 			out.NetworkFetches++
 			degraded = deg
 			return body, ferr
 		})
-		wr := WidgetResult{Name: w.Name, Degraded: degraded, Err: err}
+		wr := WidgetResult{Name: w.Name, NetworkTime: netTime, Degraded: degraded, Err: err}
 		if err == nil {
 			wr.Source = res.Source
 			wr.Bytes = len(res.Value)

@@ -54,12 +54,22 @@ func (s *Store) Put(key string, value []byte) {
 	s.records[key] = Record{Key: key, Value: cp, StoredAt: s.clock.Now()}
 }
 
-// Get returns the record for key, if present.
+// Get returns the record for key, if present. The returned Value is a copy:
+// Put copies on write and Get copies on read, so a caller mutating the
+// bytes it received can never corrupt the stored record (the aliasing bug
+// this guards against let one widget's in-place JSON patching poison every
+// later cache read of the same route).
 func (s *Store) Get(key string) (Record, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	r, ok := s.records[key]
-	return r, ok
+	if !ok {
+		return Record{}, false
+	}
+	cp := make([]byte, len(r.Value))
+	copy(cp, r.Value)
+	r.Value = cp
+	return r, true
 }
 
 // Delete removes key.

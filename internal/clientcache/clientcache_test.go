@@ -247,3 +247,66 @@ func TestFetchPolicyProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestGetReturnsCopy is the regression test for the read-aliasing bug: Get
+// (and therefore Fetch, which serves cached bytes through it) used to
+// return the map's Record.Value slice directly, so a caller mutating the
+// returned bytes corrupted the cached record for every later reader.
+func TestGetReturnsCopy(t *testing.T) {
+	db := New(newFakeClock())
+	s := db.ObjectStore("api")
+	s.Put("storage", []byte(`{"dirs":[1,2,3]}`))
+
+	rec, ok := s.Get("storage")
+	if !ok {
+		t.Fatal("record missing")
+	}
+	for i := range rec.Value {
+		rec.Value[i] = 'X' // simulate a widget patching its payload in place
+	}
+	again, _ := s.Get("storage")
+	if string(again.Value) != `{"dirs":[1,2,3]}` {
+		t.Fatalf("cached record corrupted by caller mutation: %q", again.Value)
+	}
+}
+
+// TestFetchReturnsCopy covers the same aliasing through Fetch's cache-hit
+// and degraded (stale-after-error) paths.
+func TestFetchReturnsCopy(t *testing.T) {
+	clock := newFakeClock()
+	db := New(clock)
+	s := db.ObjectStore("api")
+	s.Put("jobs", []byte(`original`))
+
+	// Fresh hit: no network, returned bytes must be a private copy.
+	res, err := s.Fetch("jobs", time.Minute, func() ([]byte, error) {
+		t.Fatal("fetch must not run on a fresh hit")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Value {
+		res.Value[i] = 'Y'
+	}
+
+	// Stale + fetch error: the degraded fallback serves the cached copy,
+	// which must also be private.
+	clock.Advance(2 * time.Minute)
+	res, err = s.Fetch("jobs", time.Minute, func() ([]byte, error) {
+		return nil, errors.New("source down")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Value) != "original" {
+		t.Fatalf("degraded fetch served corrupted bytes: %q", res.Value)
+	}
+	for i := range res.FirstPaint {
+		res.FirstPaint[i] = 'Z'
+	}
+	rec, _ := s.Get("jobs")
+	if string(rec.Value) != "original" {
+		t.Fatalf("cached record corrupted: %q", rec.Value)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -49,24 +50,43 @@ func (m *fetchMeta) absorb(other fetchMeta) {
 // front, then the source's retry/timeout/circuit-breaker policy around the
 // compute. On compute failure a retained last-known-good value comes back
 // with Degraded set instead of the error.
+//
+// The request context (carrying the middleware's trace ID) flows into the
+// resilience layer, so the OnResult hook can attribute upstream latency and
+// failures back to the request that observed them. The per-source result —
+// ok (cache hits included), degraded, or error — lands in the fetch-results
+// counter.
 func (s *Server) fetchVia(r *http.Request, source, key string, ttl time.Duration, compute func() (any, error)) (any, fetchMeta, error) {
 	res, err := s.cache.FetchStale(key, ttl, s.cfg.Resilience.StaleFor, func() (any, error) {
 		return s.res.Do(source, r.Context(), func(context.Context) (any, error) {
 			return compute()
 		})
 	})
-	if err != nil {
+	switch {
+	case err != nil:
+		s.obsm.fetchResults.With(source, "error").Inc()
 		return nil, fetchMeta{}, err
+	case res.Degraded:
+		s.obsm.fetchResults.With(source, "degraded").Inc()
+	default:
+		s.obsm.fetchResults.With(source, "ok").Inc()
 	}
 	return res.Value, fetchMeta{Degraded: res.Degraded, Age: res.Age}, nil
 }
 
 // runResilient runs an uncached upstream call through the source's policy —
-// for the few routes that query outside the cache.
+// for the few routes that query outside the cache. The request context
+// propagates the trace ID into the resilience layer's attribution hook.
 func (s *Server) runResilient(r *http.Request, source string, op func() (any, error)) (any, error) {
-	return s.res.Do(source, r.Context(), func(context.Context) (any, error) {
+	v, err := s.res.Do(source, r.Context(), func(context.Context) (any, error) {
 		return op()
 	})
+	if err != nil {
+		s.obsm.fetchResults.With(source, "error").Inc()
+	} else {
+		s.obsm.fetchResults.With(source, "ok").Inc()
+	}
+	return v, err
 }
 
 // isUnavailable reports whether err means the data source could not serve —
@@ -108,8 +128,12 @@ func writeFetchError(w http.ResponseWriter, err error) {
 // writeWidgetJSON writes a widget payload, annotating degraded responses:
 // the X-OODDash-Degraded header plus "degraded": true and "age_seconds"
 // injected into the JSON object, so both generic HTTP clients and the
-// widget frontend can tell stale data from fresh.
-func writeWidgetJSON(w http.ResponseWriter, status int, meta fetchMeta, v any) {
+// widget frontend can tell stale data from fresh. age_seconds is rounded to
+// the nearest second (a 59.9s-old value must not report 59). Non-object
+// payloads (arrays) cannot carry the JSON annotation; the header alone
+// marks them and the drop is counted, so silently unannotated payloads are
+// at least visible on /metrics.
+func (s *Server) writeWidgetJSON(w http.ResponseWriter, status int, meta fetchMeta, v any) {
 	if !meta.Degraded {
 		writeJSON(w, status, v)
 		return
@@ -123,11 +147,13 @@ func writeWidgetJSON(w http.ResponseWriter, status int, meta fetchMeta, v any) {
 	var obj map[string]json.RawMessage
 	if err := json.Unmarshal(raw, &obj); err != nil {
 		// Non-object payload: serve it unannotated; the header still marks it.
+		s.obsm.annotationsDropped.Inc()
 		writeJSON(w, status, v)
 		return
 	}
+	ageSecs := int64(math.Round(meta.Age.Seconds()))
 	obj["degraded"] = json.RawMessage("true")
-	obj["age_seconds"] = json.RawMessage(strconv.FormatInt(int64(meta.Age/time.Second), 10))
+	obj["age_seconds"] = json.RawMessage(strconv.FormatInt(ageSecs, 10))
 	writeJSON(w, status, obj)
 }
 

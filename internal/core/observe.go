@@ -1,0 +1,248 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/obs"
+	"ooddash/internal/resilience"
+	"ooddash/internal/slurmcli"
+)
+
+// traceHeader carries the request-scoped trace ID on every API response.
+// A well-formed inbound value is adopted (so an upstream proxy can stitch
+// its own IDs through); otherwise the middleware mints one.
+const traceHeader = "X-OODDash-Trace"
+
+// serverObs bundles the dashboard's metric families. Everything renders
+// from one obs.Registry, so /metrics is a single WritePrometheus call and
+// adding a metric cannot desynchronize HELP/TYPE from its samples the way
+// the old hand-rolled Fprintf block could.
+type serverObs struct {
+	reg *obs.Registry
+
+	// Per-widget request metrics, recorded by the instrument middleware.
+	widgetLatency  *obs.HistogramVec // ooddash_widget_request_seconds{widget}
+	widgetRequests *obs.CounterVec   // ooddash_widget_requests_total{widget,status}
+
+	// Per-source fetch results as widgets see them (cache included):
+	// ok, degraded (stale-while-error), error.
+	fetchResults *obs.CounterVec // ooddash_fetch_results_total{source,result}
+
+	// Per-source upstream attribution from the resilience layer: what the
+	// dashboard actually did to each data source, cache misses only.
+	upstreamLatency  *obs.HistogramVec // ooddash_upstream_latency_seconds{source}
+	upstreamOutcomes *obs.CounterVec   // ooddash_upstream_outcomes_total{source,outcome}
+
+	// Per-command attribution from the metered runner: dashboard-side RPC
+	// cost by daemon, comparable with the simulator's sdiag counters.
+	slurmCommands *obs.CounterVec   // ooddash_slurm_commands_total{command,daemon,outcome}
+	slurmLatency  *obs.HistogramVec // ooddash_slurm_command_seconds{daemon}
+
+	// annotationsDropped counts degraded responses whose JSON payload could
+	// not carry the degraded/age_seconds annotation (non-object payloads);
+	// the header still marks them, but the JSON does not.
+	annotationsDropped *obs.Counter // ooddash_degraded_annotations_dropped_total
+}
+
+// newServerObs builds the registry and registers every family, including
+// the render-time collectors that bridge cache stats, breaker snapshots,
+// and the simulator's sdiag RPC counters.
+func newServerObs(s *Server) *serverObs {
+	reg := obs.NewRegistry()
+	o := &serverObs{
+		reg: reg,
+		widgetLatency: reg.HistogramVec("ooddash_widget_request_seconds",
+			"Widget API request latency by widget.", nil, "widget"),
+		widgetRequests: reg.CounterVec("ooddash_widget_requests_total",
+			"Widget API requests by widget and HTTP status.", "widget", "status"),
+		fetchResults: reg.CounterVec("ooddash_fetch_results_total",
+			"Widget data fetches by source and result (ok, degraded, error); cache hits count as ok.",
+			"source", "result"),
+		upstreamLatency: reg.HistogramVec("ooddash_upstream_latency_seconds",
+			"Upstream call latency by data source (resilience layer, cache misses only).", nil, "source"),
+		upstreamOutcomes: reg.CounterVec("ooddash_upstream_outcomes_total",
+			"Upstream call outcomes by data source (ok, retried, semantic_error, error, short_circuit, canceled).",
+			"source", "outcome"),
+		slurmCommands: reg.CounterVec("ooddash_slurm_commands_total",
+			"Slurm commands issued by the dashboard, by command, daemon, and outcome.",
+			"command", "daemon", "outcome"),
+		slurmLatency: reg.HistogramVec("ooddash_slurm_command_seconds",
+			"Slurm command latency by daemon.", nil, "daemon"),
+		annotationsDropped: reg.Counter("ooddash_degraded_annotations_dropped_total",
+			"Degraded responses whose non-object JSON payload could not carry the degraded/age_seconds annotation."),
+	}
+
+	// Cache effectiveness: the quantities behind the paper's §2.4 argument.
+	cacheCounter := func(name, help string, read func() int64) {
+		reg.CollectorFunc(name, obs.KindCounter, help, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(read())}}
+		})
+	}
+	cacheCounter("ooddash_cache_hits_total", "Server cache hits.",
+		func() int64 { return s.cache.Stats().Hits })
+	cacheCounter("ooddash_cache_misses_total", "Server cache misses.",
+		func() int64 { return s.cache.Stats().Misses })
+	cacheCounter("ooddash_cache_collapsed_total", "Requests collapsed onto an in-flight compute.",
+		func() int64 { return s.cache.Stats().Collapsed })
+	cacheCounter("ooddash_cache_errors_total", "Cache compute functions that returned an error.",
+		func() int64 { return s.cache.Stats().Errors })
+	cacheCounter("ooddash_cache_stale_served_total", "Degraded responses served from expired entries.",
+		func() int64 { return s.cache.Stats().StaleServed })
+	cacheCounter("ooddash_cache_breaker_open_total", "Compute errors that were breaker short-circuits.",
+		func() int64 { return s.cache.Stats().BreakerOpen })
+	reg.GaugeFunc("ooddash_cache_entries", "Current server cache entries.",
+		func() float64 { return float64(s.cache.Len()) })
+
+	// Breaker state and counters, one sample per data source.
+	breakerCollector := func(name, help string, kind obs.Kind, read func(resilience.Stats) float64) {
+		reg.CollectorFunc(name, kind, help, func() []obs.Sample {
+			snap := s.res.Snapshot()
+			out := make([]obs.Sample, 0, len(snap))
+			for _, b := range snap {
+				out = append(out, obs.Sample{
+					Labels: []obs.Label{{Name: "source", Value: b.Source}},
+					Value:  read(b),
+				})
+			}
+			return out
+		})
+	}
+	breakerCollector("ooddash_breaker_state",
+		"Circuit state per data source (0 closed, 1 half-open, 2 open).", obs.KindGauge,
+		func(b resilience.Stats) float64 { return float64(b.State) })
+	breakerCollector("ooddash_breaker_opens_total",
+		"Breaker transitions into open, per data source.", obs.KindCounter,
+		func(b resilience.Stats) float64 { return float64(b.Opens) })
+	breakerCollector("ooddash_retries_total",
+		"Retry attempts beyond the first, per data source.", obs.KindCounter,
+		func(b resilience.Stats) float64 { return float64(b.Retries) })
+	breakerCollector("ooddash_short_circuits_total",
+		"Calls rejected by an open breaker, per data source.", obs.KindCounter,
+		func(b resilience.Stats) float64 { return float64(b.ShortCircuits) })
+
+	// The simulator's own RPC counters via sdiag, so the dashboard's command
+	// cost (ooddash_slurm_commands_total) can be read next to what the
+	// daemons served in total. During an outage sdiag fails like everything
+	// else and the family simply renders no samples.
+	reg.CollectorFunc("ooddash_slurm_rpcs_total", obs.KindCounter,
+		"Slurm RPCs served, by daemon and message type (sdiag).", func() []obs.Sample {
+			ctld, dbd, err := slurmcli.Sdiag(s.runner)
+			if err != nil {
+				return nil
+			}
+			var out []obs.Sample
+			for _, d := range []slurmcli.DaemonDiag{ctld, dbd} {
+				kinds := make([]string, 0, len(d.RPCCounts))
+				for k := range d.RPCCounts {
+					kinds = append(kinds, k)
+				}
+				sort.Strings(kinds)
+				for _, k := range kinds {
+					out = append(out, obs.Sample{
+						Labels: []obs.Label{{Name: "daemon", Value: d.Name}, {Name: "rpc", Value: k}},
+						Value:  float64(d.RPCCounts[k]),
+					})
+				}
+			}
+			return out
+		})
+	return o
+}
+
+// observeUpstream is the resilience OnResult hook: per-source latency and
+// outcome attribution, plus a structured line for failures so an operator
+// can tie an upstream error back to the request trace that saw it.
+func (s *Server) observeUpstream(ctx context.Context, r resilience.OpResult) {
+	s.obsm.upstreamLatency.With(r.Source).Observe(r.Duration.Seconds())
+	s.obsm.upstreamOutcomes.With(r.Source, string(r.Outcome)).Inc()
+	if s.accessLog != nil && r.Err != nil {
+		s.accessLog(fmt.Sprintf("upstream trace=%s source=%s outcome=%s attempts=%d dur=%s err=%q",
+			logField(obs.TraceID(ctx)), r.Source, r.Outcome, r.Attempts,
+			r.Duration.Round(time.Microsecond), r.Err))
+	}
+}
+
+// observeCommand is the metered runner's hook: per-command, per-daemon
+// attribution of every Slurm invocation the dashboard makes.
+func (s *Server) observeCommand(command, daemon string, d time.Duration, err error) {
+	outcome := "ok"
+	switch {
+	case err == nil:
+	case slurmcli.IsUnavailable(err):
+		outcome = "unavailable"
+	default:
+		outcome = "error"
+	}
+	s.obsm.slurmCommands.With(command, daemon, outcome).Inc()
+	s.obsm.slurmLatency.With(daemon).Observe(d.Seconds())
+}
+
+// logField keeps empty values grep-able in access lines.
+func logField(v string) string {
+	if v == "" {
+		return "-"
+	}
+	return v
+}
+
+// statusRecorder captures the response status for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush passes through so streaming handlers keep working when wrapped.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrument wraps a widget handler with the request-scoped observability
+// envelope: a trace ID (assigned or adopted, returned as X-OODDash-Trace,
+// and propagated via context), a per-widget latency histogram sample, a
+// status-labelled request counter, and a structured access log line.
+func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		trace := r.Header.Get(traceHeader)
+		if !obs.ValidTraceID(trace) {
+			trace = obs.NewTraceID()
+		}
+		w.Header().Set(traceHeader, trace)
+		r = r.WithContext(obs.WithTrace(r.Context(), trace))
+
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		elapsed := time.Since(start)
+
+		s.obsm.widgetLatency.With(widget).Observe(elapsed.Seconds())
+		s.obsm.widgetRequests.With(widget, strconv.Itoa(rec.status)).Inc()
+		if s.accessLog != nil {
+			s.accessLog(fmt.Sprintf("access trace=%s widget=%s path=%s status=%d dur=%s degraded=%t user=%s",
+				trace, widget, r.URL.Path, rec.status, elapsed.Round(time.Microsecond),
+				w.Header().Get(degradedHeader) != "", logField(r.Header.Get(auth.UserHeader))))
+		}
+	}
+}
+
+// Metrics exposes the server's metrics registry, so an embedding program
+// (cmd/dashboard's ops listener, tests, experiments) can render or extend
+// the same exposition the /metrics widget serves.
+func (s *Server) Metrics() *obs.Registry { return s.obsm.reg }
+
+// SetAccessLog installs fn as the structured access/upstream log sink (one
+// line per call). Install before serving traffic; nil (the default)
+// disables access logging.
+func (s *Server) SetAccessLog(fn func(line string)) { s.accessLog = fn }

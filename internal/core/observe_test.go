@@ -1,0 +1,291 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/obs"
+)
+
+// validateMetricsExposition checks the document against the Prometheus text
+// format rules a scraper enforces: one HELP and one TYPE per family, no
+// duplicate family declarations, every sample belonging to the family most
+// recently declared, and histogram series that are internally consistent
+// (cumulative buckets ending in +Inf, with _count matching the +Inf bucket).
+// This is core's own copy of the check — the obs package's equivalent lives
+// in its test package and cannot be imported.
+func validateMetricsExposition(t *testing.T, text string) {
+	t.Helper()
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	current := ""
+	// bucketCum tracks cumulative bucket counts per histogram series (family
+	// + labels minus le); counts records the series' _count samples.
+	bucketLast := map[string]float64{}
+	bucketInf := map[string]float64{}
+	counts := map[string]float64{}
+
+	stripLe := func(labels string) string {
+		parts := strings.Split(labels, ",")
+		kept := parts[:0]
+		for _, p := range parts {
+			if !strings.HasPrefix(p, "le=") {
+				kept = append(kept, p)
+			}
+		}
+		return strings.Join(kept, ",")
+	}
+
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name := strings.Fields(line)[2]
+			if helpSeen[name] {
+				t.Errorf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			name, kind := f[2], f[3]
+			if _, dup := typeSeen[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			if !helpSeen[name] {
+				t.Errorf("line %d: TYPE for %s without preceding HELP", ln+1, name)
+			}
+			typeSeen[name] = kind
+			current = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: name{labels} value  |  name value
+		name := line
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Errorf("line %d: unterminated label set: %s", ln+1, line)
+				continue
+			}
+			labels = line[i+1 : j]
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		}
+		val, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Errorf("line %d: unparsable sample value: %s", ln+1, line)
+			continue
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if typeSeen[current] == "histogram" && strings.HasSuffix(name, suf) &&
+				strings.TrimSuffix(name, suf) == current {
+				base = current
+			}
+		}
+		if base != current {
+			t.Errorf("line %d: sample %s outside its family block (current %s)", ln+1, name, current)
+			continue
+		}
+		if typeSeen[current] == "histogram" {
+			series := current + "|" + stripLe(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if val+1e-9 < bucketLast[series] {
+					t.Errorf("line %d: non-cumulative bucket for %s: %g < %g",
+						ln+1, series, val, bucketLast[series])
+				}
+				bucketLast[series] = val
+				if strings.Contains(labels, `le="+Inf"`) {
+					bucketInf[series] = val
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[series] = val
+			}
+		}
+	}
+	for name := range helpSeen {
+		if _, ok := typeSeen[name]; !ok {
+			t.Errorf("HELP without TYPE for %s", name)
+		}
+	}
+	for series, c := range counts {
+		inf, ok := bucketInf[series]
+		if !ok {
+			t.Errorf("histogram series %s has no +Inf bucket", series)
+			continue
+		}
+		if c != inf {
+			t.Errorf("histogram series %s: _count %g != +Inf bucket %g", series, c, inf)
+		}
+	}
+}
+
+// TestMetricsExpositionValidity drives real widget traffic and then checks
+// that the whole /metrics document parses as valid exposition and carries
+// the per-widget histograms, per-source upstream attribution, and
+// per-command Slurm attribution the tentpole promises.
+func TestMetricsExpositionValidity(t *testing.T) {
+	e := newEnv(t)
+	e.wantStatus("alice", "/api/recent_jobs", http.StatusOK)
+	e.wantStatus("alice", "/api/system_status", http.StatusOK)
+	e.wantStatus("bob", "/api/myjobs", http.StatusOK)
+	e.wantStatus("", "/api/recent_jobs", http.StatusUnauthorized)
+
+	status, body := e.get("staff", "/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: status %d: %s", status, body)
+	}
+	text := string(body)
+	validateMetricsExposition(t, text)
+
+	for _, want := range []string{
+		`ooddash_widget_request_seconds_bucket{widget="recent_jobs",le="+Inf"}`,
+		`ooddash_widget_request_seconds_count{widget="recent_jobs"}`,
+		`ooddash_widget_requests_total{widget="recent_jobs",status="200"} 1`,
+		`ooddash_widget_requests_total{widget="recent_jobs",status="401"} 1`,
+		`ooddash_upstream_latency_seconds_count{source="slurmctld"}`,
+		`ooddash_upstream_outcomes_total{source="slurmctld",outcome="ok"}`,
+		`ooddash_fetch_results_total{source="slurmdbd",result="ok"}`,
+		`ooddash_slurm_commands_total{command="squeue",daemon="slurmctld",outcome="ok"}`,
+		`ooddash_slurm_commands_total{command="sacct",daemon="slurmdbd",outcome="ok"}`,
+		`ooddash_slurm_command_seconds_count{daemon="slurmctld"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestTraceHeader asserts that every API response — success, client error,
+// and auth failure alike — carries X-OODDash-Trace, that a well-formed
+// inbound trace ID is adopted, and that a malformed one (which could inject
+// into logs) is replaced.
+func TestTraceHeader(t *testing.T) {
+	e := newEnv(t)
+	for _, tc := range []struct {
+		user, path string
+		status     int
+	}{
+		{"alice", "/api/recent_jobs", http.StatusOK},
+		{"alice", "/api/job/999999", http.StatusNotFound},
+		{"", "/api/storage", http.StatusUnauthorized},
+		{"alice", "/metrics", http.StatusForbidden},
+	} {
+		status, hdr, _ := e.getFull(tc.user, tc.path)
+		if status != tc.status {
+			t.Fatalf("GET %s as %q: status %d, want %d", tc.path, tc.user, status, tc.status)
+		}
+		trace := hdr.Get("X-OODDash-Trace")
+		if trace == "" {
+			t.Errorf("GET %s (status %d): no X-OODDash-Trace header", tc.path, status)
+		} else if !obs.ValidTraceID(trace) {
+			t.Errorf("GET %s: malformed trace ID %q", tc.path, trace)
+		}
+	}
+
+	send := func(inbound string) string {
+		req, err := http.NewRequest("GET", e.web.URL+"/api/recent_jobs", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(auth.UserHeader, "alice")
+		req.Header.Set("X-OODDash-Trace", inbound)
+		resp, err := e.web.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.Header.Get("X-OODDash-Trace")
+	}
+	if got := send("proxy-abc123"); got != "proxy-abc123" {
+		t.Errorf("valid inbound trace not adopted: got %q", got)
+	}
+	if got := send("bad id\"with} junk"); got == "bad id\"with} junk" || !obs.ValidTraceID(got) {
+		t.Errorf("malformed inbound trace not replaced: got %q", got)
+	}
+}
+
+// TestMountDuplicateNames locks in Mount's documented tolerance for the
+// same widget named twice in the requested subset (each widget mounts once,
+// no mux double-registration panic, no spurious unknown-widget error), and
+// that subset-mounted widgets come instrumented.
+func TestMountDuplicateNames(t *testing.T) {
+	e := newEnv(t)
+	mux := http.NewServeMux()
+	if err := e.server.Mount(mux, "recent_jobs", "recent_jobs", "system_status"); err != nil {
+		t.Fatalf("Mount with duplicate names: %v", err)
+	}
+	req := httptest.NewRequest("GET", "/api/recent_jobs", nil)
+	req.Header.Set(auth.UserHeader, "alice")
+	rr := httptest.NewRecorder()
+	mux.ServeHTTP(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("mounted subset: status %d: %s", rr.Code, rr.Body.String())
+	}
+	if rr.Header().Get("X-OODDash-Trace") == "" {
+		t.Error("subset-mounted widget missing trace header (not instrumented)")
+	}
+	// Unknown names must still be reported.
+	if err := e.server.Mount(http.NewServeMux(), "recent_jobs", "nope"); err == nil {
+		t.Error("Mount with unknown widget: no error")
+	}
+}
+
+// TestDegradedArrayPayload is the regression test for the silent-annotation
+// bug: a degraded response with an array payload must still carry the
+// X-OODDash-Degraded header (only the JSON annotation is impossible), the
+// drop must be counted, and object payloads must report their age rounded
+// to the nearest second rather than truncated.
+func TestDegradedArrayPayload(t *testing.T) {
+	e := newEnv(t)
+	s := e.server
+	meta := fetchMeta{Degraded: true, Age: 59*time.Second + 900*time.Millisecond}
+
+	before := s.obsm.annotationsDropped.Value()
+	rr := httptest.NewRecorder()
+	s.writeWidgetJSON(rr, http.StatusOK, meta, []int{1, 2, 3})
+	if got := rr.Header().Get(degradedHeader); got != "stale" {
+		t.Errorf("array payload: %s header = %q, want \"stale\"", degradedHeader, got)
+	}
+	var arr []int
+	if err := json.Unmarshal(rr.Body.Bytes(), &arr); err != nil || len(arr) != 3 {
+		t.Errorf("array payload mangled: %v %s", err, rr.Body.String())
+	}
+	if got := s.obsm.annotationsDropped.Value(); got != before+1 {
+		t.Errorf("annotationsDropped = %d, want %d", got, before+1)
+	}
+
+	rr = httptest.NewRecorder()
+	s.writeWidgetJSON(rr, http.StatusOK, meta, map[string]string{"a": "b"})
+	var obj struct {
+		Degraded bool  `json:"degraded"`
+		Age      int64 `json:"age_seconds"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &obj); err != nil {
+		t.Fatalf("object payload: %v: %s", err, rr.Body.String())
+	}
+	if !obj.Degraded {
+		t.Error("object payload: degraded annotation missing")
+	}
+	if want := int64(math.Round(meta.Age.Seconds())); obj.Age != want || obj.Age != 60 {
+		t.Errorf("age_seconds = %d, want 60 (rounded, not truncated)", obj.Age)
+	}
+	if got := s.obsm.annotationsDropped.Value(); got != before+1 {
+		t.Errorf("object payload wrongly counted as dropped: %d", got)
+	}
+}

@@ -140,7 +140,7 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	writeWidgetJSON(w, http.StatusOK, meta, v.(*InsightsResponse))
+	s.writeWidgetJSON(w, http.StatusOK, meta, v.(*InsightsResponse))
 }
 
 // --- Admin overview (permission-based accounting) --------------------------------
@@ -195,7 +195,7 @@ func (s *Server) handleAdminOverview(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	writeWidgetJSON(w, http.StatusOK, meta, v.(*AdminOverviewResponse))
+	s.writeWidgetJSON(w, http.StatusOK, meta, v.(*AdminOverviewResponse))
 }
 
 func buildAdminOverview(rows []slurmcli.SacctRow, end time.Time) *AdminOverviewResponse {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"time"
@@ -89,7 +90,7 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 		writeFetchError(w, err)
 		return
 	}
-	writeWidgetJSON(w, http.StatusOK, meta, v.(*TimeseriesResponse))
+	s.writeWidgetJSON(w, http.StatusOK, meta, v.(*TimeseriesResponse))
 }
 
 // buildTimeseries folds accounting rows into evenly spaced buckets keyed by
@@ -223,9 +224,14 @@ func (s *Server) handleAdminHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleMetrics serves the backend counters in Prometheus exposition
-// format, so a center's existing monitoring can scrape the dashboard the
-// way it scrapes everything else. Admin-only, like /api/admin/health.
+// handleMetrics serves the backend metrics in Prometheus exposition format,
+// so a center's existing monitoring can scrape the dashboard the way it
+// scrapes everything else. The whole document renders from the obs registry
+// — cache effectiveness, per-widget latency histograms, per-source upstream
+// attribution, per-command Slurm cost, breaker states, and the simulator's
+// sdiag RPC counters — with exposition-correct label escaping (the old
+// hand-rolled %q formatting emitted \u escapes that are invalid in the text
+// format). Admin-only, like /api/admin/health.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	user, err := s.currentUser(r)
 	if err != nil {
@@ -236,59 +242,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: admin access required", errForbidden))
 		return
 	}
-	st := s.cache.Stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	fmt.Fprintf(w, "# HELP ooddash_cache_hits_total Server cache hits.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_cache_hits_total counter\n")
-	fmt.Fprintf(w, "ooddash_cache_hits_total %d\n", st.Hits)
-	fmt.Fprintf(w, "# HELP ooddash_cache_misses_total Server cache misses.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_cache_misses_total counter\n")
-	fmt.Fprintf(w, "ooddash_cache_misses_total %d\n", st.Misses)
-	fmt.Fprintf(w, "# HELP ooddash_cache_collapsed_total Requests collapsed onto an in-flight compute.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_cache_collapsed_total counter\n")
-	fmt.Fprintf(w, "ooddash_cache_collapsed_total %d\n", st.Collapsed)
-	fmt.Fprintf(w, "# HELP ooddash_cache_entries Current server cache entries.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_cache_entries gauge\n")
-	fmt.Fprintf(w, "ooddash_cache_entries %d\n", s.cache.Len())
-	fmt.Fprintf(w, "# HELP ooddash_cache_stale_served_total Degraded responses served from expired entries.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_cache_stale_served_total counter\n")
-	fmt.Fprintf(w, "ooddash_cache_stale_served_total %d\n", st.StaleServed)
-	fmt.Fprintf(w, "# HELP ooddash_cache_breaker_open_total Compute errors that were breaker short-circuits.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_cache_breaker_open_total counter\n")
-	fmt.Fprintf(w, "ooddash_cache_breaker_open_total %d\n", st.BreakerOpen)
-	breakers := s.res.Snapshot()
-	fmt.Fprintf(w, "# HELP ooddash_breaker_state Circuit state per data source (0 closed, 1 half-open, 2 open).\n")
-	fmt.Fprintf(w, "# TYPE ooddash_breaker_state gauge\n")
-	for _, b := range breakers {
-		fmt.Fprintf(w, "ooddash_breaker_state{source=%q} %d\n", b.Source, int(b.State))
-	}
-	fmt.Fprintf(w, "# HELP ooddash_breaker_opens_total Breaker transitions into open, per data source.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_breaker_opens_total counter\n")
-	for _, b := range breakers {
-		fmt.Fprintf(w, "ooddash_breaker_opens_total{source=%q} %d\n", b.Source, b.Opens)
-	}
-	fmt.Fprintf(w, "# HELP ooddash_retries_total Retry attempts beyond the first, per data source.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_retries_total counter\n")
-	for _, b := range breakers {
-		fmt.Fprintf(w, "ooddash_retries_total{source=%q} %d\n", b.Source, b.Retries)
-	}
-	fmt.Fprintf(w, "# HELP ooddash_short_circuits_total Calls rejected by an open breaker, per data source.\n")
-	fmt.Fprintf(w, "# TYPE ooddash_short_circuits_total counter\n")
-	for _, b := range breakers {
-		fmt.Fprintf(w, "ooddash_short_circuits_total{source=%q} %d\n", b.Source, b.ShortCircuits)
-	}
-	if ctld, dbd, err := slurmcli.Sdiag(s.runner); err == nil {
-		fmt.Fprintf(w, "# HELP ooddash_slurm_rpcs_total Slurm RPCs served, by daemon and message type.\n")
-		fmt.Fprintf(w, "# TYPE ooddash_slurm_rpcs_total counter\n")
-		for _, d := range []slurmcli.DaemonDiag{ctld, dbd} {
-			kinds := make([]string, 0, len(d.RPCCounts))
-			for k := range d.RPCCounts {
-				kinds = append(kinds, k)
-			}
-			sort.Strings(kinds)
-			for _, k := range kinds {
-				fmt.Fprintf(w, "ooddash_slurm_rpcs_total{daemon=%q,rpc=%q} %d\n", d.Name, k, d.RPCCounts[k])
-			}
-		}
+	if err := s.obsm.reg.WritePrometheus(w); err != nil {
+		log.Printf("core: rendering /metrics: %v", err)
 	}
 }

@@ -62,6 +62,11 @@ type Server struct {
 	res     *resilience.Set
 	mux     *http.ServeMux
 	widgets []Widget
+
+	// obsm holds the metrics registry and every metric family; accessLog,
+	// when set, receives one structured line per instrumented request.
+	obsm      *serverObs
+	accessLog func(line string)
 }
 
 // NewServer builds the dashboard from its dependencies.
@@ -104,7 +109,12 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 		OnStateChange: func(c resilience.StateChange) {
 			log.Printf("core: breaker %s: %s -> %s", c.Source, c.From, c.To)
 		},
+		OnResult: s.observeUpstream,
 	})
+	s.obsm = newServerObs(s)
+	// Every Slurm command the routes issue goes through the metered wrapper,
+	// so /metrics attributes dashboard-side RPC cost per command and daemon.
+	s.runner = slurmcli.NewMeteredRunner(deps.Runner, s.observeCommand)
 	// The Slurm sources get the availability classifier so semantic errors
 	// (unknown job, bad flags) neither retry nor trip the breaker; for the
 	// news API and storage database every error counts.
@@ -239,7 +249,10 @@ func (s *Server) Widgets() []Widget {
 
 // Mount registers widgets onto an arbitrary mux. With no names, every
 // widget is mounted; otherwise only the named subset, letting another
-// dashboard adopt individual features in isolation.
+// dashboard adopt individual features in isolation. Duplicate names in the
+// subset are tolerated (each widget mounts once). Every mounted handler is
+// wrapped with the observability middleware: trace IDs, per-widget latency
+// histograms, status counters, and the access log.
 func (s *Server) Mount(mux *http.ServeMux, names ...string) error {
 	want := make(map[string]bool, len(names))
 	for _, n := range names {
@@ -250,7 +263,7 @@ func (s *Server) Mount(mux *http.ServeMux, names ...string) error {
 		if len(names) > 0 && !want[w.Name] {
 			continue
 		}
-		mux.HandleFunc(w.Route, w.Handler)
+		mux.HandleFunc(w.Route, s.instrument(w.Name, w.Handler))
 		mounted++
 		delete(want, w.Name)
 	}

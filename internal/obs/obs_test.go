@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	// Re-registering the same name returns the same metric.
+	if again := r.Counter("c_total", "a counter"); again != c {
+		t.Fatalf("re-registration returned a new counter")
+	}
+	g := r.Gauge("g", "a gauge")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("reqs_total", "requests", "widget", "status")
+	v.With("storage", "200").Add(3)
+	v.With("storage", "503").Inc()
+	if got := v.Value("storage", "200"); got != 3 {
+		t.Fatalf("value = %d, want 3", got)
+	}
+	if got := v.Value("never", "seen"); got != 0 {
+		t.Fatalf("missing series value = %d, want 0", got)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`reqs_total{widget="storage",status="200"} 3`,
+		`reqs_total{widget="storage",status="503"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{0.01, 0.1, 1})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 90 fast observations, 10 slow: p50 lands in the first bucket, p99 in
+	// the last.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-(90*0.005+10*0.5)) > 1e-9 {
+		t.Fatalf("sum = %v", got)
+	}
+	if p50 := h.Quantile(0.50); p50 <= 0 || p50 > 0.01 {
+		t.Fatalf("p50 = %v, want within first bucket (0, 0.01]", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 <= 0.1 || p99 > 1 {
+		t.Fatalf("p99 = %v, want within last bucket (0.1, 1]", p99)
+	}
+	// An observation beyond every bound lands in +Inf and quantile estimates
+	// floor at the last finite bound.
+	h.Observe(100)
+	if got := h.Quantile(1); got != 1 {
+		t.Fatalf("q1 = %v, want 1 (last finite bound)", got)
+	}
+}
+
+func TestHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	v := r.HistogramVec("lat_seconds", "latency", []float64{0.1, 1}, "widget")
+	v.With("jobs").Observe(0.05)
+	v.With("jobs").Observe(0.5)
+	v.With("jobs").Observe(5) // +Inf bucket
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP lat_seconds latency\n",
+		"# TYPE lat_seconds histogram\n",
+		`lat_seconds_bucket{widget="jobs",le="0.1"} 1`,
+		`lat_seconds_bucket{widget="jobs",le="1"} 2`,
+		`lat_seconds_bucket{widget="jobs",le="+Inf"} 3`,
+		`lat_seconds_count{widget="jobs"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, `lat_seconds_sum{widget="jobs"} 5.55`) {
+		t.Fatalf("exposition missing sum:\n%s", out)
+	}
+}
+
+// TestLabelEscaping is the regression test for the %q bug: the old
+// hand-rolled /metrics renderer used Go's %q, which escapes non-ASCII label
+// values as \u sequences — invalid in the Prometheus text format. The
+// exposition escaper must touch only backslash, double quote, and newline,
+// and pass UTF-8 through raw.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("rpcs_total", "rpcs", "daemon")
+	v.With("slurmctld-β").Inc()
+	v.With("na\\me\"with\nall").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `rpcs_total{daemon="slurmctld-β"} 1`) {
+		t.Fatalf("non-ASCII label was mangled:\n%s", out)
+	}
+	if strings.Contains(out, `\u`) {
+		t.Fatalf("exposition contains invalid \\u escapes:\n%s", out)
+	}
+	if !strings.Contains(out, `rpcs_total{daemon="na\\me\"with\nall"} 1`) {
+		t.Fatalf("exposition escapes wrong:\n%s", out)
+	}
+	if got, want := EscapeLabelValue("a\\b\"c\nd"), `a\\b\"c\nd`; got != want {
+		t.Fatalf("EscapeLabelValue = %q, want %q", got, want)
+	}
+}
+
+func TestCollectorAndGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("entries", "live entries", func() float64 { return 7 })
+	r.CollectorFunc("breaker_state", KindGauge, "breaker state", func() []Sample {
+		return []Sample{
+			{Labels: []Label{{Name: "source", Value: "slurmctld"}}, Value: 2},
+			{Labels: []Label{{Name: "source", Value: "news"}}, Value: 0},
+		}
+	})
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"entries 7\n",
+		`breaker_state{source="slurmctld"} 2`,
+		`breaker_state{source="news"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestExpositionValidity parses a full render and asserts the document
+// invariants a Prometheus scraper depends on: every family has exactly one
+// HELP and one TYPE line, no family appears twice, and sample names belong
+// to their family.
+func TestExpositionValidity(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	r.Gauge("b", "b").Set(1)
+	r.HistogramVec("c_seconds", "c", nil, "w").With("x").Observe(0.2)
+	r.CounterVec("d_total", "d", "s").With("y").Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	ValidateExposition(t, sb.String())
+}
+
+// ValidateExposition asserts text is structurally valid Prometheus text
+// exposition. Shared with the core package's /metrics test via copy — the
+// invariants are few enough to state twice.
+func ValidateExposition(t *testing.T, text string) {
+	t.Helper()
+	type famInfo struct{ help, typ bool }
+	fams := map[string]*famInfo{}
+	var current string
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 4 {
+				t.Fatalf("malformed comment line: %q", line)
+			}
+			name := parts[2]
+			f := fams[name]
+			if f == nil {
+				f = &famInfo{}
+				fams[name] = f
+			}
+			if parts[1] == "HELP" {
+				if f.help {
+					t.Fatalf("duplicate HELP for %s", name)
+				}
+				f.help = true
+			} else {
+				if f.typ {
+					t.Fatalf("duplicate TYPE for %s", name)
+				}
+				f.typ = true
+			}
+			current = name
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+			"_bucket"), "_sum"), "_count")
+		if base != current && name != current {
+			t.Fatalf("sample %q outside its family (current %q): %q", name, current, line)
+		}
+	}
+	for name, f := range fams {
+		if !f.help || !f.typ {
+			t.Fatalf("family %s missing HELP or TYPE", name)
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n_total", "n")
+	h := r.HistogramVec("h_seconds", "h", nil, "w")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.With("x").Observe(0.01)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if got := h.With("x").Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestTraceIDs(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if a == b {
+		t.Fatalf("trace IDs collide: %s", a)
+	}
+	if len(a) != 16 || !ValidTraceID(a) {
+		t.Fatalf("bad trace ID %q", a)
+	}
+	ctx := WithTrace(context.Background(), a)
+	if got := TraceID(ctx); got != a {
+		t.Fatalf("TraceID = %q, want %q", got, a)
+	}
+	if TraceID(context.Background()) != "" {
+		t.Fatalf("empty context should carry no trace")
+	}
+	for _, bad := range []string{"", strings.Repeat("x", 65), "has space", "quo\"te", "new\nline"} {
+		if ValidTraceID(bad) {
+			t.Fatalf("ValidTraceID(%q) = true, want false", bad)
+		}
+	}
+	if !ValidTraceID("Abc-123_xyz") {
+		t.Fatalf("ValidTraceID rejected a good ID")
+	}
+}

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync/atomic"
+)
+
+// Trace IDs give every dashboard request a correlation handle: the HTTP
+// middleware mints one (or adopts a well-formed inbound one), returns it in
+// the X-OODDash-Trace response header, stamps it on the access log line, and
+// propagates it via context through the cache, resilience, and command
+// layers so an upstream failure can be tied back to the exact request that
+// observed it.
+
+type traceKey struct{}
+
+// traceFallback numbers trace IDs when the system's entropy source fails —
+// still unique within the process, which is all correlation needs.
+var traceFallback atomic.Uint64
+
+// NewTraceID returns a 16-hex-character random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := traceFallback.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithTrace returns a context carrying the trace ID.
+func WithTrace(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "" when none is set.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+// ValidTraceID reports whether an inbound trace ID is safe to adopt: 1–64
+// characters of [0-9a-zA-Z_-], so header values cannot smuggle log or
+// exposition syntax.
+func ValidTraceID(id string) bool {
+	if len(id) == 0 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z',
+			c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}

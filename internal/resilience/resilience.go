@@ -178,6 +178,42 @@ type StateChange struct {
 	At     time.Time
 }
 
+// Outcome classifies how one Do call against a source ended, for the
+// observability layer's per-source attribution.
+type Outcome string
+
+// Do outcomes.
+const (
+	// OutcomeOK: first attempt succeeded.
+	OutcomeOK Outcome = "ok"
+	// OutcomeRetried: succeeded, but only after at least one retry.
+	OutcomeRetried Outcome = "retried"
+	// OutcomeSemantic: the upstream answered with a non-availability error
+	// (unknown job, bad arguments); counts as healthy contact.
+	OutcomeSemantic Outcome = "semantic_error"
+	// OutcomeError: availability failure that exhausted the retry policy.
+	OutcomeError Outcome = "error"
+	// OutcomeShortCircuit: rejected by an open breaker, upstream untouched.
+	OutcomeShortCircuit Outcome = "short_circuit"
+	// OutcomeCanceled: the caller went away mid-call; says nothing about the
+	// upstream.
+	OutcomeCanceled Outcome = "canceled"
+)
+
+// OpResult describes one completed Do call, delivered to the OnResult hook.
+// Duration is wall-clock (latency is a real quantity even under a simulated
+// policy clock); the caller's context rides along so request-scoped trace
+// IDs survive into metrics and logs.
+type OpResult struct {
+	Source   string
+	Duration time.Duration
+	// Attempts is the number of upstream calls made (0 for short-circuits).
+	Attempts int
+	Outcome  Outcome
+	// Err is the error returned to the caller, nil on success.
+	Err error
+}
+
 // Stats is a snapshot of one breaker's counters.
 type Stats struct {
 	Source              string
@@ -199,6 +235,7 @@ type Breaker struct {
 	clock    Clock
 	sleep    func(time.Duration)
 	onChange func(StateChange)
+	onResult func(context.Context, OpResult)
 
 	mu          sync.Mutex
 	rng         *rand.Rand
@@ -231,6 +268,33 @@ func NewBreaker(source string, p Policy, clock Clock, sleep func(time.Duration),
 
 // Source returns the breaker's source name.
 func (b *Breaker) Source() string { return b.source }
+
+// SetResultHook installs fn as the per-call outcome observer. It is called
+// once after every Do with the call's attribution (outcome, attempts,
+// wall-clock duration) and the caller's context. Install hooks during
+// setup, before the breaker serves traffic.
+func (b *Breaker) SetResultHook(fn func(context.Context, OpResult)) {
+	b.mu.Lock()
+	b.onResult = fn
+	b.mu.Unlock()
+}
+
+// observe delivers one OpResult to the hook, outside breaker locks.
+func (b *Breaker) observe(ctx context.Context, start time.Time, attempts int, outcome Outcome, err error) {
+	b.mu.Lock()
+	fn := b.onResult
+	b.mu.Unlock()
+	if fn == nil {
+		return
+	}
+	fn(ctx, OpResult{
+		Source:   b.source,
+		Duration: time.Since(start),
+		Attempts: attempts,
+		Outcome:  outcome,
+		Err:      err,
+	})
+}
 
 // State returns the current breaker state. An expired open window still
 // reports Open until the next call transitions it.
@@ -271,24 +335,34 @@ func (b *Breaker) Snapshot() Stats {
 // failures that exhaust the policy return a *UpstreamError; short-circuits
 // return a *OpenError; classified non-availability errors return as-is.
 func (b *Breaker) Do(ctx context.Context, op func(context.Context) (any, error)) (any, error) {
+	start := time.Now()
 	if err := b.admit(); err != nil {
+		b.observe(ctx, start, 0, OutcomeShortCircuit, err)
 		return nil, err
 	}
 	p := b.policy
 	var lastErr error
+	attempts := 0
 	for attempt := 1; ; attempt++ {
 		b.mu.Lock()
 		b.stats.Attempts++
 		b.mu.Unlock()
+		attempts = attempt
 		v, err := b.runOnce(ctx, op)
 		if err == nil {
 			b.recordSuccess()
+			outcome := OutcomeOK
+			if attempt > 1 {
+				outcome = OutcomeRetried
+			}
+			b.observe(ctx, start, attempts, outcome, nil)
 			return v, nil
 		}
 		if p.Classify != nil && !p.Classify(err) {
 			// A semantic error from a healthy upstream: the daemon answered,
 			// so the contact counts as a success for the breaker.
 			b.recordSuccess()
+			b.observe(ctx, start, attempts, OutcomeSemantic, err)
 			return nil, err
 		}
 		lastErr = err
@@ -304,10 +378,13 @@ func (b *Breaker) Do(ctx context.Context, op func(context.Context) (any, error))
 		// The client went away mid-call; that says nothing about the
 		// upstream, so release the probe slot without moving the breaker.
 		b.releaseProbe()
+		b.observe(ctx, start, attempts, OutcomeCanceled, lastErr)
 		return nil, lastErr
 	}
 	b.recordFailure()
-	return nil, &UpstreamError{Source: b.source, RetryAfter: b.RetryAfter(), Err: lastErr}
+	err := &UpstreamError{Source: b.source, RetryAfter: b.RetryAfter(), Err: lastErr}
+	b.observe(ctx, start, attempts, OutcomeError, err)
+	return nil, err
 }
 
 // admit checks the breaker before an upstream call, transitioning
@@ -448,6 +525,10 @@ type Options struct {
 	// OnStateChange observes every breaker transition. It is called outside
 	// breaker locks but must not invoke Do on the same breaker.
 	OnStateChange func(StateChange)
+	// OnResult observes the outcome of every Do call (latency histograms,
+	// outcome counters). Called once per Do, outside breaker locks, with the
+	// caller's context so request-scoped trace IDs stay attached.
+	OnResult func(context.Context, OpResult)
 }
 
 // Set is a registry of per-source breakers sharing one clock, sleep hook,
@@ -475,6 +556,7 @@ func (s *Set) Register(source string, p Policy) *Breaker {
 	}
 	seed := s.opts.Seed + int64(len(s.breakers))
 	b := NewBreaker(source, p, s.opts.Clock, s.opts.Sleep, seed, s.opts.OnStateChange)
+	b.SetResultHook(s.opts.OnResult)
 	s.breakers[source] = b
 	return b
 }

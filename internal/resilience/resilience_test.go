@@ -379,3 +379,70 @@ func TestStateStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestResultHook asserts the OnResult observer sees one attributed outcome
+// per Do call: ok, retried, error, short_circuit, and semantic_error.
+func TestResultHook(t *testing.T) {
+	clock := newFakeClock()
+	var mu sync.Mutex
+	var results []OpResult
+	set := NewSet(Options{
+		Clock: clock,
+		Sleep: clock.Sleep,
+		OnResult: func(_ context.Context, r OpResult) {
+			mu.Lock()
+			results = append(results, r)
+			mu.Unlock()
+		},
+	})
+	semantic := errors.New("unknown job")
+	set.Register("src", Policy{
+		MaxAttempts: 2, Timeout: -1, FailureThreshold: 1, OpenFor: 10 * time.Second,
+		Classify: func(err error) bool { return err != semantic },
+	})
+	ctx := context.Background()
+
+	// ok on first attempt.
+	if _, err := set.Do("src", ctx, func(context.Context) (any, error) { return 1, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// ok after one retry.
+	var calls int
+	if _, err := set.Do("src", ctx, failNTimes(1, &calls)); err != nil {
+		t.Fatal(err)
+	}
+	// semantic error: healthy contact, no retry.
+	if _, err := set.Do("src", ctx, func(context.Context) (any, error) { return nil, semantic }); err != semantic {
+		t.Fatalf("err = %v, want semantic", err)
+	}
+	// exhausted availability failure: opens the breaker (threshold 1).
+	if _, err := set.Do("src", ctx, func(context.Context) (any, error) { return nil, errBoom }); err == nil {
+		t.Fatal("want error")
+	}
+	// short-circuited by the open breaker.
+	if _, err := set.Do("src", ctx, func(context.Context) (any, error) { return 1, nil }); err == nil {
+		t.Fatal("want short-circuit")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	wantOutcomes := []Outcome{OutcomeOK, OutcomeRetried, OutcomeSemantic, OutcomeError, OutcomeShortCircuit}
+	if len(results) != len(wantOutcomes) {
+		t.Fatalf("got %d results, want %d: %+v", len(results), len(wantOutcomes), results)
+	}
+	for i, want := range wantOutcomes {
+		r := results[i]
+		if r.Outcome != want || r.Source != "src" {
+			t.Fatalf("result[%d] = %+v, want outcome %s", i, r, want)
+		}
+	}
+	if results[0].Attempts != 1 || results[1].Attempts != 2 {
+		t.Fatalf("attempts = %d, %d; want 1, 2", results[0].Attempts, results[1].Attempts)
+	}
+	if results[4].Attempts != 0 {
+		t.Fatalf("short-circuit attempts = %d, want 0", results[4].Attempts)
+	}
+	if results[3].Err == nil || results[4].Err == nil {
+		t.Fatalf("failure results must carry errors: %+v", results[3:])
+	}
+}

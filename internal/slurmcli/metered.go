@@ -1,0 +1,44 @@
+package slurmcli
+
+import "time"
+
+// DaemonFor maps a Slurm command to the daemon that serves it — the same
+// blast-radius split Run enforces. The dashboard's observability layer uses
+// it to attribute command cost to slurmctld vs slurmdbd, so /metrics can
+// show dashboard-side RPC load next to the simulator's sdiag counters.
+func DaemonFor(command string) string {
+	switch command {
+	case "sacct", "sreport":
+		return "slurmdbd"
+	case "squeue", "sinfo", "scontrol", "scancel", "sdiag", "sprio":
+		return "slurmctld"
+	}
+	return "unknown"
+}
+
+// MeteredRunner wraps a Runner and reports every command's daemon, latency,
+// and error to an observer. It is the instrumentation seam between the
+// dashboard and the command surface: the backend wraps its runner once and
+// every route's Slurm traffic is attributed without the routes knowing.
+type MeteredRunner struct {
+	// Next is the wrapped runner.
+	Next Runner
+	// Observe receives one call per command; nil disables reporting.
+	// Duration is wall-clock. err is the command's error, nil on success.
+	Observe func(command, daemon string, d time.Duration, err error)
+}
+
+// NewMeteredRunner wraps next with the observer.
+func NewMeteredRunner(next Runner, observe func(command, daemon string, d time.Duration, err error)) *MeteredRunner {
+	return &MeteredRunner{Next: next, Observe: observe}
+}
+
+// Run implements Runner.
+func (m *MeteredRunner) Run(name string, args ...string) (string, error) {
+	start := time.Now()
+	out, err := m.Next.Run(name, args...)
+	if m.Observe != nil {
+		m.Observe(name, DaemonFor(name), time.Since(start), err)
+	}
+	return out, err
+}

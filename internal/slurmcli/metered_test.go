@@ -1,0 +1,70 @@
+package slurmcli
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+type scriptedRunner struct {
+	out string
+	err error
+}
+
+func (r scriptedRunner) Run(string, ...string) (string, error) { return r.out, r.err }
+
+func TestDaemonFor(t *testing.T) {
+	cases := map[string]string{
+		"squeue": "slurmctld", "sinfo": "slurmctld", "scontrol": "slurmctld",
+		"scancel": "slurmctld", "sdiag": "slurmctld", "sprio": "slurmctld",
+		"sacct": "slurmdbd", "sreport": "slurmdbd",
+		"made-up": "unknown",
+	}
+	for cmd, want := range cases {
+		if got := DaemonFor(cmd); got != want {
+			t.Errorf("DaemonFor(%q) = %q, want %q", cmd, got, want)
+		}
+	}
+}
+
+func TestMeteredRunnerAttributesCalls(t *testing.T) {
+	type obs struct {
+		command, daemon string
+		err             error
+	}
+	var seen []obs
+	m := NewMeteredRunner(scriptedRunner{out: "hello"}, func(command, daemon string, d time.Duration, err error) {
+		if d < 0 {
+			t.Errorf("negative duration %v", d)
+		}
+		seen = append(seen, obs{command, daemon, err})
+	})
+	if out, err := m.Run("squeue", "-u", "alice"); err != nil || out != "hello" {
+		t.Fatalf("Run = %q, %v", out, err)
+	}
+	boom := errors.New("boom")
+	m.Next = scriptedRunner{err: boom}
+	if _, err := m.Run("sacct"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	want := []obs{
+		{"squeue", "slurmctld", nil},
+		{"sacct", "slurmdbd", boom},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("observed %d calls, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("observation[%d] = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+}
+
+// A nil observer must not panic — the wrapper degrades to pass-through.
+func TestMeteredRunnerNilObserver(t *testing.T) {
+	m := &MeteredRunner{Next: scriptedRunner{out: "ok"}}
+	if out, err := m.Run("sinfo"); err != nil || out != "ok" {
+		t.Fatalf("Run = %q, %v", out, err)
+	}
+}
