@@ -1,8 +1,13 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: check test vet test-race race bench bench-go harness run verify
+.PHONY: check test vet test-race race bench bench-go bench-push harness run verify
 
-check: test vet test-race  ## the default CI gate: build + tests + vet + race detector
+check: test vet test-race vet-push  ## the default CI gate: build + tests + vet + race detector
+
+.PHONY: vet-push
+vet-push:        ## focused gate on the push subsystem (vet + race over its packages)
+	go vet ./internal/push/ ./internal/browser/ ./cmd/loadgen/
+	go test -race ./internal/push/ ./internal/browser/
 
 test:            ## full test suite
 	go build ./... && go test ./...
@@ -21,6 +26,10 @@ bench: check     ## CI gate + loadgen smoke on the simulated clock -> BENCH_late
 
 bench-go:        ## every Go benchmark (one per paper table/figure + package benches)
 	go test -bench=. -benchmem ./...
+
+bench-push:      ## polling vs SSE upstream-RPC comparison -> BENCH_push.json
+	go run ./cmd/loadgen -sse -users 50 -rounds 6 -interval 75s \
+		-max-sse-rpc-ratio 2 -bench-out BENCH_push.json
 
 harness:         ## regenerate every paper artifact (EXPERIMENTS.md numbers)
 	go run ./cmd/benchharness

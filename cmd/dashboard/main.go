@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dashboard [-addr :8080] [-small] [-seed 42] [-warp 60]
+//	          [-no-push] [-push-interval 1s] [-push-heartbeat 15s]
 //	          [-fault-cmd squeue] [-fault-rate 0.2] [-fault-outage]
 //	          [-fault-latency 300ms] [-fault-jitter 200ms]
 //	          [-fault-burst-len 3 -fault-burst-every 10]
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"ooddash/internal/auth"
+	"ooddash/internal/core"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/workload"
 )
@@ -59,6 +61,10 @@ func main() {
 		small     = flag.Bool("small", false, "use the small workload (fast startup)")
 		seed      = flag.Int64("seed", 42, "workload generator seed")
 		warp      = flag.Duration("warp", time.Minute, "simulated time advanced per wall-clock second")
+
+		noPush        = flag.Bool("no-push", false, "disable the live-update push subsystem (/api/events serves only the legacy delta poll)")
+		pushInterval  = flag.Duration("push-interval", time.Second, "wall-clock cadence of the background refresh scheduler")
+		pushHeartbeat = flag.Duration("push-heartbeat", 15*time.Second, "SSE keep-alive comment interval (0 disables heartbeats)")
 
 		faultCmd        = flag.String("fault-cmd", "", `inject faults into this Slurm command ("*" = all; empty disables injection)`)
 		faultRate       = flag.Float64("fault-rate", 0, "probability (0..1) a matching call fails")
@@ -136,12 +142,20 @@ func main() {
 		}
 	}
 
-	server, err := env.NewServer(newsURL)
+	hb := *pushHeartbeat
+	if hb <= 0 {
+		hb = -1 // withDefaults: negative disables, zero means default
+	}
+	server, err := env.NewServerPush(newsURL, core.PushConfig{Disabled: *noPush, Heartbeat: hb})
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}
 	if *accessLog {
 		server.SetAccessLog(func(line string) { log.Print(line) })
+	}
+	if !*noPush {
+		server.StartPush(*pushInterval)
+		log.Printf("push subsystem on: SSE at /api/events, refresh scheduler every %v", *pushInterval)
 	}
 
 	// Profiling on a dedicated ops mux, never on the user-facing listener:
@@ -178,16 +192,25 @@ func main() {
 	log.Printf("dashboard listening on %s (users %s..%s; send X-Remote-User)",
 		*addr, env.UserNames[0], env.UserNames[len(env.UserNames)-1])
 	srv := &http.Server{Addr: *addr, Handler: server}
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Printf("shutting down...")
+		// Close the push subsystem first: streams get a final "shutdown"
+		// event and end, so Shutdown is not left waiting on open SSE
+		// connections until its deadline.
+		server.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = srv.Shutdown(ctx)
 	}()
+	// ListenAndServe returns the moment Shutdown begins; wait for the drain
+	// to finish, or the process would exit with SSE handlers mid-final-write.
 	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatalf("dashboard: %v", err)
 	}
+	<-drained
 }

@@ -13,6 +13,8 @@
 //	        [-max-error-rate 0.01] [-max-degraded-rate 0.2]
 //	        [-bench-out BENCH_latency.json]
 //	loadgen -smoke [-users 25] [-rounds 8] [-interval 5s] [-bench-out ...]
+//	loadgen -sse [-users 50] [-rounds 6] [-interval 75s] [-bench-out BENCH_push.json]
+//	        [-max-sse-rpc-ratio 2]
 //
 // With -smoke, loadgen needs no running dashboard: it builds the small
 // simulated cluster in-process, serves the dashboard on an ephemeral port,
@@ -260,11 +262,19 @@ func main() {
 		smoke  = flag.Bool("smoke", false, "self-contained run: in-process dashboard over the small simulated cluster, reload rounds on the simulated clock")
 		rounds = flag.Int("rounds", 8, "reload rounds in -smoke mode (each advances simulated time by -interval)")
 
+		sse         = flag.Bool("sse", false, "push benchmark: compare polling vs SSE upstream RPC cost in-process (implies -smoke-style stack; see -rounds/-interval/-users)")
+		maxRPCRatio = flag.Float64("max-sse-rpc-ratio", -1, "exit 1 if the SSE fleet's upstream RPCs exceed this multiple of the single-client polling baseline (negative disables)")
+
 		benchOut   = flag.String("bench-out", "", "write a BENCH_*.json latency snapshot to this path")
 		maxErrRate = flag.Float64("max-error-rate", -1, "exit 1 if the overall widget error rate exceeds this (0..1; negative disables)")
 		maxDegRate = flag.Float64("max-degraded-rate", -1, "exit 1 if the overall degraded-response rate exceeds this (0..1; negative disables)")
 	)
 	flag.Parse()
+
+	if *sse {
+		runPushBench(*users, *rounds, *interval, *benchOut, *maxRPCRatio)
+		return
+	}
 
 	var (
 		col      *collector

@@ -47,11 +47,15 @@ type WidgetResult struct {
 	// request; zero when the first paint came from cache with no refresh.
 	// Load generators aggregate it into per-widget latency percentiles.
 	NetworkTime time.Duration
-	// Degraded is set when the backend answered from its stale-while-error
-	// fallback (X-OODDash-Degraded header): the widget painted, but with
-	// last-known-good data because the data source is down.
+	// Degraded is degraded mode as this client observed it: the backend
+	// answered from its stale-while-error fallback (X-OODDash-Degraded
+	// header), or the request failed outright and the browser fell back to
+	// its own stale cached copy. Either way the widget painted old data.
 	Degraded bool
-	Err      error
+	// StaleFallback distinguishes the client-side case: the backend request
+	// failed and the browser's cached copy was the fallback.
+	StaleFallback bool
+	Err           error
 }
 
 // PageLoad aggregates one page load.
@@ -64,9 +68,14 @@ type PageLoad struct {
 	NetworkFetches int
 	// NetworkTime is the wall-clock time spent in backend requests.
 	NetworkTime time.Duration
-	// DegradedPaints counts widgets the backend served in degraded mode
-	// (stale last-known-good data during a source outage).
+	// DegradedPaints counts widgets that painted old data: served degraded
+	// by the backend, or rescued by the browser's own stale cache after a
+	// failed request. This is the client-observed degraded rate the load
+	// generator gates on.
 	DegradedPaints int
+	// NotModified counts refreshes the server answered 304 from the
+	// client's ETag — revalidations that cost headers, not a body.
+	NotModified int
 	// Failed counts widgets that errored with no cached fallback.
 	Failed int
 }
@@ -87,6 +96,11 @@ type Browser struct {
 	Client  *http.Client
 	db      *clientcache.DB
 	store   *clientcache.Store
+	// lastEventID remembers the newest SSE snapshot version this browser has
+	// applied, so a reconnecting event stream resumes instead of replaying
+	// (EventSource's Last-Event-ID behavior). Guarded by the stream's mutex
+	// while a stream is open.
+	lastEventID int64
 }
 
 // New returns a browser for user against the dashboard at baseURL. Each
@@ -106,29 +120,37 @@ func New(user, baseURL string, client *http.Client, clock Clock) *Browser {
 	}
 }
 
-// fetchAPI performs one authenticated backend request. degraded reports
-// whether the server marked the response as stale-while-error fallback.
-func (b *Browser) fetchAPI(path string) (body []byte, degraded bool, err error) {
+// fetchAPI performs one authenticated backend request, revalidating with
+// If-None-Match when the client cache holds a tagged copy. A 304 answer
+// returns clientcache.ErrNotModified; degraded reports whether the server
+// marked the response as stale-while-error fallback.
+func (b *Browser) fetchAPI(path, etag string) (body []byte, newTag string, degraded bool, err error) {
 	req, err := http.NewRequest("GET", b.BaseURL+path, nil)
 	if err != nil {
-		return nil, false, err
+		return nil, "", false, err
 	}
 	req.Header.Set(auth.UserHeader, b.User)
 	req.Header.Set("Accept", "application/json")
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
 	resp, err := b.Client.Do(req)
 	if err != nil {
-		return nil, false, err
+		return nil, "", false, err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		return nil, etag, false, clientcache.ErrNotModified
+	}
 	degraded = resp.Header.Get("X-OODDash-Degraded") != ""
 	body, err = io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, degraded, err
+		return nil, "", degraded, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, degraded, fmt.Errorf("browser: %s returned %d: %.120s", path, resp.StatusCode, body)
+		return nil, "", degraded, fmt.Errorf("browser: %s returned %d: %.120s", path, resp.StatusCode, body)
 	}
-	return body, degraded, nil
+	return body, resp.Header.Get("ETag"), degraded, nil
 }
 
 // LoadPage loads one page: every widget goes through the client cache
@@ -136,28 +158,37 @@ func (b *Browser) fetchAPI(path string) (body []byte, degraded bool, err error) 
 func (b *Browser) LoadPage(widgets []WidgetRequest) PageLoad {
 	var out PageLoad
 	for _, w := range widgets {
-		degraded := false
+		serverDegraded := false
 		var netTime time.Duration
-		res, err := b.store.Fetch(w.Path, w.TTL, func() ([]byte, error) {
+		res, err := b.store.FetchTagged(w.Path, w.TTL, func(etag string) ([]byte, string, error) {
 			start := time.Now()
-			body, deg, ferr := b.fetchAPI(w.Path)
+			body, tag, deg, ferr := b.fetchAPI(w.Path, etag)
 			netTime = time.Since(start)
 			out.NetworkTime += netTime
 			out.NetworkFetches++
-			degraded = deg
-			return body, ferr
+			serverDegraded = deg
+			return body, tag, ferr
 		})
-		wr := WidgetResult{Name: w.Name, NetworkTime: netTime, Degraded: degraded, Err: err}
+		wr := WidgetResult{Name: w.Name, NetworkTime: netTime, Err: err}
 		if err == nil {
 			wr.Source = res.Source
 			wr.Bytes = len(res.Value)
-			if res.Source == clientcache.SourceFresh || res.Source == clientcache.SourceStale {
+			wr.StaleFallback = res.StaleFallback
+			wr.Degraded = serverDegraded || res.StaleFallback
+			// Revalidated paints are instant too: the cached copy painted
+			// while the conditional request confirmed it unchanged.
+			switch res.Source {
+			case clientcache.SourceFresh, clientcache.SourceStale, clientcache.SourceRevalidated:
 				out.InstantPaints++
 			}
-			if degraded {
+			if res.Source == clientcache.SourceRevalidated {
+				out.NotModified++
+			}
+			if wr.Degraded {
 				out.DegradedPaints++
 			}
 		} else {
+			wr.Degraded = serverDegraded
 			out.Failed++
 		}
 		out.Widgets = append(out.Widgets, wr)

@@ -77,12 +77,14 @@ func TestStaleWidgetsRefreshSelectively(t *testing.T) {
 	if bySource["storage"] != clientcache.SourceFresh {
 		t.Fatalf("storage = %s", bySource["storage"])
 	}
+	// Expired widgets refresh over the network; an unchanged payload comes
+	// back 304 (revalidated), a changed one as cache-stale. Both paint
+	// instantly from the cached copy.
 	for _, name := range []string{"recent_jobs", "system_status", "accounts"} {
-		if bySource[name] != clientcache.SourceStale {
-			t.Fatalf("%s = %s, want cache-stale (instant paint + refresh)", name, bySource[name])
+		if s := bySource[name]; s != clientcache.SourceStale && s != clientcache.SourceRevalidated {
+			t.Fatalf("%s = %s, want cache-stale or revalidated", name, s)
 		}
 	}
-	// Stale still paints instantly: all five were instant.
 	if load.InstantPaints != 5 || load.NetworkFetches != 3 {
 		t.Fatalf("instant=%d network=%d", load.InstantPaints, load.NetworkFetches)
 	}
@@ -134,5 +136,50 @@ func TestFailedBackendDegradesToStale(t *testing.T) {
 		if w.Source != clientcache.SourceStale {
 			t.Fatalf("widget %s source = %s", w.Name, w.Source)
 		}
+		// Regression: a stale fallback is degraded as the client observes
+		// it, even though no server header ever said so.
+		if !w.StaleFallback || !w.Degraded {
+			t.Fatalf("widget %s: stale fallback not reported degraded: %+v", w.Name, w)
+		}
+	}
+	if load.DegradedPaints != 5 {
+		t.Fatalf("DegradedPaints = %d, want 5 (client-observed)", load.DegradedPaints)
+	}
+}
+
+func TestUnchangedPayloadRevalidatesWith304(t *testing.T) {
+	env, url := stack(t)
+	b := New(env.UserNames[0], url, nil, env.Clock)
+	if load := b.LoadHomepage(); load.NotModified != 0 {
+		t.Fatalf("cold load reported %d revalidations", load.NotModified)
+	}
+	// Expire everything client-side without changing the payloads (no jobs
+	// run, storage is static): the next load must revalidate each widget
+	// with a 304 and paint instantly. Announcements are excluded — their
+	// active windows shift with the clock, legitimately changing the body.
+	env.Clock.Advance(2 * time.Hour)
+	stable := []WidgetRequest{
+		{Name: "recent_jobs", Path: "/api/recent_jobs", TTL: 30 * time.Second},
+		{Name: "system_status", Path: "/api/system_status", TTL: 60 * time.Second},
+		{Name: "accounts", Path: "/api/accounts", TTL: 60 * time.Second},
+		{Name: "storage", Path: "/api/storage", TTL: time.Hour},
+	}
+	load := b.LoadPage(stable)
+	if !load.FullyPainted() {
+		t.Fatalf("revalidation load failed: %+v", load.Widgets)
+	}
+	for _, w := range load.Widgets {
+		if w.Source != clientcache.SourceRevalidated {
+			t.Fatalf("widget %s = %s, want revalidated", w.Name, w.Source)
+		}
+		if w.Degraded {
+			t.Fatalf("widget %s wrongly degraded", w.Name)
+		}
+	}
+	if load.NotModified != 4 || load.InstantPaints != 4 {
+		t.Fatalf("notModified=%d instant=%d, want 4/4", load.NotModified, load.InstantPaints)
+	}
+	if load.DegradedPaints != 0 {
+		t.Fatalf("DegradedPaints = %d", load.DegradedPaints)
 	}
 }

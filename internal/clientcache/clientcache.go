@@ -12,11 +12,17 @@
 package clientcache
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 )
+
+// ErrNotModified is the sentinel a tagged fetch function returns when the
+// server answered 304 Not Modified: the cached copy is still current and
+// only its freshness clock needs resetting.
+var ErrNotModified = errors.New("clientcache: not modified")
 
 // Clock supplies the current time (matches slurm.Clock / cache.Clock).
 type Clock interface {
@@ -32,6 +38,9 @@ type Record struct {
 	Key      string
 	Value    []byte
 	StoredAt time.Time
+	// ETag is the entity tag the server sent with the payload; sent back as
+	// If-None-Match when the record needs revalidating.
+	ETag string
 }
 
 // Age returns how old the record is at the given instant.
@@ -47,11 +56,27 @@ type Store struct {
 
 // Put stores value under key, stamping it with the current time.
 func (s *Store) Put(key string, value []byte) {
+	s.PutTagged(key, value, "")
+}
+
+// PutTagged stores value with its server entity tag.
+func (s *Store) PutTagged(key string, value []byte, etag string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	s.records[key] = Record{Key: key, Value: cp, StoredAt: s.clock.Now()}
+	s.records[key] = Record{Key: key, Value: cp, StoredAt: s.clock.Now(), ETag: etag}
+}
+
+// Touch re-stamps an existing record as fresh without changing its value —
+// the bookkeeping for a 304 revalidation. A missing key is a no-op.
+func (s *Store) Touch(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.records[key]; ok {
+		r.StoredAt = s.clock.Now()
+		s.records[key] = r
+	}
 }
 
 // Get returns the record for key, if present. The returned Value is a copy:
@@ -139,9 +164,10 @@ type FetchSource string
 
 // Fetch sources.
 const (
-	SourceFresh   FetchSource = "cache-fresh" // served from cache, no network
-	SourceStale   FetchSource = "cache-stale" // cached copy was shown, then refreshed
-	SourceNetwork FetchSource = "network"     // no cached copy; network blocked first paint
+	SourceFresh       FetchSource = "cache-fresh" // served from cache, no network
+	SourceStale       FetchSource = "cache-stale" // cached copy was shown, then refreshed
+	SourceNetwork     FetchSource = "network"     // no cached copy; network blocked first paint
+	SourceRevalidated FetchSource = "revalidated" // cached copy confirmed current via 304
 )
 
 // FetchResult reports what Fetch did.
@@ -152,6 +178,10 @@ type FetchResult struct {
 	FirstPaint []byte
 	Source     FetchSource
 	CachedAge  time.Duration // age of the cached copy at fetch time, if any
+	// StaleFallback reports that the refresh failed and the stale cached
+	// copy was served instead — degraded mode as the client observes it,
+	// regardless of whether the server ever marked anything degraded.
+	StaleFallback bool
 }
 
 // Fetch implements the dashboard frontend's cache policy for one API route:
@@ -167,19 +197,36 @@ type FetchResult struct {
 // paper's modularity goal that one failing source must not take down the
 // page).
 func (s *Store) Fetch(key string, maxAge time.Duration, fetch func() ([]byte, error)) (FetchResult, error) {
+	return s.FetchTagged(key, maxAge, func(string) ([]byte, string, error) {
+		body, err := fetch()
+		return body, "", err
+	})
+}
+
+// FetchTagged is Fetch with conditional-request support: the fetch function
+// receives the cached record's entity tag (empty when none) to send as
+// If-None-Match, and returns the response body plus the new tag. Returning
+// ErrNotModified means the server answered 304 — the cached copy is
+// re-stamped fresh and served without a body transfer (SourceRevalidated).
+func (s *Store) FetchTagged(key string, maxAge time.Duration, fetch func(etag string) ([]byte, string, error)) (FetchResult, error) {
 	now := s.clock.Now()
 	rec, ok := s.Get(key)
 	if ok && rec.Age(now) <= maxAge {
 		return FetchResult{Value: rec.Value, FirstPaint: rec.Value, Source: SourceFresh, CachedAge: rec.Age(now)}, nil
 	}
-	fresh, err := fetch()
+	fresh, etag, err := fetch(rec.ETag)
+	if errors.Is(err, ErrNotModified) && ok {
+		s.Touch(key)
+		return FetchResult{Value: rec.Value, FirstPaint: rec.Value, Source: SourceRevalidated, CachedAge: rec.Age(now)}, nil
+	}
 	if err != nil {
 		if ok {
-			return FetchResult{Value: rec.Value, FirstPaint: rec.Value, Source: SourceStale, CachedAge: rec.Age(now)}, nil
+			return FetchResult{Value: rec.Value, FirstPaint: rec.Value, Source: SourceStale,
+				CachedAge: rec.Age(now), StaleFallback: true}, nil
 		}
 		return FetchResult{}, fmt.Errorf("clientcache: fetch %s/%s: %w", s.name, key, err)
 	}
-	s.Put(key, fresh)
+	s.PutTagged(key, fresh, etag)
 	res := FetchResult{Value: fresh, Source: SourceNetwork}
 	if ok {
 		res.FirstPaint = rec.Value

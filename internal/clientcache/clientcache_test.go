@@ -310,3 +310,63 @@ func TestFetchReturnsCopy(t *testing.T) {
 		t.Fatalf("cached record corrupted: %q", rec.Value)
 	}
 }
+
+func TestFetchTaggedRevalidates(t *testing.T) {
+	clock := newFakeClock()
+	db := New(clock)
+	s := db.ObjectStore("api")
+
+	// Cold: fetch stores the body with its tag.
+	calls := 0
+	fetch := func(etag string) ([]byte, string, error) {
+		calls++
+		if etag == `"v1"` {
+			return nil, etag, ErrNotModified
+		}
+		return []byte(`{"a":1}`), `"v1"`, nil
+	}
+	res, err := s.FetchTagged("w", 30*time.Second, fetch)
+	if err != nil || res.Source != SourceNetwork {
+		t.Fatalf("cold: %+v err=%v", res, err)
+	}
+	if rec, _ := s.Get("w"); rec.ETag != `"v1"` {
+		t.Fatalf("stored ETag = %q", rec.ETag)
+	}
+
+	// Stale with matching tag: 304 path re-stamps the record fresh.
+	clock.Advance(time.Minute)
+	res, err = s.FetchTagged("w", 30*time.Second, fetch)
+	if err != nil || res.Source != SourceRevalidated || string(res.Value) != `{"a":1}` {
+		t.Fatalf("revalidate: %+v err=%v", res, err)
+	}
+	if res.StaleFallback {
+		t.Fatal("revalidation marked StaleFallback")
+	}
+
+	// The Touch made it fresh again: no network call within the TTL.
+	before := calls
+	res, _ = s.FetchTagged("w", 30*time.Second, fetch)
+	if res.Source != SourceFresh || calls != before {
+		t.Fatalf("post-revalidation fetch went to network: %+v calls=%d", res, calls)
+	}
+}
+
+func TestFetchTaggedErrorFallsBackStale(t *testing.T) {
+	clock := newFakeClock()
+	db := New(clock)
+	s := db.ObjectStore("api")
+	s.PutTagged("w", []byte(`{"a":1}`), `"v1"`)
+	clock.Advance(time.Minute)
+	res, err := s.FetchTagged("w", 30*time.Second, func(string) ([]byte, string, error) {
+		return nil, "", errors.New("down")
+	})
+	if err != nil || res.Source != SourceStale || !res.StaleFallback {
+		t.Fatalf("fallback: %+v err=%v", res, err)
+	}
+	// ErrNotModified with no cached copy is a real error, not a revalidation.
+	if _, err := s.FetchTagged("missing", time.Second, func(string) ([]byte, string, error) {
+		return nil, "", ErrNotModified
+	}); err == nil {
+		t.Fatal("ErrNotModified without a cached record succeeded")
+	}
+}

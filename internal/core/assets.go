@@ -78,11 +78,11 @@ const DashCache = (() => {
       req.onerror = () => reject(req.error);
     });
   }
-  async function put(key, value) {
+  async function put(key, value, etag) {
     const db = await open();
     return new Promise((resolve, reject) => {
       const tx = db.transaction(STORE, "readwrite");
-      tx.objectStore(STORE).put({ key, value, storedAt: Date.now() });
+      tx.objectStore(STORE).put({ key, value, storedAt: Date.now(), etag: etag || "" });
       tx.oncomplete = resolve;
       tx.onerror = () => reject(tx.error);
     });
@@ -92,35 +92,78 @@ const DashCache = (() => {
 `
 
 // assetWidgetsJS drives every widget: instant paint from the client cache,
-// background refresh from the API route, graceful per-widget error states,
-// and a renderer per widget type (accordion, cards, progress bars, grid).
+// background refresh from the API route (conditional, via the stored ETag),
+// live updates over the /api/events SSE stream, graceful per-widget error
+// states, and a renderer per widget type (accordion, cards, progress bars,
+// grid).
 const assetWidgetsJS = `"use strict";
 (async function initWidgets() {
   const widgets = document.querySelectorAll("[data-api]");
+  const paint = (el, data) => {
+    const body = el.querySelector(".widget-body");
+    body.classList.remove("loading");
+    body.textContent = "";
+    body.appendChild(renderWidget(el.id, data));
+  };
   for (const el of widgets) {
     const api = el.dataset.api;
     const ttlMs = Number(el.dataset.ttl || "0") * 1000;
     const body = el.querySelector(".widget-body");
-    const render = (data) => {
-      body.classList.remove("loading");
-      body.textContent = "";
-      body.appendChild(renderWidget(el.id, data));
-    };
     try {
       const cached = await DashCache.get(api);
-      if (cached) render(cached.value); // instant paint from IndexedDB
+      if (cached) paint(el, cached.value); // instant paint from IndexedDB
       if (!cached || Date.now() - cached.storedAt > ttlMs) {
-        const resp = await fetch(api, { headers: { Accept: "application/json" } });
-        if (!resp.ok) throw new Error(api + " returned " + resp.status);
-        const fresh = await resp.json();
-        await DashCache.put(api, fresh);
-        render(fresh); // refresh in place
+        const headers = { Accept: "application/json" };
+        if (cached && cached.etag) headers["If-None-Match"] = cached.etag;
+        const resp = await fetch(api, { headers });
+        if (resp.status === 304 && cached) {
+          // Unchanged on the server: re-stamp the cached copy as fresh.
+          await DashCache.put(api, cached.value, cached.etag);
+        } else {
+          if (!resp.ok) throw new Error(api + " returned " + resp.status);
+          const fresh = await resp.json();
+          await DashCache.put(api, fresh, resp.headers.get("ETag"));
+          paint(el, fresh); // refresh in place
+        }
       }
     } catch (err) {
       // A failing widget degrades alone; the rest of the page stays up.
       body.classList.remove("loading");
       body.textContent = "This widget is temporarily unavailable (" + err.message + ").";
     }
+  }
+  openEventStream(widgets, paint);
+
+  // openEventStream subscribes this page's pushable widgets to the live
+  // update feed: each event's payload is exactly the widget's API response,
+  // so it goes through the same cache-put + repaint as a poll. EventSource
+  // reconnects (with Last-Event-ID) on its own; when push is unavailable the
+  // stream simply never delivers and the polling policy above still runs on
+  // every page load.
+  function openEventStream(els, paintFn) {
+    if (!window.EventSource) return;
+    const pushable = ["announcements", "recent_jobs", "system_status",
+      "cluster_status", "accounts", "storage", "my_jobs"];
+    const special = { myjobs: "my_jobs" };
+    const byName = {};
+    for (const el of els) {
+      const leaf = el.dataset.api.split("/").pop();
+      const name = special[leaf] || leaf;
+      if (pushable.indexOf(name) >= 0) byName[name] = el;
+    }
+    const names = Object.keys(byName);
+    if (!names.length) return;
+    const es = new EventSource("/api/events?widgets=" + names.join(","));
+    names.forEach((name) => {
+      es.addEventListener(name, async (ev) => {
+        try {
+          const data = JSON.parse(ev.data);
+          await DashCache.put(byName[name].dataset.api, data);
+          paintFn(byName[name], data);
+        } catch (err) { /* keep the last painted state */ }
+      });
+    });
+    es.addEventListener("shutdown", () => es.close());
   }
 
   const h = (tag, cls, text) => {

@@ -50,6 +50,40 @@ type ResilienceConfig struct {
 	Policy resilience.Policy
 }
 
+// PushConfig tunes the live-update push subsystem: the background refresh
+// scheduler and the SSE fan-out on /api/events.
+type PushConfig struct {
+	// Disabled turns the push path off; /api/events then serves only the
+	// legacy delta-poll feed and no background refreshing happens.
+	Disabled bool
+	// Widgets lists the push-enabled widgets (the allowed ?widgets= values
+	// and the default subscription set). Empty means DefaultPushWidgets.
+	Widgets []string
+	// Heartbeat is the SSE keep-alive comment interval (wall clock, since
+	// it exists to keep real sockets open). Zero means 15 s; negative
+	// disables heartbeats.
+	Heartbeat time.Duration
+	// Jitter staggers each source's refresh schedule by a deterministic
+	// fraction of its TTL in [0, Jitter), so sources registered together do
+	// not refresh in lockstep (thundering refresh). Zero means 0.25;
+	// negative disables.
+	Jitter float64
+	// DisableIdlePause keeps refreshing sources that have no subscribers
+	// (by default an idle source's schedule pauses until a client returns).
+	DisableIdlePause bool
+	// DisableDegradedSkip keeps the 1×TTL cadence for degraded sources (by
+	// default a source whose refresh came back degraded is stretched to
+	// 2×TTL until a fresh result returns).
+	DisableDegradedSkip bool
+}
+
+// DefaultPushWidgets are the homepage widgets the SSE stream subscribes to
+// when the client names none — the §2.4 set whose polling traffic the push
+// layer replaces.
+func DefaultPushWidgets() []string {
+	return []string{"announcements", "recent_jobs", "system_status", "accounts", "storage"}
+}
+
 // Config configures a dashboard Server.
 type Config struct {
 	// ClusterName appears in page titles and the CSV exports.
@@ -69,6 +103,8 @@ type Config struct {
 	// Resilience tunes timeouts, retries, circuit breaking, and degraded
 	// (stale-while-error) serving.
 	Resilience ResilienceConfig
+	// Push tunes the live-update subsystem (background refresh + SSE).
+	Push PushConfig
 }
 
 // withDefaults fills unset fields.
@@ -121,6 +157,21 @@ func (c Config) withDefaults() Config {
 		c.Resilience.StaleFor = 15 * time.Minute
 	case c.Resilience.StaleFor < 0:
 		c.Resilience.StaleFor = 0
+	}
+	if len(c.Push.Widgets) == 0 {
+		c.Push.Widgets = DefaultPushWidgets()
+	}
+	switch {
+	case c.Push.Heartbeat == 0:
+		c.Push.Heartbeat = 15 * time.Second
+	case c.Push.Heartbeat < 0:
+		c.Push.Heartbeat = 0
+	}
+	switch {
+	case c.Push.Jitter == 0:
+		c.Push.Jitter = 0.25
+	case c.Push.Jitter < 0:
+		c.Push.Jitter = 0
 	}
 	return c
 }

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// Widget routes answer conditional polling requests with 304 Not Modified:
+// the ETag is a content hash of the exact JSON body, so a client (the
+// browser model, or any generic HTTP cache) revalidating an unchanged
+// payload costs headers instead of a body. Degraded responses carry no
+// ETag — their age_seconds annotation changes every second, and a client
+// should not cache a stale fallback as if it were current.
+
+// etagFor returns the strong entity tag for a response body.
+func etagFor(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// etagMatch implements If-None-Match: a comma-separated candidate list or
+// "*", with weak-comparison semantics (a W/ prefix is ignored, per RFC
+// 9110 §13.1.2 — If-None-Match uses weak comparison).
+func etagMatch(header, tag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, cand := range strings.Split(header, ",") {
+		cand = strings.TrimPrefix(strings.TrimSpace(cand), "W/")
+		if cand == tag {
+			return true
+		}
+	}
+	return false
+}

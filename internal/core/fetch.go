@@ -133,9 +133,33 @@ func writeFetchError(w http.ResponseWriter, err error) {
 // payloads (arrays) cannot carry the JSON annotation; the header alone
 // marks them and the drop is counted, so silently unannotated payloads are
 // at least visible on /metrics.
-func (s *Server) writeWidgetJSON(w http.ResponseWriter, status int, meta fetchMeta, v any) {
+//
+// Fresh 200 responses carry an ETag (content hash of the body); a request
+// revalidating with a matching If-None-Match gets 304 Not Modified and no
+// body. Degraded responses are never conditional — see etag.go.
+func (s *Server) writeWidgetJSON(w http.ResponseWriter, r *http.Request, status int, meta fetchMeta, v any) {
 	if !meta.Degraded {
-		writeJSON(w, status, v)
+		raw, err := json.Marshal(v)
+		if err != nil {
+			writeError(w, fmt.Errorf("core: encoding response: %v", err))
+			return
+		}
+		// The tag hashes the exact bytes written below (Marshal + newline is
+		// what writeJSON's Encoder produces), so client-stored tags stay
+		// valid across both paths.
+		if status == http.StatusOK && r != nil {
+			tag := etagFor(append(raw, '\n'))
+			w.Header().Set("ETag", tag)
+			if etagMatch(r.Header.Get("If-None-Match"), tag) {
+				s.obsm.notModified.With(widgetFromContext(r.Context())).Inc()
+				w.WriteHeader(http.StatusNotModified)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write(raw)
+		w.Write([]byte{'\n'})
 		return
 	}
 	w.Header().Set(degradedHeader, "stale")

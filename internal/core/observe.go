@@ -10,6 +10,7 @@ import (
 
 	"ooddash/internal/auth"
 	"ooddash/internal/obs"
+	"ooddash/internal/push"
 	"ooddash/internal/resilience"
 	"ooddash/internal/slurmcli"
 )
@@ -48,6 +49,16 @@ type serverObs struct {
 	// not carry the degraded/age_seconds annotation (non-object payloads);
 	// the header still marks them, but the JSON does not.
 	annotationsDropped *obs.Counter // ooddash_degraded_annotations_dropped_total
+
+	// notModified counts conditional polling requests answered 304 from the
+	// client's ETag — bytes the cache saved without an upstream call.
+	notModified *obs.CounterVec // ooddash_not_modified_total{widget}
+
+	// pushRefresh times the background scheduler's per-widget refreshes.
+	pushRefresh *obs.HistogramVec // ooddash_push_refresh_seconds{widget}
+	// pushRefreshes counts refresh attempts by widget and result
+	// (published, unchanged, error).
+	pushRefreshes *obs.CounterVec // ooddash_push_refreshes_total{widget,result}
 }
 
 // newServerObs builds the registry and registers every family, including
@@ -76,7 +87,48 @@ func newServerObs(s *Server) *serverObs {
 			"Slurm command latency by daemon.", nil, "daemon"),
 		annotationsDropped: reg.Counter("ooddash_degraded_annotations_dropped_total",
 			"Degraded responses whose non-object JSON payload could not carry the degraded/age_seconds annotation."),
+		notModified: reg.CounterVec("ooddash_not_modified_total",
+			"Conditional widget requests answered 304 Not Modified from the client's ETag.", "widget"),
+		pushRefresh: reg.HistogramVec("ooddash_push_refresh_seconds",
+			"Background push refresh latency by widget.", nil, "widget"),
+		pushRefreshes: reg.CounterVec("ooddash_push_refreshes_total",
+			"Background push refresh attempts by widget and result (published, unchanged, error).",
+			"widget", "result"),
 	}
+
+	// Push fan-out health: connected clients, event flow, and the newest
+	// version per widget source (a stalled gauge means refreshes stopped).
+	reg.GaugeFunc("ooddash_push_connected_clients", "Open SSE subscriptions.",
+		func() float64 { return float64(s.pushHub.SubscriberCount()) })
+	pushCounter := func(name, help string, read func(push.HubStats) int64) {
+		reg.CollectorFunc(name, obs.KindCounter, help, func() []obs.Sample {
+			return []obs.Sample{{Value: float64(read(s.pushHub.Stats()))}}
+		})
+	}
+	pushCounter("ooddash_push_events_published_total",
+		"Snapshots that minted a new hub version.",
+		func(st push.HubStats) int64 { return st.Published })
+	pushCounter("ooddash_push_events_suppressed_total",
+		"Refreshes suppressed because the content hash was unchanged.",
+		func(st push.HubStats) int64 { return st.Suppressed })
+	pushCounter("ooddash_push_events_delivered_total",
+		"Snapshots handed to SSE client buffers.",
+		func(st push.HubStats) int64 { return st.Delivered })
+	pushCounter("ooddash_push_events_dropped_total",
+		"Snapshots coalesced away because an SSE client lagged (drop-oldest).",
+		func(st push.HubStats) int64 { return st.Dropped })
+	reg.CollectorFunc("ooddash_push_widget_version", obs.KindGauge,
+		"Newest published hub version per widget source.", func() []obs.Sample {
+			snaps := s.pushHub.Snapshots()
+			out := make([]obs.Sample, 0, len(snaps))
+			for _, snap := range snaps {
+				out = append(out, obs.Sample{
+					Labels: []obs.Label{{Name: "source", Value: snap.Key}},
+					Value:  float64(snap.Version),
+				})
+			}
+			return out
+		})
 
 	// Cache effectiveness: the quantities behind the paper's §2.4 argument.
 	cacheCounter := func(name, help string, read func() int64) {
@@ -168,6 +220,20 @@ func (s *Server) observeUpstream(ctx context.Context, r resilience.OpResult) {
 	}
 }
 
+// observeRefresh is the push scheduler's hook: per-widget refresh latency
+// and result attribution.
+func (s *Server) observeRefresh(widget string, d time.Duration, published bool, err error) {
+	result := "unchanged"
+	switch {
+	case err != nil:
+		result = "error"
+	case published:
+		result = "published"
+	}
+	s.obsm.pushRefresh.With(widget).Observe(d.Seconds())
+	s.obsm.pushRefreshes.With(widget, result).Inc()
+}
+
 // observeCommand is the metered runner's hook: per-command, per-daemon
 // attribution of every Slurm invocation the dashboard makes.
 func (s *Server) observeCommand(command, daemon string, d time.Duration, err error) {
@@ -181,6 +247,19 @@ func (s *Server) observeCommand(command, daemon string, d time.Duration, err err
 	}
 	s.obsm.slurmCommands.With(command, daemon, outcome).Inc()
 	s.obsm.slurmLatency.With(daemon).Observe(d.Seconds())
+}
+
+// widgetCtxKey carries the instrumented widget name through the request
+// context, so shared helpers (the 304 counter) can label by widget.
+type widgetCtxKey struct{}
+
+// widgetFromContext returns the widget name the instrument middleware
+// attached, or "unknown" outside an instrumented request.
+func widgetFromContext(ctx context.Context) string {
+	if w, ok := ctx.Value(widgetCtxKey{}).(string); ok {
+		return w
+	}
+	return "unknown"
 }
 
 // logField keeps empty values grep-able in access lines.
@@ -220,7 +299,8 @@ func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc 
 			trace = obs.NewTraceID()
 		}
 		w.Header().Set(traceHeader, trace)
-		r = r.WithContext(obs.WithTrace(r.Context(), trace))
+		ctx := context.WithValue(obs.WithTrace(r.Context(), trace), widgetCtxKey{}, widget)
+		r = r.WithContext(ctx)
 
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}

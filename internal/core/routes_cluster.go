@@ -139,7 +139,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // sortNodeCells orders the list view by any sortable column (§6).
@@ -269,7 +269,7 @@ func (s *Server) handleNodeOverview(w http.ResponseWriter, r *http.Request) {
 	if d.GPUTotal > 0 {
 		resp.GPUPercent = 100 * float64(d.GPUAlloc) / float64(d.GPUTotal)
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // NodeJobRow is one row in the Node Overview running-jobs tab.
@@ -337,5 +337,5 @@ func (s *Server) handleNodeJobs(w http.ResponseWriter, r *http.Request) {
 			OverviewURL: "/job/" + e.JobID,
 		})
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }

@@ -44,7 +44,9 @@ type EventsResponse struct {
 	NextSeq int64      `json:"next_seq"`
 }
 
-func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+// handleEventsPoll is the legacy delta-poll feed; SSE requests are routed
+// to handleEventStream by the handleEvents dispatcher in routes_push.go.
+func (s *Server) handleEventsPoll(w http.ResponseWriter, r *http.Request) {
 	user, err := s.currentUser(r)
 	if err != nil {
 		writeError(w, err)
@@ -140,7 +142,7 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, v.(*InsightsResponse))
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, v.(*InsightsResponse))
 }
 
 // --- Admin overview (permission-based accounting) --------------------------------
@@ -195,7 +197,7 @@ func (s *Server) handleAdminOverview(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, v.(*AdminOverviewResponse))
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, v.(*AdminOverviewResponse))
 }
 
 func buildAdminOverview(rows []slurmcli.SacctRow, end time.Time) *AdminOverviewResponse {

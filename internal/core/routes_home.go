@@ -68,7 +68,7 @@ func (s *Server) handleAnnouncements(w http.ResponseWriter, r *http.Request) {
 			PostedAt: a.PostedAt, StartsAt: a.StartsAt, EndsAt: a.EndsAt,
 		})
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // --- Recent Jobs widget (§3.2) ---------------------------------------------
@@ -115,7 +115,7 @@ func (s *Server) handleRecentJobs(w http.ResponseWriter, r *http.Request) {
 	for i := range entries {
 		resp.Jobs = append(resp.Jobs, recentJobFromEntry(&entries[i]))
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // stateDescriptions back the hoverable status tooltips (§3.2).
@@ -267,7 +267,7 @@ func (s *Server) handleSystemStatus(w http.ResponseWriter, r *http.Request) {
 			Reason: res.Comment,
 		})
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // --- Accounts widget (§3.4) ------------------------------------------------
@@ -417,7 +417,7 @@ func (s *Server) handleAccounts(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Accounts = append(resp.Accounts, row)
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // resolveAccountExport authorizes and loads the per-user breakdown behind
@@ -561,5 +561,5 @@ func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
 			FilesAppURL:  "/pun/sys/files/fs" + d.Path,
 		})
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }

@@ -251,7 +251,7 @@ func (s *Server) handleJobOverview(w http.ResponseWriter, r *http.Request) {
 		resp.ArrayJobID = strconv.FormatInt(int64(d.ArrayJobID), 10)
 		resp.ArrayURL = fmt.Sprintf("/api/job/%d/array", d.ArrayJobID)
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // --- Output/error log tabs (§7) ----------------------------------------------
@@ -407,5 +407,5 @@ func (s *Server) handleJobArray(w http.ResponseWriter, r *http.Request) {
 		})
 		resp.StateCounts[string(row.State)]++
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }

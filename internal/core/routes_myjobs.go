@@ -292,7 +292,7 @@ func (s *Server) handleMyJobs(w http.ResponseWriter, r *http.Request) {
 	if limit > 0 && len(resp.Jobs) > limit {
 		resp.Jobs = resp.Jobs[:limit]
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // handleMyJobsExport streams the (filtered) My Jobs table as CSV — the
@@ -440,7 +440,7 @@ func (s *Server) handleMyJobsCharts(w http.ResponseWriter, r *http.Request) {
 		}
 		return resp.GPUHours[i].User < resp.GPUHours[j].User
 	})
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // --- Job Performance Metrics (§5) --------------------------------------------
@@ -490,7 +490,7 @@ func (s *Server) handleJobPerf(w http.ResponseWriter, r *http.Request) {
 	}
 	rows := v.([]slurmcli.SacctRow)
 	resp := aggregateJobPerf(rows, start, end, now)
-	s.writeWidgetJSON(w, http.StatusOK, meta, resp)
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // aggregateJobPerf folds accounting rows into the summary metrics.

@@ -1,0 +1,311 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/push"
+)
+
+// This file wires the live-update push subsystem (internal/push) into the
+// dashboard: the SSE fan-out on GET /api/events, the per-widget refresh
+// sources the background scheduler re-fetches on their cache TTL cadence,
+// and the server lifecycle hooks (StartPush / TickPush / Close).
+//
+// A refresh is a loopback request through the server's own mux, so it takes
+// exactly the route's normal path — auth, cache fill, resilience policy,
+// degraded annotation — and costs upstream exactly what one cache-missing
+// poll would. Connected SSE clients then receive the bytes the polling
+// route would have served them, without issuing requests of their own:
+// upstream cost becomes O(sources), not O(clients).
+
+// pushRoute describes one push-enabled widget: the polling route the
+// refresh scheduler re-fetches, whether its payload is per-user, and its
+// refresh cadence (the widget's server cache TTL).
+type pushRoute struct {
+	widget  string
+	path    string
+	perUser bool
+	ttl     time.Duration
+}
+
+// key returns the scheduler/hub source key for this route and user.
+func (pr pushRoute) key(user string) string {
+	if pr.perUser {
+		return pr.widget + ":" + user
+	}
+	return pr.widget
+}
+
+// buildPushRoutes derives the push-enabled route table from the configured
+// TTLs. Cluster-wide widgets share one source across all subscribers;
+// per-user widgets get one source per subscribed user (paused when that
+// user has no open stream).
+func (s *Server) buildPushRoutes() map[string]pushRoute {
+	ttls := s.cfg.TTLs
+	routes := map[string]pushRoute{
+		"announcements":  {widget: "announcements", path: "/api/announcements", ttl: ttls.Announcements},
+		"system_status":  {widget: "system_status", path: "/api/system_status", ttl: ttls.SystemStatus},
+		"cluster_status": {widget: "cluster_status", path: "/api/cluster_status", ttl: ttls.ClusterNodes},
+		"recent_jobs":    {widget: "recent_jobs", path: "/api/recent_jobs", perUser: true, ttl: ttls.RecentJobs},
+		"accounts":       {widget: "accounts", path: "/api/accounts", perUser: true, ttl: ttls.Accounts},
+		"storage":        {widget: "storage", path: "/api/storage", perUser: true, ttl: ttls.Storage},
+		"my_jobs":        {widget: "my_jobs", path: "/api/myjobs", perUser: true, ttl: ttls.JobHistory},
+	}
+	return routes
+}
+
+// pushRefreshHeader marks scheduler-issued loopback requests so access logs
+// can tell background refreshes from client traffic.
+const pushRefreshHeader = "X-OODDash-Push"
+
+// loopbackRecorder captures one internal request's response without a
+// network round-trip (a minimal httptest.ResponseRecorder, kept local so
+// the serving path does not depend on a test package).
+type loopbackRecorder struct {
+	header http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func newLoopbackRecorder() *loopbackRecorder {
+	return &loopbackRecorder{header: make(http.Header), status: http.StatusOK}
+}
+
+func (l *loopbackRecorder) Header() http.Header         { return l.header }
+func (l *loopbackRecorder) WriteHeader(code int)        { l.status = code }
+func (l *loopbackRecorder) Write(p []byte) (int, error) { return l.body.Write(p) }
+func (l *loopbackRecorder) Flush()                      {}
+
+// pushFetch builds the scheduler fetch for one route: a loopback GET
+// through the server's own mux as the given user. Cluster-wide widgets
+// capture the first subscriber's identity; their payloads are
+// user-independent, the credential is only needed to pass the route's auth
+// check.
+func (s *Server) pushFetch(route pushRoute, user string) push.FetchFunc {
+	return func(ctx context.Context) ([]byte, bool, error) {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, route.path, nil)
+		if err != nil {
+			return nil, false, err
+		}
+		req.Header.Set(auth.UserHeader, user)
+		req.Header.Set("Accept", "application/json")
+		req.Header.Set(pushRefreshHeader, "refresh")
+		rec := newLoopbackRecorder()
+		s.mux.ServeHTTP(rec, req)
+		if rec.status != http.StatusOK {
+			return nil, false, fmt.Errorf("core: push refresh %s: status %d: %.120s",
+				route.path, rec.status, rec.body.Bytes())
+		}
+		degraded := rec.header.Get(degradedHeader) != ""
+		return bytes.TrimRight(rec.body.Bytes(), "\n"), degraded, nil
+	}
+}
+
+// handleEvents dispatches /api/events: an SSE request (Accept:
+// text/event-stream or an explicit ?widgets= subscription) gets the
+// live-update stream; anything else gets the legacy delta-poll feed.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	wantsSSE := strings.Contains(r.Header.Get("Accept"), "text/event-stream") ||
+		r.URL.Query().Get("widgets") != ""
+	if wantsSSE && !s.cfg.Push.Disabled {
+		s.handleEventStream(w, r)
+		return
+	}
+	s.handleEventsPoll(w, r)
+}
+
+// parseSubscription resolves the requested widget set against the
+// push-enabled table, returning routes in deterministic order.
+func (s *Server) parseSubscription(r *http.Request) ([]pushRoute, error) {
+	names := s.cfg.Push.Widgets
+	if raw := r.URL.Query().Get("widgets"); raw != "" {
+		names = strings.Split(raw, ",")
+	}
+	enabled := make(map[string]bool, len(s.cfg.Push.Widgets))
+	for _, n := range s.cfg.Push.Widgets {
+		enabled[n] = true
+	}
+	seen := make(map[string]bool, len(names))
+	routes := make([]pushRoute, 0, len(names))
+	for _, n := range names {
+		n = strings.TrimSpace(n)
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		route, ok := s.pushRoutes[n]
+		if !ok || !enabled[n] {
+			return nil, fmt.Errorf("%w: widget %q is not push-enabled", errBadRequest, n)
+		}
+		routes = append(routes, route)
+	}
+	if len(routes) == 0 {
+		return nil, fmt.Errorf("%w: empty widget subscription", errBadRequest)
+	}
+	sort.Slice(routes, func(i, j int) bool { return routes[i].widget < routes[j].widget })
+	return routes, nil
+}
+
+// lastEventID reads the client's resume position: the standard
+// Last-Event-ID header (set by EventSource on reconnect), with a
+// ?last_event_id= fallback for clients that cannot set headers.
+func lastEventID(r *http.Request) int64 {
+	raw := r.Header.Get("Last-Event-ID")
+	if raw == "" {
+		raw = r.URL.Query().Get("last_event_id")
+	}
+	id, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil || id < 0 {
+		return 0
+	}
+	return id
+}
+
+// handleEventStream is the SSE endpoint: it registers refresh sources for
+// the subscribed widgets, replays current snapshots newer than the
+// client's Last-Event-ID, then streams every new version until the client
+// disconnects or the server shuts down.
+func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
+	user, err := s.currentUser(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, fmt.Errorf("core: event stream: response writer cannot flush"))
+		return
+	}
+	routes, err := s.parseSubscription(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// Register each source (idempotent) and make sure a current snapshot
+	// exists, so a fresh client paints immediately. The synchronous refresh
+	// rides the server cache: when another subscriber already keeps the
+	// source warm this costs no upstream call. A failed refresh (cold
+	// source during an outage) leaves the stream open; events begin when
+	// the source recovers.
+	keys := make([]string, 0, len(routes))
+	for _, route := range routes {
+		key := route.key(user.Name)
+		keys = append(keys, key)
+		if _, err := s.pushSched.Register(push.Source{
+			Widget: route.widget,
+			Key:    key,
+			TTL:    route.ttl,
+			Fetch:  s.pushFetch(route, user.Name),
+		}); err != nil {
+			writeError(w, err)
+			return
+		}
+		if _, ok := s.pushHub.Latest(key); !ok {
+			_, _ = s.pushSched.Refresh(r.Context(), key)
+		}
+	}
+
+	sub := s.pushHub.Subscribe(keys)
+	defer sub.Close()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	enc := push.NewEncoder(w)
+
+	// Resume/initial replay: every subscribed widget's current snapshot
+	// the client has not seen yet, in version order.
+	for _, snap := range s.pushHub.Since(lastEventID(r), keys) {
+		if err := enc.WriteEvent(snap.Widget, snap.Version, snap.Payload); err != nil {
+			return
+		}
+	}
+	flusher.Flush()
+
+	// Heartbeats are wall-clock: they exist to keep real sockets and
+	// proxies alive, independent of the (possibly simulated) data clock.
+	var hbC <-chan time.Time
+	if s.cfg.Push.Heartbeat > 0 {
+		hb := time.NewTicker(s.cfg.Push.Heartbeat)
+		defer hb.Stop()
+		hbC = hb.C
+	}
+
+	shutdown := func() {
+		_ = enc.WriteEvent("shutdown", 0, []byte(`{"reason":"server closing"}`))
+		flusher.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.pushDone:
+			shutdown()
+			return
+		case <-sub.Done():
+			shutdown()
+			return
+		case <-hbC:
+			if err := enc.WriteComment("hb"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-sub.Ready():
+			for {
+				snap, ok := sub.Pop()
+				if !ok {
+					break
+				}
+				if err := enc.WriteEvent(snap.Widget, snap.Version, snap.Payload); err != nil {
+					return
+				}
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// StartPush begins background refreshing on a wall-clock loop that checks
+// source due-times every interval. Production servers call this once;
+// tests and the loadgen smoke mode drive TickPush on the simulated clock
+// instead.
+func (s *Server) StartPush(interval time.Duration) {
+	if s.cfg.Push.Disabled {
+		return
+	}
+	s.pushSched.Run(interval)
+}
+
+// TickPush runs every due background refresh synchronously and reports how
+// many sources were fetched. Call after advancing the shared simulated
+// clock.
+func (s *Server) TickPush() int { return s.pushSched.Tick() }
+
+// PushHub exposes the snapshot hub for tests and experiments.
+func (s *Server) PushHub() *push.Hub { return s.pushHub }
+
+// PushScheduler exposes the refresh scheduler for tests and experiments.
+func (s *Server) PushScheduler() *push.Scheduler { return s.pushSched }
+
+// Close shuts the push subsystem down: the refresh scheduler stops, every
+// SSE stream receives a final "shutdown" event and ends, and the hub
+// rejects further publishes. The server remains able to serve plain HTTP
+// requests (the push path simply reports closed). Idempotent.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.pushDone)
+		s.pushSched.Close()
+		s.pushHub.Close()
+	})
+}

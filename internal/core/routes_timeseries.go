@@ -90,7 +90,7 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 		writeFetchError(w, err)
 		return
 	}
-	s.writeWidgetJSON(w, http.StatusOK, meta, v.(*TimeseriesResponse))
+	s.writeWidgetJSON(w, r, http.StatusOK, meta, v.(*TimeseriesResponse))
 }
 
 // buildTimeseries folds accounting rows into evenly spaced buckets keyed by

@@ -6,11 +6,13 @@ import (
 	"net/http"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"ooddash/internal/auth"
 	"ooddash/internal/cache"
 	"ooddash/internal/newsfeed"
+	"ooddash/internal/push"
 	"ooddash/internal/resilience"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/storagedb"
@@ -67,6 +69,15 @@ type Server struct {
 	// when set, receives one structured line per instrumented request.
 	obsm      *serverObs
 	accessLog func(line string)
+
+	// Push subsystem: the versioned snapshot hub fanning out to SSE
+	// clients, the background refresh scheduler feeding it, the
+	// push-enabled route table, and the shutdown broadcast channel.
+	pushHub    *push.Hub
+	pushSched  *push.Scheduler
+	pushRoutes map[string]pushRoute
+	pushDone   chan struct{}
+	closeOnce  sync.Once
 }
 
 // NewServer builds the dashboard from its dependencies.
@@ -110,6 +121,22 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 			log.Printf("core: breaker %s: %s -> %s", c.Source, c.From, c.To)
 		},
 		OnResult: s.observeUpstream,
+	})
+	// Push plumbing comes before the metrics registry so its collectors can
+	// read hub and scheduler stats; the scheduler's refresh hook records
+	// into obsm, which is always set by the time any refresh can run.
+	s.pushHub = push.NewHub(deps.Clock)
+	s.pushRoutes = s.buildPushRoutes()
+	s.pushDone = make(chan struct{})
+	s.pushSched = push.NewScheduler(push.SchedulerOptions{
+		Clock:            deps.Clock,
+		Hub:              s.pushHub,
+		Jitter:           s.cfg.Push.Jitter,
+		PauseWhenIdle:    !s.cfg.Push.DisableIdlePause,
+		SkipWhenDegraded: !s.cfg.Push.DisableDegradedSkip,
+		OnRefresh: func(widget string, d time.Duration, published bool, err error) {
+			s.observeRefresh(widget, d, published, err)
+		},
 	})
 	s.obsm = newServerObs(s)
 	// Every Slurm command the routes issue goes through the metered wrapper,

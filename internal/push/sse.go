@@ -1,0 +1,121 @@
+package push
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Server-Sent Events wire format (the WHATWG
+// EventSource framing) for both ends of the stream: the core server encodes
+// snapshots with Encoder, and the simulated browser decodes them with
+// Decoder. Keeping both here means one definition of the framing and a
+// round-trip test in one place.
+
+// Event is one decoded SSE event.
+type Event struct {
+	// ID is the last "id:" field seen (the snapshot version).
+	ID int64
+	// Name is the "event:" field — the widget name, or a control event
+	// ("heartbeat" comments are skipped by the decoder, "shutdown" is
+	// delivered so clients can distinguish clean closes from errors).
+	Name string
+	// Data is the event payload with the trailing newline removed.
+	Data []byte
+}
+
+// Encoder writes SSE frames. It is not safe for concurrent use; the SSE
+// handler owns one per stream.
+type Encoder struct {
+	w io.Writer
+}
+
+// NewEncoder returns an encoder writing frames to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// WriteEvent writes one event frame. Multi-line data is split into multiple
+// data: fields per the SSE framing rules. id <= 0 omits the id field.
+func (e *Encoder) WriteEvent(name string, id int64, data []byte) error {
+	var b bytes.Buffer
+	if id > 0 {
+		fmt.Fprintf(&b, "id: %d\n", id)
+	}
+	if name != "" {
+		fmt.Fprintf(&b, "event: %s\n", name)
+	}
+	for _, line := range bytes.Split(bytes.TrimRight(data, "\n"), []byte("\n")) {
+		b.WriteString("data: ")
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	_, err := e.w.Write(b.Bytes())
+	return err
+}
+
+// WriteComment writes a comment frame (": text"), the SSE keep-alive
+// heartbeat. Comments are invisible to EventSource clients.
+func (e *Encoder) WriteComment(text string) error {
+	_, err := fmt.Fprintf(e.w, ": %s\n\n", text)
+	return err
+}
+
+// Decoder reads SSE frames from a stream.
+type Decoder struct {
+	r      *bufio.Scanner
+	lastID int64
+}
+
+// NewDecoder returns a decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	return &Decoder{r: sc}
+}
+
+// LastID returns the most recent event ID seen, for Last-Event-ID resume.
+func (d *Decoder) LastID() int64 { return d.lastID }
+
+// Next reads the next complete event, skipping comment-only frames
+// (heartbeats). It returns io.EOF when the stream ends cleanly.
+func (d *Decoder) Next() (Event, error) {
+	var (
+		ev      Event
+		sawData bool
+		data    bytes.Buffer
+	)
+	ev.ID = d.lastID
+	for d.r.Scan() {
+		line := d.r.Text()
+		switch {
+		case line == "":
+			// Frame boundary: dispatch if the frame carried anything
+			// beyond comments.
+			if sawData || ev.Name != "" {
+				ev.Data = bytes.TrimSuffix(data.Bytes(), []byte("\n"))
+				return ev, nil
+			}
+			ev = Event{ID: d.lastID}
+		case strings.HasPrefix(line, ":"):
+			// Comment (heartbeat): ignored.
+		case strings.HasPrefix(line, "id:"):
+			if id, err := strconv.ParseInt(strings.TrimSpace(line[3:]), 10, 64); err == nil {
+				d.lastID = id
+				ev.ID = id
+			}
+		case strings.HasPrefix(line, "event:"):
+			ev.Name = strings.TrimSpace(line[6:])
+		case strings.HasPrefix(line, "data:"):
+			sawData = true
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+			data.WriteByte('\n')
+		}
+	}
+	if err := d.r.Err(); err != nil {
+		return Event{}, err
+	}
+	return Event{}, io.EOF
+}

@@ -410,7 +410,13 @@ func (e *Env) SubmitRandom(rng *rand.Rand, n int) int {
 // paper's default cache TTLs. newsBaseURL points at an HTTP server wrapping
 // env.Feed (tests use httptest).
 func (e *Env) NewServer(newsBaseURL string) (*core.Server, error) {
-	return core.NewServer(core.Config{ClusterName: e.Cluster.Name}, core.Deps{
+	return e.NewServerPush(newsBaseURL, core.PushConfig{})
+}
+
+// NewServerPush is NewServer with an explicit push-subsystem configuration
+// (cmd/dashboard threads its -push-* flags through here).
+func (e *Env) NewServerPush(newsBaseURL string, pushCfg core.PushConfig) (*core.Server, error) {
+	return core.NewServer(core.Config{ClusterName: e.Cluster.Name, Push: pushCfg}, core.Deps{
 		Runner:  e.Runner,
 		News:    &newsfeed.Client{BaseURL: newsBaseURL},
 		Storage: e.Storage,
