@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: check test vet test-race race bench bench-go bench-push harness run verify
+.PHONY: check test vet test-race race bench bench-go bench-push bench-hotpath harness run verify
 
 check: test vet test-race vet-push  ## the default CI gate: build + tests + vet + race detector
 
@@ -25,11 +25,15 @@ bench: check     ## CI gate + loadgen smoke on the simulated clock -> BENCH_late
 		-max-error-rate 0 -bench-out BENCH_latency.json
 
 bench-go:        ## every Go benchmark (one per paper table/figure + package benches)
-	go test -bench=. -benchmem ./...
+	go test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
 bench-push:      ## polling vs SSE upstream-RPC comparison -> BENCH_push.json
 	go run ./cmd/loadgen -sse -users 50 -rounds 6 -interval 75s \
 		-max-sse-rpc-ratio 2 -bench-out BENCH_push.json
+
+bench-hotpath: check  ## encode-once vs re-encode hit path -> BENCH_hotpath.json (gated)
+	go run ./cmd/loadgen -hotpath -hotpath-requests 28000 \
+		-min-hotpath-alloc-ratio 5 -bench-out BENCH_hotpath.json
 
 harness:         ## regenerate every paper artifact (EXPERIMENTS.md numbers)
 	go run ./cmd/benchharness

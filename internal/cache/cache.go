@@ -13,11 +13,20 @@
 // last-known-good value is served flagged as degraded instead of surfacing
 // the upstream error. This is what keeps dashboard widgets populated through
 // a slurmctld outage.
+//
+// The cache is sharded: keys hash (FNV-1a) onto one of 16 shards, each with
+// its own lock, and the statistics counters are atomics, so concurrent
+// widget traffic on a hot cache no longer serializes on a single mutex the
+// way the original implementation did. Every stored value also carries a
+// cache-wide revision number (Result.Rev) that changes exactly when the
+// value is recomputed — the handle the rendered-response layer uses to know
+// its materialized JSON bytes are still current without comparing values.
 package cache
 
 import (
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -42,6 +51,39 @@ type Stats struct {
 	BreakerOpen int64 // compute errors that were circuit-breaker short-circuits
 }
 
+// counters is the live, atomically updated form of Stats.
+type counters struct {
+	hits        atomic.Int64
+	misses      atomic.Int64
+	stale       atomic.Int64
+	collapsed   atomic.Int64
+	errors      atomic.Int64
+	staleServed atomic.Int64
+	breakerOpen atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		Stale:       c.stale.Load(),
+		Collapsed:   c.collapsed.Load(),
+		Errors:      c.errors.Load(),
+		StaleServed: c.staleServed.Load(),
+		BreakerOpen: c.breakerOpen.Load(),
+	}
+}
+
+func (c *counters) reset() {
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.stale.Store(0)
+	c.collapsed.Store(0)
+	c.errors.Store(0)
+	c.staleServed.Store(0)
+	c.breakerOpen.Store(0)
+}
+
 // breakerOpenError is how the cache recognizes a short-circuit from the
 // resilience layer without importing it: any error in the chain exposing
 // this marker method counts toward Stats.BreakerOpen.
@@ -52,6 +94,7 @@ type breakerOpenError interface {
 
 type entry struct {
 	value      any
+	rev        uint64    // cache-wide revision, new on every store
 	storedAt   time.Time
 	expiresAt  time.Time // fresh until here
 	staleUntil time.Time // then servable as degraded until here
@@ -60,6 +103,7 @@ type entry struct {
 type call struct {
 	wg    sync.WaitGroup
 	value any
+	rev   uint64
 	err   error
 }
 
@@ -72,6 +116,25 @@ type Result struct {
 	Degraded bool
 	// Age is how long ago the value was computed.
 	Age time.Duration
+	// Rev is the stored entry's revision: a nonzero cache-wide sequence
+	// number minted when the value was (re)computed. Two Results with equal
+	// Rev carry the same stored value, so anything derived from it (e.g. a
+	// materialized JSON encoding) can be reused without comparison. Zero
+	// means the value was not served from a stored entry (Disabled, ttl<=0).
+	Rev uint64
+}
+
+// numShards is the shard count; a power of two so the hash maps to a shard
+// with a mask. 16 shards keeps the worst-case collision odds low for the
+// dashboard's few-hundred-key working set while staying cheap to iterate.
+const numShards = 16
+
+// shard is one lock domain: a fraction of the key space with its own entry
+// and in-flight call tables.
+type shard struct {
+	mu      sync.Mutex
+	entries map[string]entry
+	calls   map[string]*call
 }
 
 // Cache is a TTL key-value cache with singleflight miss collapsing. The zero
@@ -82,11 +145,10 @@ type Result struct {
 type Cache struct {
 	Disabled bool
 
-	mu      sync.Mutex
-	entries map[string]entry
-	calls   map[string]*call
-	clock   Clock
-	stats   Stats
+	clock  Clock
+	rev    atomic.Uint64
+	stats  counters
+	shards [numShards]shard
 }
 
 // New returns an empty cache reading time from clock (nil means wall clock).
@@ -94,11 +156,21 @@ func New(clock Clock) *Cache {
 	if clock == nil {
 		clock = realClock{}
 	}
-	return &Cache{
-		entries: make(map[string]entry),
-		calls:   make(map[string]*call),
-		clock:   clock,
+	c := &Cache{clock: clock}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]entry)
+		c.shards[i].calls = make(map[string]*call)
 	}
+	return c
+}
+
+// shardFor hashes key (inline FNV-1a, no allocation) onto its shard.
+func (c *Cache) shardFor(key string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return &c.shards[h&(numShards-1)]
 }
 
 // Fetch returns the cached value for key, computing and storing it with the
@@ -123,63 +195,66 @@ func (c *Cache) FetchStale(key string, ttl, staleFor time.Duration, compute func
 	}
 	now := c.clock.Now()
 
-	c.mu.Lock()
 	if ttl <= 0 {
 		// Caching disabled for this key: never store, never serve stale.
-		c.stats.Misses++
-		c.mu.Unlock()
+		c.stats.misses.Add(1)
 		v, err := compute()
 		if err != nil {
-			c.mu.Lock()
-			c.stats.Errors++
-			c.mu.Unlock()
+			c.stats.errors.Add(1)
 			return Result{}, err
 		}
 		return Result{Value: v}, nil
 	}
-	if e, ok := c.entries[key]; ok {
+
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	if e, ok := sh.entries[key]; ok {
 		if now.Before(e.expiresAt) {
-			c.stats.Hits++
-			c.mu.Unlock()
-			return Result{Value: e.value, Age: now.Sub(e.storedAt)}, nil
+			sh.mu.Unlock()
+			c.stats.hits.Add(1)
+			return Result{Value: e.value, Age: now.Sub(e.storedAt), Rev: e.rev}, nil
 		}
 		// Expired: count the stale miss but keep the entry — it is the
 		// last-known-good fallback if the recompute fails.
-		c.stats.Stale++
+		c.stats.stale.Add(1)
 	}
-	if inflight, ok := c.calls[key]; ok {
-		c.stats.Collapsed++
-		c.mu.Unlock()
+	if inflight, ok := sh.calls[key]; ok {
+		sh.mu.Unlock()
+		c.stats.collapsed.Add(1)
 		inflight.wg.Wait()
 		if inflight.err != nil {
 			return c.serveStale(key, inflight.err)
 		}
-		return Result{Value: inflight.value}, nil
+		return Result{Value: inflight.value, Rev: inflight.rev}, nil
 	}
-	c.stats.Misses++
 	cl := &call{}
 	cl.wg.Add(1)
-	c.calls[key] = cl
-	c.mu.Unlock()
+	sh.calls[key] = cl
+	sh.mu.Unlock()
+	c.stats.misses.Add(1)
 
 	cl.value, cl.err = compute()
-	cl.wg.Done()
 
-	c.mu.Lock()
-	delete(c.calls, key)
+	sh.mu.Lock()
+	delete(sh.calls, key)
 	if cl.err == nil {
+		rev := c.rev.Add(1)
+		cl.rev = rev
 		done := c.clock.Now()
-		c.entries[key] = entry{
+		sh.entries[key] = entry{
 			value:      cl.value,
+			rev:        rev,
 			storedAt:   done,
 			expiresAt:  done.Add(ttl),
 			staleUntil: done.Add(ttl + staleFor),
 		}
-		c.mu.Unlock()
-		return Result{Value: cl.value}, nil
+		sh.mu.Unlock()
+		cl.wg.Done()
+		return Result{Value: cl.value, Rev: rev}, nil
 	}
-	c.stats.Errors++
-	c.mu.Unlock()
+	sh.mu.Unlock()
+	cl.wg.Done()
+	c.stats.errors.Add(1)
 	return c.serveStale(key, cl.err)
 }
 
@@ -188,26 +263,28 @@ func (c *Cache) FetchStale(key string, ttl, staleFor time.Duration, compute func
 // surfaces unchanged.
 func (c *Cache) serveStale(key string, err error) (Result, error) {
 	now := c.clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var boe breakerOpenError
 	if errors.As(err, &boe) && boe.BreakerOpen() {
-		c.stats.BreakerOpen++
+		c.stats.breakerOpen.Add(1)
 	}
-	e, ok := c.entries[key]
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	e, ok := sh.entries[key]
+	sh.mu.Unlock()
 	if !ok || !now.Before(e.staleUntil) {
 		return Result{}, err
 	}
-	c.stats.StaleServed++
-	return Result{Value: e.value, Degraded: true, Age: now.Sub(e.storedAt)}, nil
+	c.stats.staleServed.Add(1)
+	return Result{Value: e.value, Degraded: true, Age: now.Sub(e.storedAt), Rev: e.rev}, nil
 }
 
 // Get returns the live (unexpired) value for key, if any.
 func (c *Cache) Get(key string) (any, bool) {
 	now := c.clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	e, ok := c.entries[key]
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.entries[key]
 	if !ok || !now.Before(e.expiresAt) {
 		return nil, false
 	}
@@ -218,24 +295,31 @@ func (c *Cache) Get(key string) (any, bool) {
 // stored with Set have no stale grace window.
 func (c *Cache) Set(key string, value any, ttl time.Duration) {
 	now := c.clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries[key] = entry{value: value, storedAt: now, expiresAt: now.Add(ttl), staleUntil: now.Add(ttl)}
+	rev := c.rev.Add(1)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.entries[key] = entry{value: value, rev: rev, storedAt: now,
+		expiresAt: now.Add(ttl), staleUntil: now.Add(ttl)}
 }
 
 // Delete removes key.
 func (c *Cache) Delete(key string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	delete(c.entries, key)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	delete(sh.entries, key)
 }
 
 // Clear removes every entry and resets statistics.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]entry)
-	c.stats = Stats{}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.entries = make(map[string]entry)
+		sh.mu.Unlock()
+	}
+	c.stats.reset()
 }
 
 // Purge drops entries past their stale grace window and reports how many
@@ -244,14 +328,17 @@ func (c *Cache) Clear() {
 // Rails cache does the same lazily).
 func (c *Cache) Purge() int {
 	now := c.clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	removed := 0
-	for k, e := range c.entries {
-		if !now.Before(e.staleUntil) {
-			delete(c.entries, k)
-			removed++
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.entries {
+			if !now.Before(e.staleUntil) {
+				delete(sh.entries, k)
+				removed++
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return removed
 }
@@ -259,16 +346,19 @@ func (c *Cache) Purge() int {
 // Len returns the number of stored entries, including expired ones not yet
 // purged.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.entries)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns a copy of the effectiveness counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return c.stats.snapshot()
 }
 
 // HitRate returns hits / (hits + misses), or 0 before any traffic.

@@ -176,13 +176,7 @@ func TestSingleflightUnderError(t *testing.T) {
 	}
 	<-started
 	// Wait until every other goroutine is parked on the in-flight call.
-	for {
-		c.mu.Lock()
-		st := c.stats
-		c.mu.Unlock()
-		if st.Collapsed == n-1 {
-			break
-		}
+	for c.Stats().Collapsed != n-1 {
 		time.Sleep(time.Millisecond)
 	}
 	close(release)

@@ -105,6 +105,11 @@ type Config struct {
 	Resilience ResilienceConfig
 	// Push tunes the live-update subsystem (background refresh + SSE).
 	Push PushConfig
+	// PurgeInterval is how often the long-running server sweeps entries past
+	// their stale grace window out of the server and rendered-response
+	// caches, bounding memory growth. Zero means the default (1 minute);
+	// negative disables periodic purging.
+	PurgeInterval time.Duration
 }
 
 // withDefaults fills unset fields.
@@ -172,6 +177,12 @@ func (c Config) withDefaults() Config {
 		c.Push.Jitter = 0.25
 	case c.Push.Jitter < 0:
 		c.Push.Jitter = 0
+	}
+	switch {
+	case c.PurgeInterval == 0:
+		c.PurgeInterval = time.Minute
+	case c.PurgeInterval < 0:
+		c.PurgeInterval = 0
 	}
 	return c
 }

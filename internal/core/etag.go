@@ -1,8 +1,7 @@
 package core
 
 import (
-	"fmt"
-	"hash/fnv"
+	"net/http"
 	"strings"
 )
 
@@ -13,11 +12,36 @@ import (
 // ETag — their age_seconds annotation changes every second, and a client
 // should not cache a stale fallback as if it were current.
 
-// etagFor returns the strong entity tag for a response body.
+const hexDigits = "0123456789abcdef"
+
+// etagHeaderKey is the ETag header name in the pre-canonicalized MIME form
+// net/textproto produces. Setting it by direct map assignment skips the
+// per-call canonicalization pass ("ETag" is not canonical, so Header.Set
+// allocates a rewritten key every time); the wire bytes are identical.
+const etagHeaderKey = "Etag"
+
+// setETag attaches tag as the response ETag.
+func setETag(h http.Header, tag string) {
+	h[etagHeaderKey] = []string{tag}
+}
+
+// etagFor returns the strong entity tag for a response body: an FNV-64a
+// content hash as 16 zero-padded hex digits in quotes. The hash loop is
+// inlined and the tag built directly into a fixed buffer — the previous
+// fmt.Sprintf("%q", fmt.Sprintf("%016x", ...)) pair allocated three strings
+// per tag on a path that runs for every fresh 200; this allocates one.
 func etagFor(body []byte) string {
-	h := fnv.New64a()
-	h.Write(body)
-	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+	h := uint64(14695981039346656037)
+	for _, b := range body {
+		h = (h ^ uint64(b)) * 1099511628211
+	}
+	var buf [18]byte
+	buf[0], buf[17] = '"', '"'
+	for i := 16; i >= 1; i-- {
+		buf[i] = hexDigits[h&0xf]
+		h >>= 4
+	}
+	return string(buf[:])
 }
 
 // etagMatch implements If-None-Match: a comma-separated candidate list or
@@ -30,7 +54,15 @@ func etagMatch(header, tag string) bool {
 	if strings.TrimSpace(header) == "*" {
 		return true
 	}
-	for _, cand := range strings.Split(header, ",") {
+	// Walk the candidate list in place; Split would allocate the slice on
+	// every revalidation (the single-tag common case included).
+	for len(header) > 0 {
+		cand := header
+		if i := strings.IndexByte(header, ','); i >= 0 {
+			cand, header = header[:i], header[i+1:]
+		} else {
+			header = ""
+		}
 		cand = strings.TrimPrefix(strings.TrimSpace(cand), "W/")
 		if cand == tag {
 			return true

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"hash/fnv"
 	"net/http"
 	"strings"
 	"testing"
@@ -94,5 +96,52 @@ func TestConditionalWidgetRequests(t *testing.T) {
 	}
 	if got := header.Get("ETag"); got != "" {
 		t.Fatalf("degraded response carried ETag %q", got)
+	}
+}
+
+// etagForSprintf is the previous etagFor implementation, kept as the
+// micro-benchmark baseline: a hash.Hash64 allocation plus two Sprintf
+// round-trips per tag.
+func etagForSprintf(body []byte) string {
+	h := fnv.New64a()
+	h.Write(body)
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// TestETagForMatchesLegacy pins the rewritten etagFor to the old
+// implementation's exact output, so tags stored by clients before the
+// rewrite keep revalidating.
+func TestETagForMatchesLegacy(t *testing.T) {
+	bodies := [][]byte{
+		nil,
+		{},
+		[]byte("{}"),
+		[]byte(`{"jobs":[1,2,3]}` + "\n"),
+		[]byte(strings.Repeat("x", 4096)),
+	}
+	for _, body := range bodies {
+		if got, want := etagFor(body), etagForSprintf(body); got != want {
+			t.Errorf("etagFor(%d bytes) = %q, legacy = %q", len(body), got, want)
+		}
+	}
+}
+
+func BenchmarkETagFor(b *testing.B) {
+	body := []byte(strings.Repeat(`{"jobs":[{"id":1}]}`, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if etagFor(body) == "" {
+			b.Fatal("empty tag")
+		}
+	}
+}
+
+func BenchmarkETagForSprintf(b *testing.B) {
+	body := []byte(strings.Repeat(`{"jobs":[{"id":1}]}`, 64))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if etagForSprintf(body) == "" {
+			b.Fatal("empty tag")
+		}
 	}
 }

@@ -1,8 +1,8 @@
 package core
 
 import (
+	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -30,20 +30,40 @@ const (
 const degradedHeader = "X-OODDash-Degraded"
 
 // fetchMeta describes how a widget's data was obtained: fresh, or stale
-// last-known-good after an upstream failure.
+// last-known-good after an upstream failure. rev and ttl are the handle the
+// rendered-response layer keys its materialized bytes by: rev identifies the
+// exact cached value(s) the payload was built from (0 = not cacheable), and
+// ttl bounds how long those bytes may be reused.
 type fetchMeta struct {
 	Degraded bool
 	Age      time.Duration
+	rev      uint64
+	ttl      time.Duration
 }
 
 // absorb merges another fetch's metadata, for handlers assembled from
-// several cache entries: the response is degraded if any part is, and its
-// age is the oldest part's.
+// several cache entries: the response is degraded if any part is, its age is
+// the oldest part's, its ttl the shortest, and its rev a hash-combine of the
+// parts' revs (so the combined rev changes whenever any part refreshes, and
+// any uncacheable part — rev 0 — poisons the whole to uncacheable).
 func (m *fetchMeta) absorb(other fetchMeta) {
 	m.Degraded = m.Degraded || other.Degraded
 	if other.Age > m.Age {
 		m.Age = other.Age
 	}
+	if m.ttl == 0 {
+		// Identity element: an empty fetchMeta adopts the first absorbed one.
+		m.rev, m.ttl = other.rev, other.ttl
+		return
+	}
+	if other.ttl > 0 && other.ttl < m.ttl {
+		m.ttl = other.ttl
+	}
+	if m.rev == 0 || other.rev == 0 {
+		m.rev = 0
+		return
+	}
+	m.rev = m.rev*1099511628211 ^ other.rev
 }
 
 // fetchVia is the policy path every cached route goes through: the cache in
@@ -62,16 +82,17 @@ func (s *Server) fetchVia(r *http.Request, source, key string, ttl time.Duration
 			return compute()
 		})
 	})
+	oc := s.obsm.fetchOutcome[source]
 	switch {
 	case err != nil:
-		s.obsm.fetchResults.With(source, "error").Inc()
+		oc.err.Inc()
 		return nil, fetchMeta{}, err
 	case res.Degraded:
-		s.obsm.fetchResults.With(source, "degraded").Inc()
+		oc.degraded.Inc()
 	default:
-		s.obsm.fetchResults.With(source, "ok").Inc()
+		oc.ok.Inc()
 	}
-	return res.Value, fetchMeta{Degraded: res.Degraded, Age: res.Age}, nil
+	return res.Value, fetchMeta{Degraded: res.Degraded, Age: res.Age, rev: res.Rev, ttl: ttl}, nil
 }
 
 // runResilient runs an uncached upstream call through the source's policy —
@@ -81,10 +102,11 @@ func (s *Server) runResilient(r *http.Request, source string, op func() (any, er
 	v, err := s.res.Do(source, r.Context(), func(context.Context) (any, error) {
 		return op()
 	})
+	oc := s.obsm.fetchOutcome[source]
 	if err != nil {
-		s.obsm.fetchResults.With(source, "error").Inc()
+		oc.err.Inc()
 	} else {
-		s.obsm.fetchResults.With(source, "ok").Inc()
+		oc.ok.Inc()
 	}
 	return v, err
 }
@@ -138,18 +160,21 @@ func writeFetchError(w http.ResponseWriter, err error) {
 // revalidating with a matching If-None-Match gets 304 Not Modified and no
 // body. Degraded responses are never conditional — see etag.go.
 func (s *Server) writeWidgetJSON(w http.ResponseWriter, r *http.Request, status int, meta fetchMeta, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
 	if !meta.Degraded {
-		raw, err := json.Marshal(v)
-		if err != nil {
+		// Encoder output is Marshal + trailing newline — the exact bytes the
+		// rendered layer stores — so the tag hashed here matches the one a
+		// later materialized response carries, and client-stored tags stay
+		// valid across both paths.
+		if err := s.encodePayload(buf, v); err != nil {
 			writeError(w, fmt.Errorf("core: encoding response: %v", err))
 			return
 		}
-		// The tag hashes the exact bytes written below (Marshal + newline is
-		// what writeJSON's Encoder produces), so client-stored tags stay
-		// valid across both paths.
+		body := buf.Bytes()
 		if status == http.StatusOK && r != nil {
-			tag := etagFor(append(raw, '\n'))
-			w.Header().Set("ETag", tag)
+			tag := etagFor(body)
+			setETag(w.Header(), tag)
 			if etagMatch(r.Header.Get("If-None-Match"), tag) {
 				s.obsm.notModified.With(widgetFromContext(r.Context())).Inc()
 				w.WriteHeader(http.StatusNotModified)
@@ -158,27 +183,46 @@ func (s *Server) writeWidgetJSON(w http.ResponseWriter, r *http.Request, status 
 		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(status)
-		w.Write(raw)
-		w.Write([]byte{'\n'})
+		w.Write(body)
 		return
 	}
 	w.Header().Set(degradedHeader, "stale")
-	raw, err := json.Marshal(v)
-	if err != nil {
+	if err := s.encodePayload(buf, v); err != nil {
 		writeError(w, fmt.Errorf("core: encoding degraded response: %v", err))
 		return
 	}
-	var obj map[string]json.RawMessage
-	if err := json.Unmarshal(raw, &obj); err != nil {
+	raw := bytes.TrimSuffix(buf.Bytes(), []byte{'\n'})
+	ageSecs := int64(math.Round(meta.Age.Seconds()))
+	annotated, ok := annotateDegraded(raw, ageSecs)
+	if !ok {
 		// Non-object payload: serve it unannotated; the header still marks it.
 		s.obsm.annotationsDropped.Inc()
-		writeJSON(w, status, v)
-		return
 	}
-	ageSecs := int64(math.Round(meta.Age.Seconds()))
-	obj["degraded"] = json.RawMessage("true")
-	obj["age_seconds"] = json.RawMessage(strconv.FormatInt(ageSecs, 10))
-	writeJSON(w, status, obj)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(annotated)
+	w.Write([]byte{'\n'})
+}
+
+// annotateDegraded splices `"degraded":true,"age_seconds":N` into the end of
+// an encoded JSON object, preserving the original field order and bytes. The
+// previous implementation round-tripped the payload through a
+// map[string]json.RawMessage, which cost a second Marshal/Unmarshal pair and
+// re-sorted every key. Non-object payloads (arrays, scalars) come back
+// unchanged with ok=false: there is nowhere to put the annotation.
+func annotateDegraded(raw []byte, ageSecs int64) ([]byte, bool) {
+	if len(raw) < 2 || raw[0] != '{' || raw[len(raw)-1] != '}' {
+		return raw, false
+	}
+	out := make([]byte, 0, len(raw)+48)
+	out = append(out, raw[:len(raw)-1]...)
+	if len(raw) > 2 { // non-empty object: separate from the last field
+		out = append(out, ',')
+	}
+	out = append(out, `"degraded":true,"age_seconds":`...)
+	out = strconv.AppendInt(out, ageSecs, 10)
+	out = append(out, '}')
+	return out, true
 }
 
 // setDegradedHeader marks non-JSON (CSV/XLSX export) responses that were

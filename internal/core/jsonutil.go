@@ -1,13 +1,33 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"log"
 	"net/http"
+	"sync"
 
 	"ooddash/internal/auth"
 )
+
+// bufPool recycles encode scratch buffers across requests. Every JSON
+// response used to allocate its encoder workspace per call; under a
+// hit-heavy load the garbage is pure churn. Buffers that grew past the cap
+// are dropped instead of pooled so one huge export cannot pin memory.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+const maxPooledBuf = 1 << 20
+
+func getBuf() *bytes.Buffer { return bufPool.Get().(*bytes.Buffer) }
+
+func putBuf(b *bytes.Buffer) {
+	if b.Cap() > maxPooledBuf {
+		return
+	}
+	b.Reset()
+	bufPool.Put(b)
+}
 
 // apiError is the JSON error envelope every API route uses, so the frontend
 // can render a per-widget error state without breaking the page (§2.4
@@ -16,14 +36,22 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
-// writeJSON encodes v as the response body.
+// writeJSON encodes v as the response body. Encoding goes through a pooled
+// scratch buffer first, which both recycles the workspace and means an
+// encode failure can still produce a clean 500 (nothing was written yet).
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := getBuf()
+	defer putBuf(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		log.Printf("core: encoding response: %v", err)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		w.Write([]byte(`{"error":"encoding response"}` + "\n"))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	if err := json.NewEncoder(w).Encode(v); err != nil {
-		// Headers are already sent; nothing to do but log.
-		log.Printf("core: encoding response: %v", err)
-	}
+	w.Write(buf.Bytes())
 }
 
 // writeError maps an error to the right status code and JSON envelope.

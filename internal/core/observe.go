@@ -20,6 +20,12 @@ import (
 // its own IDs through); otherwise the middleware mints one.
 const traceHeader = "X-OODDash-Trace"
 
+// traceHeaderKey is traceHeader in net/textproto's canonical MIME form.
+// The middleware reads and writes the header by direct map access with this
+// key: the mixed-case spelling above is not canonical, so Header.Get/Set
+// would re-canonicalize (and allocate) it on every request.
+const traceHeaderKey = "X-Ooddash-Trace"
+
 // serverObs bundles the dashboard's metric families. Everything renders
 // from one obs.Registry, so /metrics is a single WritePrometheus call and
 // adding a metric cannot desynchronize HELP/TYPE from its samples the way
@@ -59,6 +65,19 @@ type serverObs struct {
 	// pushRefreshes counts refresh attempts by widget and result
 	// (published, unchanged, error).
 	pushRefreshes *obs.CounterVec // ooddash_push_refreshes_total{widget,result}
+
+	// fetchOutcome holds the per-source result counters pre-resolved at
+	// construction: fetchVia bumps one on every widget request, and
+	// CounterVec.With allocates its variadic slice and joined key per call —
+	// measurable churn on the cache-hit serve path.
+	fetchOutcome map[string]*fetchOutcomeCounters
+}
+
+// fetchOutcomeCounters are one source's resolved fetch-result counters.
+type fetchOutcomeCounters struct {
+	ok       *obs.Counter
+	degraded *obs.Counter
+	err      *obs.Counter
 }
 
 // newServerObs builds the registry and registers every family, including
@@ -94,6 +113,14 @@ func newServerObs(s *Server) *serverObs {
 		pushRefreshes: reg.CounterVec("ooddash_push_refreshes_total",
 			"Background push refresh attempts by widget and result (published, unchanged, error).",
 			"widget", "result"),
+	}
+	o.fetchOutcome = make(map[string]*fetchOutcomeCounters, 4)
+	for _, src := range []string{srcCtld, srcDBD, srcNews, srcStorage} {
+		o.fetchOutcome[src] = &fetchOutcomeCounters{
+			ok:       o.fetchResults.With(src, "ok"),
+			degraded: o.fetchResults.With(src, "degraded"),
+			err:      o.fetchResults.With(src, "error"),
+		}
 	}
 
 	// Push fan-out health: connected clients, event flow, and the newest
@@ -150,6 +177,19 @@ func newServerObs(s *Server) *serverObs {
 		func() int64 { return s.cache.Stats().BreakerOpen })
 	reg.GaugeFunc("ooddash_cache_entries", "Current server cache entries.",
 		func() float64 { return float64(s.cache.Len()) })
+
+	// Rendered-response layer: materialized-bytes traffic and the purge sweep
+	// that bounds both caches on a long-running server.
+	cacheCounter("ooddash_render_hits_total", "Widget responses served from materialized bytes (no re-encode).",
+		func() int64 { return s.renderHits.Load() })
+	cacheCounter("ooddash_render_misses_total", "Widget responses that built and materialized their bytes.",
+		func() int64 { return s.renderMisses.Load() })
+	cacheCounter("ooddash_render_encodes_total", "Payload encodes (json.Marshal of widget bodies) performed.",
+		func() int64 { return s.renderEncodes.Load() })
+	reg.GaugeFunc("ooddash_rendered_entries", "Current rendered-response cache entries.",
+		func() float64 { return float64(s.rendered.Len()) })
+	cacheCounter("ooddash_cache_purged_total", "Entries dropped from both caches by the periodic purge sweep.",
+		func() int64 { return s.purgedTotal.Load() })
 
 	// Breaker state and counters, one sample per data source.
 	breakerCollector := func(name, help string, kind obs.Kind, read func(resilience.Stats) float64) {
@@ -262,6 +302,30 @@ func widgetFromContext(ctx context.Context) string {
 	return "unknown"
 }
 
+// statusLabel returns the metric label for a status code without the
+// per-request strconv.Itoa allocation for the codes every request hits.
+func statusLabel(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200"
+	case http.StatusNotModified:
+		return "304"
+	case http.StatusBadRequest:
+		return "400"
+	case http.StatusUnauthorized:
+		return "401"
+	case http.StatusForbidden:
+		return "403"
+	case http.StatusNotFound:
+		return "404"
+	case http.StatusInternalServerError:
+		return "500"
+	case http.StatusServiceUnavailable:
+		return "503"
+	}
+	return strconv.Itoa(code)
+}
+
 // logField keeps empty values grep-able in access lines.
 func logField(v string) string {
 	if v == "" {
@@ -293,12 +357,21 @@ func (r *statusRecorder) Flush() {
 // and propagated via context), a per-widget latency histogram sample, a
 // status-labelled request counter, and a structured access log line.
 func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc {
+	// Metric handles for this widget resolve once at mount time; the With
+	// calls they replace allocated per request. 200 and 304 cover every
+	// serve on the hot path; other statuses resolve lazily below.
+	lat := s.obsm.widgetLatency.With(widget)
+	req200 := s.obsm.widgetRequests.With(widget, "200")
+	req304 := s.obsm.widgetRequests.With(widget, "304")
 	return func(w http.ResponseWriter, r *http.Request) {
-		trace := r.Header.Get(traceHeader)
+		var trace string
+		if vs := r.Header[traceHeaderKey]; len(vs) > 0 {
+			trace = vs[0]
+		}
 		if !obs.ValidTraceID(trace) {
 			trace = obs.NewTraceID()
 		}
-		w.Header().Set(traceHeader, trace)
+		w.Header()[traceHeaderKey] = []string{trace}
 		ctx := context.WithValue(obs.WithTrace(r.Context(), trace), widgetCtxKey{}, widget)
 		r = r.WithContext(ctx)
 
@@ -307,8 +380,15 @@ func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc 
 		h(rec, r)
 		elapsed := time.Since(start)
 
-		s.obsm.widgetLatency.With(widget).Observe(elapsed.Seconds())
-		s.obsm.widgetRequests.With(widget, strconv.Itoa(rec.status)).Inc()
+		lat.Observe(elapsed.Seconds())
+		switch rec.status {
+		case http.StatusOK:
+			req200.Inc()
+		case http.StatusNotModified:
+			req304.Inc()
+		default:
+			s.obsm.widgetRequests.With(widget, statusLabel(rec.status)).Inc()
+		}
 		if s.accessLog != nil {
 			s.accessLog(fmt.Sprintf("access trace=%s widget=%s path=%s status=%d dur=%s degraded=%t user=%s",
 				trace, widget, r.URL.Path, rec.status, elapsed.Round(time.Microsecond),

@@ -117,29 +117,30 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	q := r.URL.Query()
-	search := q.Get("search")
-	sortKey := q.Get("sort")
-	descending := q.Get("order") == "desc"
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		q := r.URL.Query()
+		search := q.Get("search")
+		sortKey := q.Get("sort")
+		descending := q.Get("order") == "desc"
 
-	resp := ClusterStatusResponse{
-		Cluster:     s.cfg.ClusterName,
-		StateCounts: make(map[string]int),
-	}
-	for _, d := range details {
-		cell := nodeCellFromDetail(d)
-		resp.StateCounts[cell.Color]++
-		resp.Total++
-		if !cell.matchesSearch(search) {
-			continue
+		resp := ClusterStatusResponse{
+			Cluster:     s.cfg.ClusterName,
+			StateCounts: make(map[string]int),
 		}
-		resp.Nodes = append(resp.Nodes, cell)
-	}
-	if err := sortNodeCells(resp.Nodes, sortKey, descending); err != nil {
-		writeError(w, err)
-		return
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+		for _, d := range details {
+			cell := nodeCellFromDetail(d)
+			resp.StateCounts[cell.Color]++
+			resp.Total++
+			if !cell.matchesSearch(search) {
+				continue
+			}
+			resp.Nodes = append(resp.Nodes, cell)
+		}
+		if err := sortNodeCells(resp.Nodes, sortKey, descending); err != nil {
+			return nil, err
+		}
+		return resp, nil
+	})
 }
 
 // sortNodeCells orders the list view by any sortable column (§6).
@@ -239,37 +240,39 @@ func (s *Server) handleNodeOverview(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	d := v.(*slurmcli.NodeDetail)
-	resp := NodeOverviewResponse{
-		Name:     d.Name,
-		State:    string(d.State),
-		Color:    nodeStateColor(d.State),
-		Reason:   d.Reason,
-		LastBusy: d.LastBusy,
-		BootTime: d.BootTime,
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		d := v.(*slurmcli.NodeDetail)
+		resp := NodeOverviewResponse{
+			Name:     d.Name,
+			State:    string(d.State),
+			Color:    nodeStateColor(d.State),
+			Reason:   d.Reason,
+			LastBusy: d.LastBusy,
+			BootTime: d.BootTime,
 
-		CPUsTotal:  d.CPUTotal,
-		CPUsAlloc:  d.CPUAlloc,
-		CPULoad:    d.CPULoad,
-		MemMB:      d.MemMB,
-		AllocMemMB: d.AllocMemMB,
-		GPUsTotal:  d.GPUTotal,
-		GPUsAlloc:  d.GPUAlloc,
-		GPUType:    d.GPUType,
+			CPUsTotal:  d.CPUTotal,
+			CPUsAlloc:  d.CPUAlloc,
+			CPULoad:    d.CPULoad,
+			MemMB:      d.MemMB,
+			AllocMemMB: d.AllocMemMB,
+			GPUsTotal:  d.GPUTotal,
+			GPUsAlloc:  d.GPUAlloc,
+			GPUType:    d.GPUType,
 
-		OS: d.OS, Arch: d.Arch,
-		Features: d.Features, Partitions: d.Partitions,
-	}
-	if d.CPUTotal > 0 {
-		resp.CPUPercent = 100 * float64(d.CPUAlloc) / float64(d.CPUTotal)
-	}
-	if d.MemMB > 0 {
-		resp.MemPercent = 100 * float64(d.AllocMemMB) / float64(d.MemMB)
-	}
-	if d.GPUTotal > 0 {
-		resp.GPUPercent = 100 * float64(d.GPUAlloc) / float64(d.GPUTotal)
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+			OS: d.OS, Arch: d.Arch,
+			Features: d.Features, Partitions: d.Partitions,
+		}
+		if d.CPUTotal > 0 {
+			resp.CPUPercent = 100 * float64(d.CPUAlloc) / float64(d.CPUTotal)
+		}
+		if d.MemMB > 0 {
+			resp.MemPercent = 100 * float64(d.AllocMemMB) / float64(d.MemMB)
+		}
+		if d.GPUTotal > 0 {
+			resp.GPUPercent = 100 * float64(d.GPUAlloc) / float64(d.GPUTotal)
+		}
+		return resp, nil
+	})
 }
 
 // NodeJobRow is one row in the Node Overview running-jobs tab.
@@ -307,35 +310,37 @@ func (s *Server) handleNodeJobs(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	entries := v.([]slurmcli.QueueEntry)
-	resp := NodeJobsResponse{Node: name}
-	for i := range entries {
-		e := &entries[i]
-		nodes, err := slurm.ExpandNodeRange(e.NodeList)
-		if err != nil {
-			continue
-		}
-		onNode := false
-		for _, n := range nodes {
-			if n == name {
-				onNode = true
-				break
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		entries := v.([]slurmcli.QueueEntry)
+		resp := NodeJobsResponse{Node: name}
+		for i := range entries {
+			e := &entries[i]
+			nodes, err := slurm.ExpandNodeRange(e.NodeList)
+			if err != nil {
+				continue
 			}
+			onNode := false
+			for _, n := range nodes {
+				if n == name {
+					onNode = true
+					break
+				}
+			}
+			if !onNode {
+				continue
+			}
+			resp.Jobs = append(resp.Jobs, NodeJobRow{
+				JobID:       e.JobID,
+				Name:        e.Name,
+				User:        e.User,
+				Partition:   e.Partition,
+				State:       string(e.State),
+				CPUs:        e.CPUs,
+				MemMB:       e.MemMB,
+				ElapsedSecs: int64(e.Elapsed / time.Second),
+				OverviewURL: "/job/" + e.JobID,
+			})
 		}
-		if !onNode {
-			continue
-		}
-		resp.Jobs = append(resp.Jobs, NodeJobRow{
-			JobID:       e.JobID,
-			Name:        e.Name,
-			User:        e.User,
-			Partition:   e.Partition,
-			State:       string(e.State),
-			CPUs:        e.CPUs,
-			MemMB:       e.MemMB,
-			ElapsedSecs: int64(e.Elapsed / time.Second),
-			OverviewURL: "/job/" + e.JobID,
-		})
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+		return resp, nil
+	})
 }

@@ -142,7 +142,9 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, v.(*InsightsResponse))
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		return v.(*InsightsResponse), nil
+	})
 }
 
 // --- Admin overview (permission-based accounting) --------------------------------
@@ -197,7 +199,10 @@ func (s *Server) handleAdminOverview(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, v.(*AdminOverviewResponse))
+	// Admin-gated above; the payload itself is the same for every admin.
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		return v.(*AdminOverviewResponse), nil
+	})
 }
 
 func buildAdminOverview(rows []slurmcli.SacctRow, end time.Time) *AdminOverviewResponse {

@@ -52,23 +52,25 @@ func (s *Server) handleAnnouncements(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	articles := v.([]newsfeed.Article)
-	now := s.clock.Now()
-	resp := AnnouncementsResponse{
-		Announcements: make([]Announcement, 0, len(articles)),
-		AllNewsURL:    "/news",
-	}
-	for i := range articles {
-		a := &articles[i]
-		resp.Announcements = append(resp.Announcements, Announcement{
-			ID: a.ID, Title: a.Title, Body: a.Body,
-			Category: string(a.Category),
-			Color:    a.Category.UrgencyColor(),
-			Active:   a.Active(now),
-			PostedAt: a.PostedAt, StartsAt: a.StartsAt, EndsAt: a.EndsAt,
-		})
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		articles := v.([]newsfeed.Article)
+		now := s.clock.Now()
+		resp := AnnouncementsResponse{
+			Announcements: make([]Announcement, 0, len(articles)),
+			AllNewsURL:    "/news",
+		}
+		for i := range articles {
+			a := &articles[i]
+			resp.Announcements = append(resp.Announcements, Announcement{
+				ID: a.ID, Title: a.Title, Body: a.Body,
+				Category: string(a.Category),
+				Color:    a.Category.UrgencyColor(),
+				Active:   a.Active(now),
+				PostedAt: a.PostedAt, StartsAt: a.StartsAt, EndsAt: a.EndsAt,
+			})
+		}
+		return resp, nil
+	})
 }
 
 // --- Recent Jobs widget (§3.2) ---------------------------------------------
@@ -110,12 +112,14 @@ func (s *Server) handleRecentJobs(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	entries := v.([]slurmcli.QueueEntry)
-	resp := RecentJobsResponse{Jobs: make([]RecentJob, 0, len(entries))}
-	for i := range entries {
-		resp.Jobs = append(resp.Jobs, recentJobFromEntry(&entries[i]))
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		entries := v.([]slurmcli.QueueEntry)
+		resp := RecentJobsResponse{Jobs: make([]RecentJob, 0, len(entries))}
+		for i := range entries {
+			resp.Jobs = append(resp.Jobs, recentJobFromEntry(&entries[i]))
+		}
+		return resp, nil
+	})
 }
 
 // stateDescriptions back the hoverable status tooltips (§3.2).
@@ -236,38 +240,40 @@ func (s *Server) handleSystemStatus(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	data := v.(statusData)
-	parts := data.Parts
-	resp := SystemStatusResponse{
-		Cluster:    s.cfg.ClusterName,
-		Partitions: make([]PartitionSummary, 0, len(parts)),
-		DetailsURL: "/clusterstatus",
-	}
-	for _, p := range parts {
-		cpuPct := p.CPUPercent()
-		resp.Partitions = append(resp.Partitions, PartitionSummary{
-			Name: p.Name, State: p.State,
-			CPUPercent: cpuPct, GPUPercent: p.GPUPercent(),
-			CPUsInUse: p.AllocCPUs, CPUsTotal: p.TotalCPUs,
-			GPUsInUse: p.AllocGPUs, GPUsTotal: p.TotalGPUs,
-			NodesTotal:  p.TotalNodes,
-			RunningJobs: p.RunningJobs, PendingJobs: p.PendingJobs,
-			Color: utilizationColor(cpuPct),
-		})
-	}
-	now := s.clock.Now()
-	for _, res := range data.Reservations {
-		if now.After(res.End) {
-			continue
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		data := v.(statusData)
+		parts := data.Parts
+		resp := SystemStatusResponse{
+			Cluster:    s.cfg.ClusterName,
+			Partitions: make([]PartitionSummary, 0, len(parts)),
+			DetailsURL: "/clusterstatus",
 		}
-		resp.Maintenance = append(resp.Maintenance, MaintenanceNotice{
-			Name: res.Name, Start: res.Start, End: res.End,
-			Nodes:  res.Nodes,
-			Active: !now.Before(res.Start),
-			Reason: res.Comment,
-		})
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+		for _, p := range parts {
+			cpuPct := p.CPUPercent()
+			resp.Partitions = append(resp.Partitions, PartitionSummary{
+				Name: p.Name, State: p.State,
+				CPUPercent: cpuPct, GPUPercent: p.GPUPercent(),
+				CPUsInUse: p.AllocCPUs, CPUsTotal: p.TotalCPUs,
+				GPUsInUse: p.AllocGPUs, GPUsTotal: p.TotalGPUs,
+				NodesTotal:  p.TotalNodes,
+				RunningJobs: p.RunningJobs, PendingJobs: p.PendingJobs,
+				Color: utilizationColor(cpuPct),
+			})
+		}
+		now := s.clock.Now()
+		for _, res := range data.Reservations {
+			if now.After(res.End) {
+				continue
+			}
+			resp.Maintenance = append(resp.Maintenance, MaintenanceNotice{
+				Name: res.Name, Start: res.Start, End: res.End,
+				Nodes:  res.Nodes,
+				Active: !now.Before(res.Start),
+				Reason: res.Comment,
+			})
+		}
+		return resp, nil
+	})
 }
 
 // --- Accounts widget (§3.4) ------------------------------------------------
@@ -391,10 +397,7 @@ func (s *Server) handleAccounts(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	resp := AccountsResponse{
-		Accounts:     make([]AccountRow, 0, len(user.Accounts)),
-		UserGuideURL: s.cfg.UserGuideURL,
-	}
+	usages := make([]*accountUsage, 0, len(user.Accounts))
 	var meta fetchMeta
 	for _, account := range user.Accounts {
 		u, m, err := s.fetchAccountUsage(r, account)
@@ -403,21 +406,30 @@ func (s *Server) handleAccounts(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		meta.absorb(m)
-		row := AccountRow{
-			Account:         u.Account,
-			CPUsInUse:       u.CPUsInUse,
-			CPUsQueued:      u.CPUsQueued,
-			GrpCPULimit:     u.GrpCPULimit,
-			GPUHoursUsed:    u.GPUHoursUsed,
-			GrpGPUHourLimit: u.GrpGPUHourLimit,
-			ExportURL:       fmt.Sprintf("/api/accounts/%s/export.csv", u.Account),
-		}
-		if u.GrpCPULimit > 0 {
-			row.CPUPercent = 100 * float64(u.CPUsInUse) / float64(u.GrpCPULimit)
-		}
-		resp.Accounts = append(resp.Accounts, row)
+		usages = append(usages, u)
 	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		resp := AccountsResponse{
+			Accounts:     make([]AccountRow, 0, len(usages)),
+			UserGuideURL: s.cfg.UserGuideURL,
+		}
+		for _, u := range usages {
+			row := AccountRow{
+				Account:         u.Account,
+				CPUsInUse:       u.CPUsInUse,
+				CPUsQueued:      u.CPUsQueued,
+				GrpCPULimit:     u.GrpCPULimit,
+				GPUHoursUsed:    u.GPUHoursUsed,
+				GrpGPUHourLimit: u.GrpGPUHourLimit,
+				ExportURL:       fmt.Sprintf("/api/accounts/%s/export.csv", u.Account),
+			}
+			if u.GrpCPULimit > 0 {
+				row.CPUPercent = 100 * float64(u.CPUsInUse) / float64(u.GrpCPULimit)
+			}
+			resp.Accounts = append(resp.Accounts, row)
+		}
+		return resp, nil
+	})
 }
 
 // resolveAccountExport authorizes and loads the per-user breakdown behind
@@ -542,24 +554,26 @@ func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	dirs := v.([]storagedb.Directory)
-	resp := StorageResponse{Directories: make([]StorageRow, 0, len(dirs))}
-	for i := range dirs {
-		d := &dirs[i]
-		pct := d.UsagePercent()
-		resp.Directories = append(resp.Directories, StorageRow{
-			Path:         d.Path,
-			Filesystem:   string(d.Filesystem),
-			Kind:         string(d.Kind),
-			UsedBytes:    d.UsedBytes,
-			QuotaBytes:   d.QuotaBytes,
-			UsagePercent: pct,
-			FileCount:    d.FileCount,
-			FileLimit:    d.FileLimit,
-			FilePercent:  d.FilePercent(),
-			Color:        utilizationColor(pct),
-			FilesAppURL:  "/pun/sys/files/fs" + d.Path,
-		})
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		dirs := v.([]storagedb.Directory)
+		resp := StorageResponse{Directories: make([]StorageRow, 0, len(dirs))}
+		for i := range dirs {
+			d := &dirs[i]
+			pct := d.UsagePercent()
+			resp.Directories = append(resp.Directories, StorageRow{
+				Path:         d.Path,
+				Filesystem:   string(d.Filesystem),
+				Kind:         string(d.Kind),
+				UsedBytes:    d.UsedBytes,
+				QuotaBytes:   d.QuotaBytes,
+				UsagePercent: pct,
+				FileCount:    d.FileCount,
+				FileLimit:    d.FileLimit,
+				FilePercent:  d.FilePercent(),
+				Color:        utilizationColor(pct),
+				FilesAppURL:  "/pun/sys/files/fs" + d.Path,
+			})
+		}
+		return resp, nil
+	})
 }

@@ -172,6 +172,25 @@ func (s *Server) handleJobOverview(w http.ResponseWriter, r *http.Request) {
 	}
 	now := s.clock.Now()
 
+	// The efficiency card's accounting fetch happens outside the build
+	// closure: it contributes to meta (rev, ttl, degradation), which must be
+	// final before the rendered-cache lookup.
+	var acct *slurmcli.SacctRow
+	if a, m, err := s.fetchJobAccounting(r, d.ID); err == nil && a != nil {
+		acct = a
+		meta.absorb(m)
+	}
+
+	// The payload embeds owner-only log URLs, so the rendered variant is the
+	// viewing user, not the job owner.
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		return s.buildJobOverview(user, d, acct, now), nil
+	})
+}
+
+// buildJobOverview assembles the Job Overview payload from the cached
+// scontrol and sacct views.
+func (s *Server) buildJobOverview(user *auth.User, d *slurmcli.JobDetail, acct *slurmcli.SacctRow, now time.Time) JobOverviewResponse {
 	resp := JobOverviewResponse{
 		JobID: strconv.FormatInt(int64(d.ID), 10),
 		Name:  d.Name,
@@ -224,10 +243,9 @@ func (s *Server) handleJobOverview(w http.ResponseWriter, r *http.Request) {
 
 	// Efficiency card from accounting. A dead slurmdbd quietly costs the
 	// card, not the page: the overview still renders from scontrol data.
-	if acct, m, err := s.fetchJobAccounting(r, d.ID); err == nil && acct != nil {
+	if acct != nil {
 		resp.Efficiency = efficiencyView(efficiency.Compute(acct))
 		resp.CPUTimeSeconds = int64(acct.TotalCPU / time.Second)
-		meta.absorb(m)
 	}
 
 	// Session tab.
@@ -251,7 +269,7 @@ func (s *Server) handleJobOverview(w http.ResponseWriter, r *http.Request) {
 		resp.ArrayJobID = strconv.FormatInt(int64(d.ArrayJobID), 10)
 		resp.ArrayURL = fmt.Sprintf("/api/job/%d/array", d.ArrayJobID)
 	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+	return resp
 }
 
 // --- Output/error log tabs (§7) ----------------------------------------------
@@ -379,33 +397,37 @@ func (s *Server) handleJobArray(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: job array %d belongs to another group", errForbidden, id))
 		return
 	}
-	resp := JobArrayResponse{
-		ArrayJobID:  rawID,
-		Tasks:       make([]ArrayTaskRow, 0, len(rows)),
-		StateCounts: make(map[string]int),
-	}
-	for i := range rows {
-		row := &rows[i]
-		taskID := 0
-		if _, t, ok := strings.Cut(row.JobID, "_"); ok {
-			taskID, _ = strconv.Atoi(t)
+	// The payload is the same for every authorized viewer (authz already
+	// ran above), so the rendered variant is shared.
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		resp := JobArrayResponse{
+			ArrayJobID:  rawID,
+			Tasks:       make([]ArrayTaskRow, 0, len(rows)),
+			StateCounts: make(map[string]int),
 		}
-		nodeList := row.NodeList
-		if nodeList == "None assigned" {
-			nodeList = ""
+		for i := range rows {
+			row := &rows[i]
+			taskID := 0
+			if _, t, ok := strings.Cut(row.JobID, "_"); ok {
+				taskID, _ = strconv.Atoi(t)
+			}
+			nodeList := row.NodeList
+			if nodeList == "None assigned" {
+				nodeList = ""
+			}
+			resp.Tasks = append(resp.Tasks, ArrayTaskRow{
+				JobID:       row.JobID,
+				TaskID:      taskID,
+				State:       string(row.State),
+				SubmitTime:  row.SubmitTime,
+				StartTime:   row.StartTime,
+				EndTime:     row.EndTime,
+				NodeList:    nodeList,
+				ExitCode:    row.ExitCode,
+				OverviewURL: "/job/" + row.JobID,
+			})
+			resp.StateCounts[string(row.State)]++
 		}
-		resp.Tasks = append(resp.Tasks, ArrayTaskRow{
-			JobID:       row.JobID,
-			TaskID:      taskID,
-			State:       string(row.State),
-			SubmitTime:  row.SubmitTime,
-			StartTime:   row.StartTime,
-			EndTime:     row.EndTime,
-			NodeList:    nodeList,
-			ExitCode:    row.ExitCode,
-			OverviewURL: "/job/" + row.JobID,
-		})
-		resp.StateCounts[string(row.State)]++
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+		return resp, nil
+	})
 }

@@ -196,7 +196,10 @@ func jobRowFromSacct(row *slurmcli.SacctRow, now time.Time, th efficiency.Thresh
 // per TTL instead of once per request; filters and pagination then run over
 // the cached slice.
 func (s *Server) fetchUserJobs(r *http.Request, userName string, accounts []string, start, end time.Time) ([]JobRow, fetchMeta, error) {
-	key := fmt.Sprintf("myjobs:%s:%d:%d", userName, start.Unix(), end.Unix())
+	// Built without Sprintf: this key is recomputed on every My Jobs request
+	// (hit or miss), and Sprintf boxes both ints per call.
+	key := "myjobs:" + userName + ":" +
+		strconv.FormatInt(start.Unix(), 10) + ":" + strconv.FormatInt(end.Unix(), 10)
 	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
 		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
 			Accounts: accounts, AllUsers: true,
@@ -241,58 +244,58 @@ func (s *Server) handleMyJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Optional filters mirroring the page's controls.
-	q := r.URL.Query()
-	stateFilter := strings.ToUpper(q.Get("state"))
-	userFilter := q.Get("user")
-	accountFilter := q.Get("account")
-	onlyMine := q.Get("mine") == "1"
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		// Optional filters mirroring the page's controls.
+		q := r.URL.Query()
+		stateFilter := strings.ToUpper(q.Get("state"))
+		userFilter := q.Get("user")
+		accountFilter := q.Get("account")
+		onlyMine := q.Get("mine") == "1"
 
-	resp := MyJobsResponse{Total: len(rows)}
-	for i := range rows {
-		row := &rows[i]
-		if onlyMine && row.User != user.Name {
-			continue
+		resp := MyJobsResponse{Total: len(rows)}
+		for i := range rows {
+			row := &rows[i]
+			if onlyMine && row.User != user.Name {
+				continue
+			}
+			if userFilter != "" && row.User != userFilter {
+				continue
+			}
+			if accountFilter != "" && row.Account != accountFilter {
+				continue
+			}
+			if stateFilter != "" && row.State != stateFilter {
+				continue
+			}
+			resp.Jobs = append(resp.Jobs, *row)
 		}
-		if userFilter != "" && row.User != userFilter {
-			continue
-		}
-		if accountFilter != "" && row.Account != accountFilter {
-			continue
-		}
-		if stateFilter != "" && row.State != stateFilter {
-			continue
-		}
-		resp.Jobs = append(resp.Jobs, *row)
-	}
-	resp.Matched = len(resp.Jobs)
+		resp.Matched = len(resp.Jobs)
 
-	// Pagination: DataTables-style limit/offset keeps large histories from
-	// shipping megabytes per request.
-	offset, limit := 0, 0
-	if v := q.Get("offset"); v != "" {
-		offset, err = strconv.Atoi(v)
-		if err != nil || offset < 0 {
-			writeError(w, fmt.Errorf("%w: bad offset %q", errBadRequest, v))
-			return
+		// Pagination: DataTables-style limit/offset keeps large histories from
+		// shipping megabytes per request.
+		offset, limit := 0, 0
+		if v := q.Get("offset"); v != "" {
+			offset, err = strconv.Atoi(v)
+			if err != nil || offset < 0 {
+				return nil, fmt.Errorf("%w: bad offset %q", errBadRequest, v)
+			}
 		}
-	}
-	if v := q.Get("limit"); v != "" {
-		limit, err = strconv.Atoi(v)
-		if err != nil || limit <= 0 {
-			writeError(w, fmt.Errorf("%w: bad limit %q", errBadRequest, v))
-			return
+		if v := q.Get("limit"); v != "" {
+			limit, err = strconv.Atoi(v)
+			if err != nil || limit <= 0 {
+				return nil, fmt.Errorf("%w: bad limit %q", errBadRequest, v)
+			}
 		}
-	}
-	if offset > len(resp.Jobs) {
-		offset = len(resp.Jobs)
-	}
-	resp.Offset = offset
-	resp.Jobs = resp.Jobs[offset:]
-	if limit > 0 && len(resp.Jobs) > limit {
-		resp.Jobs = resp.Jobs[:limit]
-	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+		if offset > len(resp.Jobs) {
+			offset = len(resp.Jobs)
+		}
+		resp.Offset = offset
+		resp.Jobs = resp.Jobs[offset:]
+		if limit > 0 && len(resp.Jobs) > limit {
+			resp.Jobs = resp.Jobs[:limit]
+		}
+		return resp, nil
+	})
 }
 
 // handleMyJobsExport streams the (filtered) My Jobs table as CSV — the
@@ -406,41 +409,43 @@ func (s *Server) handleMyJobsCharts(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	states := make(map[string]*UserStateBar)
-	gpu := make(map[string]float64)
-	for i := range rows {
-		row := &rows[i]
-		bar := states[row.User]
-		if bar == nil {
-			bar = &UserStateBar{User: row.User, States: make(map[string]int)}
-			states[row.User] = bar
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		states := make(map[string]*UserStateBar)
+		gpu := make(map[string]float64)
+		for i := range rows {
+			row := &rows[i]
+			bar := states[row.User]
+			if bar == nil {
+				bar = &UserStateBar{User: row.User, States: make(map[string]int)}
+				states[row.User] = bar
+			}
+			bar.States[row.State]++
+			bar.Total++
+			gpu[row.User] += row.GPUHours
 		}
-		bar.States[row.State]++
-		bar.Total++
-		gpu[row.User] += row.GPUHours
-	}
-	resp := ChartsResponse{}
-	for _, bar := range states {
-		resp.StateDistribution = append(resp.StateDistribution, *bar)
-	}
-	sort.Slice(resp.StateDistribution, func(i, j int) bool {
-		if resp.StateDistribution[i].Total != resp.StateDistribution[j].Total {
-			return resp.StateDistribution[i].Total > resp.StateDistribution[j].Total
+		resp := ChartsResponse{}
+		for _, bar := range states {
+			resp.StateDistribution = append(resp.StateDistribution, *bar)
 		}
-		return resp.StateDistribution[i].User < resp.StateDistribution[j].User
+		sort.Slice(resp.StateDistribution, func(i, j int) bool {
+			if resp.StateDistribution[i].Total != resp.StateDistribution[j].Total {
+				return resp.StateDistribution[i].Total > resp.StateDistribution[j].Total
+			}
+			return resp.StateDistribution[i].User < resp.StateDistribution[j].User
+		})
+		for u, hours := range gpu {
+			if hours > 0 {
+				resp.GPUHours = append(resp.GPUHours, UserGPUHours{User: u, GPUHours: hours})
+			}
+		}
+		sort.Slice(resp.GPUHours, func(i, j int) bool {
+			if resp.GPUHours[i].GPUHours != resp.GPUHours[j].GPUHours {
+				return resp.GPUHours[i].GPUHours > resp.GPUHours[j].GPUHours
+			}
+			return resp.GPUHours[i].User < resp.GPUHours[j].User
+		})
+		return resp, nil
 	})
-	for u, hours := range gpu {
-		if hours > 0 {
-			resp.GPUHours = append(resp.GPUHours, UserGPUHours{User: u, GPUHours: hours})
-		}
-	}
-	sort.Slice(resp.GPUHours, func(i, j int) bool {
-		if resp.GPUHours[i].GPUHours != resp.GPUHours[j].GPUHours {
-			return resp.GPUHours[i].GPUHours > resp.GPUHours[j].GPUHours
-		}
-		return resp.GPUHours[i].User < resp.GPUHours[j].User
-	})
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
 }
 
 // --- Job Performance Metrics (§5) --------------------------------------------
@@ -488,9 +493,9 @@ func (s *Server) handleJobPerf(w http.ResponseWriter, r *http.Request) {
 		writeFetchError(w, err)
 		return
 	}
-	rows := v.([]slurmcli.SacctRow)
-	resp := aggregateJobPerf(rows, start, end, now)
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, resp)
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		return aggregateJobPerf(v.([]slurmcli.SacctRow), start, end, now), nil
+	})
 }
 
 // aggregateJobPerf folds accounting rows into the summary metrics.

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ooddash/internal/auth"
@@ -68,15 +69,30 @@ const pushRefreshHeader = "X-OODDash-Push"
 
 // loopbackRecorder captures one internal request's response without a
 // network round-trip (a minimal httptest.ResponseRecorder, kept local so
-// the serving path does not depend on a test package).
+// the serving path does not depend on a test package). Recorders are pooled:
+// a refresh fires for every push source on every TTL expiry, and the header
+// map plus body buffer are pure scratch between refreshes. Callers that
+// retain response bytes past release must copy them out first.
 type loopbackRecorder struct {
 	header http.Header
 	status int
 	body   bytes.Buffer
 }
 
+var recorderPool = sync.Pool{
+	New: func() any { return &loopbackRecorder{header: make(http.Header)} },
+}
+
 func newLoopbackRecorder() *loopbackRecorder {
-	return &loopbackRecorder{header: make(http.Header), status: http.StatusOK}
+	rec := recorderPool.Get().(*loopbackRecorder)
+	rec.status = http.StatusOK
+	return rec
+}
+
+func (l *loopbackRecorder) release() {
+	clear(l.header)
+	l.body.Reset()
+	recorderPool.Put(l)
 }
 
 func (l *loopbackRecorder) Header() http.Header         { return l.header }
@@ -99,13 +115,17 @@ func (s *Server) pushFetch(route pushRoute, user string) push.FetchFunc {
 		req.Header.Set("Accept", "application/json")
 		req.Header.Set(pushRefreshHeader, "refresh")
 		rec := newLoopbackRecorder()
+		defer rec.release()
 		s.mux.ServeHTTP(rec, req)
 		if rec.status != http.StatusOK {
 			return nil, false, fmt.Errorf("core: push refresh %s: status %d: %.120s",
 				route.path, rec.status, rec.body.Bytes())
 		}
 		degraded := rec.header.Get(degradedHeader) != ""
-		return bytes.TrimRight(rec.body.Bytes(), "\n"), degraded, nil
+		// The hub retains the payload; the recorder is about to be reused, so
+		// hand over an exact-size copy rather than a view into its buffer.
+		payload := bytes.TrimRight(rec.body.Bytes(), "\n")
+		return append([]byte(nil), payload...), degraded, nil
 	}
 }
 
@@ -277,10 +297,12 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 }
 
 // StartPush begins background refreshing on a wall-clock loop that checks
-// source due-times every interval. Production servers call this once;
-// tests and the loadgen smoke mode drive TickPush on the simulated clock
-// instead.
+// source due-times every interval, and starts the periodic cache purge
+// sweep (which runs even with push disabled — a poll-only server still
+// accumulates cache entries). Production servers call this once; tests and
+// the loadgen smoke mode drive TickPush on the simulated clock instead.
 func (s *Server) StartPush(interval time.Duration) {
+	s.startPurgeLoop()
 	if s.cfg.Push.Disabled {
 		return
 	}
@@ -289,8 +311,11 @@ func (s *Server) StartPush(interval time.Duration) {
 
 // TickPush runs every due background refresh synchronously and reports how
 // many sources were fetched. Call after advancing the shared simulated
-// clock.
-func (s *Server) TickPush() int { return s.pushSched.Tick() }
+// clock. It also runs the cache purge sweep when one is due on that clock.
+func (s *Server) TickPush() int {
+	s.maybePurge()
+	return s.pushSched.Tick()
+}
 
 // PushHub exposes the snapshot hub for tests and experiments.
 func (s *Server) PushHub() *push.Hub { return s.pushHub }

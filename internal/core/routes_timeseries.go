@@ -90,7 +90,9 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 		writeFetchError(w, err)
 		return
 	}
-	s.writeWidgetJSON(w, r, http.StatusOK, meta, v.(*TimeseriesResponse))
+	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
+		return v.(*TimeseriesResponse), nil
+	})
 }
 
 // buildTimeseries folds accounting rows into evenly spaced buckets keyed by

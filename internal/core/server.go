@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ooddash/internal/auth"
@@ -65,6 +66,17 @@ type Server struct {
 	mux     *http.ServeMux
 	widgets []Widget
 
+	// Rendered-response layer (see render.go): materialized JSON bytes and
+	// ETags keyed by widget/variant/URI, plus its traffic counters.
+	rendered *cache.Cache
+	renderCounters
+
+	// Periodic purge of both caches (see purge.go): entries past their stale
+	// grace window are dropped so a long-running server's memory is bounded.
+	purgeMu    sync.Mutex
+	lastPurge  time.Time
+	purgedTotal atomic.Int64
+
 	// obsm holds the metrics registry and every metric family; accessLog,
 	// when set, receives one structured line per instrumented request.
 	obsm      *serverObs
@@ -113,6 +125,8 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 		cache:   cache.New(deps.Clock),
 		mux:     http.NewServeMux(),
 	}
+	s.rendered = cache.New(deps.Clock)
+	s.lastPurge = deps.Clock.Now()
 	s.res = resilience.NewSet(resilience.Options{
 		Clock: deps.Clock,
 		Sleep: deps.Sleep,
@@ -167,6 +181,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Cache exposes the server-side cache for inspection (experiments read its
 // hit/miss statistics) and for the cache-off ablation (Disabled flag).
 func (s *Server) Cache() *cache.Cache { return s.cache }
+
+// RenderedCache exposes the rendered-response cache for inspection.
+func (s *Server) RenderedCache() *cache.Cache { return s.rendered }
 
 // Config returns the effective configuration (defaults applied).
 func (s *Server) Config() Config { return s.cfg }

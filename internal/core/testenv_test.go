@@ -18,7 +18,7 @@ import (
 
 // env is a full dashboard stack over a small simulated cluster.
 type env struct {
-	t       *testing.T
+	t       testing.TB
 	clock   *slurm.SimClock
 	cluster *slurm.Cluster
 	feed    *newsfeed.Feed
@@ -32,7 +32,7 @@ type env struct {
 
 // newEnv wires the whole stack: simulated cluster, news feed, storage
 // database, user directory, log store, dashboard server.
-func newEnv(t *testing.T) *env {
+func newEnv(t testing.TB) *env {
 	t.Helper()
 	clock := slurm.NewSimClock(time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC))
 	cfg := slurm.ClusterConfig{

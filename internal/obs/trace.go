@@ -3,7 +3,6 @@ package obs
 import (
 	"context"
 	"crypto/rand"
-	"encoding/hex"
 	"sync/atomic"
 )
 
@@ -29,7 +28,15 @@ func NewTraceID() string {
 			b[i] = byte(n >> (8 * i))
 		}
 	}
-	return hex.EncodeToString(b[:])
+	// Encode into a stack buffer: hex.EncodeToString would allocate the
+	// intermediate byte slice and the string; this allocates the string only.
+	const digits = "0123456789abcdef"
+	var dst [16]byte
+	for i, v := range b {
+		dst[i*2] = digits[v>>4]
+		dst[i*2+1] = digits[v&0xf]
+	}
+	return string(dst[:])
 }
 
 // WithTrace returns a context carrying the trace ID.

@@ -82,6 +82,44 @@ func BenchmarkSinfoJSON(b *testing.B) {
 	}
 }
 
+// Parse-only benchmarks: the command output is produced once, so allocs/op
+// measure just the parser. These guard the forEachLine/splitInto conversion
+// against regressions back to a Split-per-line pattern.
+
+func BenchmarkParseSqueueOutput(b *testing.B) {
+	r, _ := benchRunner(b)
+	out, err := r.Run("squeue", "-h", "-t", "all", "-o", squeueParseFormat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(out)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries, err := parseSqueueOutput(out)
+		if err != nil || len(entries) == 0 {
+			b.Fatalf("entries=%d err=%v", len(entries), err)
+		}
+	}
+}
+
+func BenchmarkParseSacctOutput(b *testing.B) {
+	r, _ := benchRunner(b)
+	out, err := r.Run("sacct", "-P", "-n", "-X", "--format", sacctQueryFields, "-a")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(out)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := parseSacctOutput(out)
+		if err != nil || len(rows) == 0 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}
+
 func BenchmarkFormatDuration(b *testing.B) {
 	d := 26*time.Hour + 13*time.Minute + 7*time.Second
 	for i := 0; i < b.N; i++ {

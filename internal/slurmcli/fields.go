@@ -1,0 +1,80 @@
+package slurmcli
+
+import "strings"
+
+// Shared zero-allocation parsing helpers for the pipe-delimited command
+// outputs (squeue, sacct, sreport). These parsers run on every cache fill
+// feeding the dashboard's widgets; the original strings.Split-per-line
+// pattern allocated a fresh line slice for the whole output plus a fresh
+// field slice per row, which dominated the parse profile on large clusters.
+// Instead, lines are walked with IndexByte and fields are split into a
+// caller-owned reusable slice; the field strings themselves are substrings
+// of the command output (no copies), exactly as with strings.Split.
+
+// forEachLine calls fn for every newline-terminated segment of out,
+// including a trailing unterminated one, without allocating a line slice.
+// Iteration stops at the first non-nil error, which is returned.
+func forEachLine(out string, fn func(line string) error) error {
+	for len(out) > 0 {
+		line := out
+		if i := strings.IndexByte(out, '\n'); i >= 0 {
+			line, out = out[:i], out[i+1:]
+		} else {
+			out = ""
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// splitInto splits line on sep into dst, returning the number of fields. A
+// line with more fields than dst holds returns len(dst)+1 (enough for the
+// caller's exact-count check to fail) without writing past the slice. The
+// stored strings alias line.
+func splitInto(line string, sep byte, dst []string) int {
+	n := 0
+	for {
+		i := strings.IndexByte(line, sep)
+		if i < 0 {
+			if n < len(dst) {
+				dst[n] = line
+			}
+			n++
+			return n
+		}
+		if n < len(dst) {
+			dst[n] = line[:i]
+		}
+		n++
+		if n > len(dst) {
+			return n
+		}
+		line = line[i+1:]
+	}
+}
+
+// countLines estimates the row count of command output for preallocation:
+// the newline count, plus one for a trailing unterminated line.
+func countLines(out string) int {
+	n := strings.Count(out, "\n")
+	if len(out) > 0 && out[len(out)-1] != '\n' {
+		n++
+	}
+	return n
+}
+
+// isBlank reports whether a line contains only whitespace, without the
+// strings.TrimSpace comparison allocating anything (it never did, but this
+// also skips the full trim on the common all-blank/empty cases).
+func isBlank(line string) bool {
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case ' ', '\t', '\r', '\n':
+		default:
+			return false
+		}
+	}
+	return true
+}

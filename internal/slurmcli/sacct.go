@@ -387,16 +387,19 @@ func Sacct(r Runner, opts SacctOptions) ([]SacctRow, error) {
 	return parseSacctOutput(out)
 }
 
+// sacctNumFields is the field count of sacctQueryFields, computed once at
+// init instead of re-splitting the format string on every parse call.
+var sacctNumFields = strings.Count(sacctQueryFields, ",") + 1
+
 func parseSacctOutput(out string) ([]SacctRow, error) {
-	nFields := len(strings.Split(sacctQueryFields, ","))
-	var rows []SacctRow
-	for _, line := range strings.Split(out, "\n") {
-		if strings.TrimSpace(line) == "" {
-			continue
+	rows := make([]SacctRow, 0, countLines(out))
+	f := make([]string, sacctNumFields)
+	err := forEachLine(out, func(line string) error {
+		if isBlank(line) {
+			return nil
 		}
-		f := strings.Split(line, "|")
-		if len(f) != nFields {
-			return nil, fmt.Errorf("slurmcli: sacct row has %d fields, want %d: %q", len(f), nFields, line)
+		if n := splitInto(line, '|', f); n != len(f) {
+			return fmt.Errorf("slurmcli: sacct row has %d fields, want %d: %q", n, len(f), line)
 		}
 		var (
 			row SacctRow
@@ -404,7 +407,7 @@ func parseSacctOutput(out string) ([]SacctRow, error) {
 		)
 		rawID, err := strconv.ParseInt(f[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("slurmcli: bad raw job id %q", f[0])
+			return fmt.Errorf("slurmcli: bad raw job id %q", f[0])
 		}
 		row.RawID = slurm.JobID(rawID)
 		row.JobID, row.Name, row.User = f[1], f[2], f[3]
@@ -412,55 +415,62 @@ func parseSacctOutput(out string) ([]SacctRow, error) {
 		row.State = slurm.JobState(f[7])
 		row.Reason = slurm.PendingReason(f[8])
 		if row.SubmitTime, err = ParseTime(f[9]); err != nil {
-			return nil, err
+			return err
 		}
 		if row.StartTime, err = ParseTime(f[10]); err != nil {
-			return nil, err
+			return err
 		}
 		if row.EndTime, err = ParseTime(f[11]); err != nil {
-			return nil, err
+			return err
 		}
 		if row.Elapsed, err = ParseDuration(f[12]); err != nil {
-			return nil, err
+			return err
 		}
 		if row.TimeLimit, err = ParseDuration(f[13]); err != nil {
-			return nil, err
+			return err
 		}
 		if row.ReqCPUs, err = strconv.Atoi(f[14]); err != nil {
-			return nil, fmt.Errorf("slurmcli: bad ReqCPUS %q", f[14])
+			return fmt.Errorf("slurmcli: bad ReqCPUS %q", f[14])
 		}
 		if row.AllocCPUs, err = strconv.Atoi(f[15]); err != nil {
-			return nil, fmt.Errorf("slurmcli: bad AllocCPUS %q", f[15])
+			return fmt.Errorf("slurmcli: bad AllocCPUS %q", f[15])
 		}
 		if row.ReqMemMB, err = ParseMem(f[16]); err != nil {
-			return nil, err
+			return err
 		}
 		if row.AllocTRES, err = slurm.ParseTRES(f[17]); err != nil {
-			return nil, err
+			return err
 		}
 		row.NodeList = f[18]
 		codeStr, _, _ := strings.Cut(f[19], ":")
 		if row.ExitCode, err = strconv.Atoi(codeStr); err != nil {
-			return nil, fmt.Errorf("slurmcli: bad exit code %q", f[19])
+			return fmt.Errorf("slurmcli: bad exit code %q", f[19])
 		}
 		if f[20] != "" {
 			kb, err := strconv.ParseInt(strings.TrimSuffix(f[20], "K"), 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("slurmcli: bad MaxRSS %q", f[20])
+				return fmt.Errorf("slurmcli: bad MaxRSS %q", f[20])
 			}
 			row.MaxRSSMB = kb / 1024
 		}
 		if row.TotalCPU, err = ParseDuration(f[21]); err != nil {
-			return nil, err
+			return err
 		}
 		row.GPUUtilPercent = -1
 		if _, util, ok := strings.Cut(f[22], "gres/gpuutil="); ok {
 			if row.GPUUtilPercent, err = strconv.ParseFloat(util, 64); err != nil {
-				return nil, fmt.Errorf("slurmcli: bad TRESUsageInAve %q", f[22])
+				return fmt.Errorf("slurmcli: bad TRESUsageInAve %q", f[22])
 			}
 		}
 		row.Comment, row.WorkDir = f[23], f[24]
 		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
 	}
 	return rows, nil
 }

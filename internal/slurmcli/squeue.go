@@ -281,14 +281,14 @@ func Squeue(r Runner, opts SqueueOptions) ([]QueueEntry, error) {
 }
 
 func parseSqueueOutput(out string) ([]QueueEntry, error) {
-	var entries []QueueEntry
-	for _, line := range strings.Split(out, "\n") {
-		if strings.TrimSpace(line) == "" {
-			continue
+	entries := make([]QueueEntry, 0, countLines(out))
+	var f [17]string
+	err := forEachLine(out, func(line string) error {
+		if isBlank(line) {
+			return nil
 		}
-		f := strings.Split(line, "|")
-		if len(f) != 17 {
-			return nil, fmt.Errorf("slurmcli: squeue row has %d fields, want 17: %q", len(f), line)
+		if n := splitInto(line, '|', f[:]); n != len(f) {
+			return fmt.Errorf("slurmcli: squeue row has %d fields, want 17: %q", n, line)
 		}
 		e := QueueEntry{
 			JobID: f[0], Name: f[1], User: f[2], Account: f[3],
@@ -299,34 +299,38 @@ func parseSqueueOutput(out string) ([]QueueEntry, error) {
 		}
 		var err error
 		if e.SubmitTime, err = ParseTime(f[8]); err != nil {
-			return nil, err
+			return err
 		}
 		if e.StartTime, err = ParseTime(f[9]); err != nil {
-			return nil, err
+			return err
 		}
 		if e.Elapsed, err = ParseDuration(f[10]); err != nil {
-			return nil, err
+			return err
 		}
 		if e.TimeLimit, err = ParseDuration(f[11]); err != nil {
-			return nil, err
+			return err
 		}
 		if e.Nodes, err = strconv.Atoi(f[12]); err != nil {
-			return nil, fmt.Errorf("slurmcli: bad node count %q", f[12])
+			return fmt.Errorf("slurmcli: bad node count %q", f[12])
 		}
 		if e.CPUs, err = strconv.Atoi(f[13]); err != nil {
-			return nil, fmt.Errorf("slurmcli: bad cpu count %q", f[13])
+			return fmt.Errorf("slurmcli: bad cpu count %q", f[13])
 		}
 		if e.MemMB, err = ParseMem(f[14]); err != nil {
-			return nil, err
+			return err
 		}
 		if f[15] != "N/A" {
 			if _, gstr, ok := strings.Cut(f[15], ":"); ok {
 				if e.GPUsPerNode, err = strconv.Atoi(gstr); err != nil {
-					return nil, fmt.Errorf("slurmcli: bad gres %q", f[15])
+					return fmt.Errorf("slurmcli: bad gres %q", f[15])
 				}
 			}
 		}
 		entries = append(entries, e)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return entries, nil
 }

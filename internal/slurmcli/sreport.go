@@ -113,23 +113,31 @@ func SreportAccountUtilization(r Runner, start, end time.Time) ([]UtilizationRow
 	if err != nil {
 		return nil, err
 	}
-	var rows []UtilizationRow
-	for _, line := range strings.Split(out, "\n") {
-		if strings.TrimSpace(line) == "" {
-			continue
+	rows := make([]UtilizationRow, 0, countLines(out))
+	var f [5]string
+	err = forEachLine(out, func(line string) error {
+		if isBlank(line) {
+			return nil
 		}
-		f := strings.Split(line, "|")
-		if len(f) != 5 {
-			return nil, fmt.Errorf("slurmcli: sreport row has %d fields: %q", len(f), line)
+		if n := splitInto(line, '|', f[:]); n != len(f) {
+			return fmt.Errorf("slurmcli: sreport row has %d fields: %q", n, line)
 		}
 		row := UtilizationRow{Cluster: f[0], Account: f[1], User: f[2]}
+		var err error
 		if row.CPUHours, err = strconv.ParseFloat(f[3], 64); err != nil {
-			return nil, fmt.Errorf("slurmcli: bad CPUHours %q", f[3])
+			return fmt.Errorf("slurmcli: bad CPUHours %q", f[3])
 		}
 		if row.GPUHours, err = strconv.ParseFloat(f[4], 64); err != nil {
-			return nil, fmt.Errorf("slurmcli: bad GPUHours %q", f[4])
+			return fmt.Errorf("slurmcli: bad GPUHours %q", f[4])
 		}
 		rows = append(rows, row)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
 	}
 	return rows, nil
 }
