@@ -2,12 +2,17 @@
 
 .PHONY: check test vet test-race race bench bench-go bench-push bench-hotpath harness run verify
 
-check: test vet test-race vet-push  ## the default CI gate: build + tests + vet + race detector
+check: test vet test-race vet-push vet-trace  ## the default CI gate: build + tests + vet + race detector
 
 .PHONY: vet-push
 vet-push:        ## focused gate on the push subsystem (vet + race over its packages)
 	go vet ./internal/push/ ./internal/browser/ ./cmd/loadgen/
 	go test -race ./internal/push/ ./internal/browser/
+
+.PHONY: vet-trace
+vet-trace:       ## focused gate on span tracing (vet + race over the instrumented layers)
+	go vet ./internal/trace/ ./internal/cache/ ./internal/resilience/ ./internal/slurmcli/
+	go test -race ./internal/trace/
 
 test:            ## full test suite
 	go build ./... && go test ./...
@@ -33,7 +38,7 @@ bench-push:      ## polling vs SSE upstream-RPC comparison -> BENCH_push.json
 
 bench-hotpath: check  ## encode-once vs re-encode hit path -> BENCH_hotpath.json (gated)
 	go run ./cmd/loadgen -hotpath -hotpath-requests 28000 \
-		-min-hotpath-alloc-ratio 5 -bench-out BENCH_hotpath.json
+		-min-hotpath-alloc-ratio 5 -max-trace-allocs 3 -bench-out BENCH_hotpath.json
 
 harness:         ## regenerate every paper artifact (EXPERIMENTS.md numbers)
 	go run ./cmd/benchharness

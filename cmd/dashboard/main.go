@@ -6,6 +6,7 @@
 //
 //	dashboard [-addr :8080] [-small] [-seed 42] [-warp 60]
 //	          [-no-push] [-push-interval 1s] [-push-heartbeat 15s]
+//	          [-trace-sample 1] [-trace-slow-ms 500] [-trace-store-max 256]
 //	          [-fault-cmd squeue] [-fault-rate 0.2] [-fault-outage]
 //	          [-fault-latency 300ms] [-fault-jitter 200ms]
 //	          [-fault-burst-len 3 -fault-burst-every 10]
@@ -65,6 +66,10 @@ func main() {
 		noPush        = flag.Bool("no-push", false, "disable the live-update push subsystem (/api/events serves only the legacy delta poll)")
 		pushInterval  = flag.Duration("push-interval", time.Second, "wall-clock cadence of the background refresh scheduler")
 		pushHeartbeat = flag.Duration("push-heartbeat", 15*time.Second, "SSE keep-alive comment interval (0 disables heartbeats)")
+
+		traceSample   = flag.Float64("trace-sample", 1, "head-sampling probability for span tracing (0 disables tracing)")
+		traceSlowMS   = flag.Int("trace-slow-ms", 500, "slow-request threshold in milliseconds: slower traces are always retained and logged (0 disables the slow class)")
+		traceStoreMax = flag.Int("trace-store-max", 256, "max traces the tail-sampled in-memory store retains")
 
 		faultCmd        = flag.String("fault-cmd", "", `inject faults into this Slurm command ("*" = all; empty disables injection)`)
 		faultRate       = flag.Float64("fault-rate", 0, "probability (0..1) a matching call fails")
@@ -146,7 +151,20 @@ func main() {
 	if hb <= 0 {
 		hb = -1 // withDefaults: negative disables, zero means default
 	}
-	server, err := env.NewServerPush(newsURL, core.PushConfig{Disabled: *noPush, Heartbeat: hb})
+	// TraceConfig semantics are trace.New's: zero means default, negative
+	// disables — so a 0 flag value maps to the explicit "off" sentinel.
+	traceCfg := core.TraceConfig{
+		Sample:   *traceSample,
+		Slow:     time.Duration(*traceSlowMS) * time.Millisecond,
+		StoreMax: *traceStoreMax,
+	}
+	if *traceSample <= 0 {
+		traceCfg.Sample = -1
+	}
+	if *traceSlowMS <= 0 {
+		traceCfg.Slow = -1
+	}
+	server, err := env.NewServerTraced(newsURL, core.PushConfig{Disabled: *noPush, Heartbeat: hb}, traceCfg)
 	if err != nil {
 		log.Fatalf("server: %v", err)
 	}

@@ -6,7 +6,15 @@
 //  1. reencode:    rendered-response layer disabled — every request rebuilds
 //     the view model and re-marshals it (the pre-optimization hit path);
 //  2. encode-once: rendered layer on — requests serve materialized bytes;
-//  3. revalidate:  clients present the stored ETag — responses are 304s.
+//  3. revalidate:  clients present the stored ETag — responses are 304s;
+//  4. traced:      encode-once again with span tracing enabled but sampling
+//     probability 0 — every request hashes its trace ID, misses, and runs
+//     the hit path through nil-span no-ops.
+//
+// Phases 1–3 run with tracing fully disabled so their numbers stay
+// comparable with the pre-tracing snapshots. Phase 4 exists for its delta
+// against phase 2: the -max-trace-allocs gate fails the run if sampled-out
+// tracing costs the hit path more than that many allocations per request.
 //
 // Each phase measures wall-clock latency per request (p50/p95) and exact
 // allocations per request (runtime.MemStats.Mallocs delta — monotonic, so
@@ -85,11 +93,15 @@ type hotpathReport struct {
 	Reencode    hotpathPhase `json:"reencode_baseline"`
 	EncodeOnce  hotpathPhase `json:"encode_once"`
 	Revalidate  hotpathPhase `json:"revalidate_304"`
+	Traced      hotpathPhase `json:"encode_once_traced"`
 	// AllocRatio is reencode allocs/op over encode-once allocs/op — the
 	// number the regression gate is about.
 	AllocRatio float64 `json:"alloc_ratio_reencode_vs_encode_once"`
 	P95Ratio   float64 `json:"p95_ratio_reencode_vs_encode_once"`
-	RenderHits int64   `json:"render_hits"`
+	// TraceAllocDelta is traced allocs/op minus encode-once allocs/op: what
+	// sampled-out span tracing costs the hit path.
+	TraceAllocDelta float64 `json:"trace_alloc_delta_sampled_out"`
+	RenderHits      int64   `json:"render_hits"`
 }
 
 // hotpathRequest is one (user, path) cell of the request mix.
@@ -141,9 +153,9 @@ func runHotpathPhase(server *core.Server, mode string, reqs []hotpathRequest, ro
 // ms100 is ms with enough resolution for sub-millisecond hit latencies.
 func ms100(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
-// runHotpathBench builds the stack, runs the three phases, writes the
-// snapshot, and applies the allocation-ratio gate.
-func runHotpathBench(requests int, benchOut string, minAllocRatio float64) {
+// runHotpathBench builds the stack, runs the four phases, writes the
+// snapshot, and applies the allocation-ratio and tracing-overhead gates.
+func runHotpathBench(requests int, benchOut string, minAllocRatio, maxTraceAllocs float64) {
 	st, err := buildPushStack()
 	if err != nil {
 		log.Fatalf("hotpath bench: %v", err)
@@ -188,6 +200,10 @@ func runHotpathBench(requests int, benchOut string, minAllocRatio float64) {
 	log.Printf("hotpath bench: %d widgets x %d users, %d rounds per phase",
 		len(hotpathWidgets), len(users), rounds)
 
+	// Phases 1–3 measure the serving pipeline with tracing fully off —
+	// comparable with pre-tracing snapshots of this report.
+	server.SetTraceSample(-1)
+
 	// Phase 1: re-encode baseline. The source cache is warm (clock frozen),
 	// so every request is a cache hit that still rebuilds and re-marshals.
 	server.SetRenderCacheDisabled(true)
@@ -226,6 +242,18 @@ func runHotpathBench(requests int, benchOut string, minAllocRatio float64) {
 		log.Fatalf("hotpath bench: %v", err)
 	}
 
+	// Phase 4: sampled-out tracing over the encode-once hit path. Sampling
+	// probability 0 keeps head sampling enabled (the per-request hash runs)
+	// while guaranteeing no span is ever built — the overhead every
+	// untraced production request pays.
+	server.SetTraceSample(0)
+	warm()
+	traced, err := runHotpathPhase(server, "encode_once_traced", mix, rounds, http.StatusOK)
+	if err != nil {
+		log.Fatalf("hotpath bench: %v", err)
+	}
+	server.SetTraceSample(-1)
+
 	allocRatio := 0.0
 	if encodeOnce.AllocsPerOp > 0 {
 		allocRatio = reencode.AllocsPerOp / encodeOnce.AllocsPerOp
@@ -234,16 +262,18 @@ func runHotpathBench(requests int, benchOut string, minAllocRatio float64) {
 	if encodeOnce.P95Ms > 0 {
 		p95Ratio = reencode.P95Ms / encodeOnce.P95Ms
 	}
+	traceAllocDelta := traced.AllocsPerOp - encodeOnce.AllocsPerOp
 	hits, _ := server.RenderStats()
 
-	fmt.Printf("\n%-16s %9s %10s %10s %12s %12s %14s\n",
+	fmt.Printf("\n%-18s %9s %10s %10s %12s %12s %14s\n",
 		"phase", "requests", "p50(ms)", "p95(ms)", "ns/op", "allocs/op", "encodes")
-	for _, p := range []hotpathPhase{reencode, encodeOnce, revalidate} {
-		fmt.Printf("%-16s %9d %10.3f %10.3f %12.0f %12.1f %14d\n",
+	for _, p := range []hotpathPhase{reencode, encodeOnce, revalidate, traced} {
+		fmt.Printf("%-18s %9d %10.3f %10.3f %12.0f %12.1f %14d\n",
 			p.Mode, p.Requests, p.P50Ms, p.P95Ms, p.NsPerOp, p.AllocsPerOp, p.RenderEncodes)
 	}
 	fmt.Printf("\nallocs/op ratio (reencode / encode-once): %.1fx\n", allocRatio)
 	fmt.Printf("p95 ratio (reencode / encode-once): %.1fx\n", p95Ratio)
+	fmt.Printf("sampled-out tracing overhead: %+.1f allocs/op\n", traceAllocDelta)
 
 	if benchOut != "" {
 		rep := hotpathReport{
@@ -252,12 +282,14 @@ func runHotpathBench(requests int, benchOut string, minAllocRatio float64) {
 			GeneratedAt: time.Now().UTC(),
 			Widgets:     hotpathWidgets,
 			Users:       len(users),
-			Reencode:    reencode,
-			EncodeOnce:  encodeOnce,
-			Revalidate:  revalidate,
-			AllocRatio:  allocRatio,
-			P95Ratio:    p95Ratio,
-			RenderHits:  hits,
+			Reencode:        reencode,
+			EncodeOnce:      encodeOnce,
+			Revalidate:      revalidate,
+			Traced:          traced,
+			AllocRatio:      allocRatio,
+			P95Ratio:        p95Ratio,
+			TraceAllocDelta: traceAllocDelta,
+			RenderHits:      hits,
 		}
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -279,5 +311,10 @@ func runHotpathBench(requests int, benchOut string, minAllocRatio float64) {
 				encodeOnce.P95Ms, reencode.P95Ms)
 			os.Exit(1)
 		}
+	}
+	if maxTraceAllocs >= 0 && traceAllocDelta > maxTraceAllocs {
+		log.Printf("FAIL: sampled-out tracing adds %.2f allocs/op, above -max-trace-allocs %.2f",
+			traceAllocDelta, maxTraceAllocs)
+		os.Exit(1)
 	}
 }

@@ -265,9 +265,10 @@ func main() {
 		sse         = flag.Bool("sse", false, "push benchmark: compare polling vs SSE upstream RPC cost in-process (implies -smoke-style stack; see -rounds/-interval/-users)")
 		maxRPCRatio = flag.Float64("max-sse-rpc-ratio", -1, "exit 1 if the SSE fleet's upstream RPCs exceed this multiple of the single-client polling baseline (negative disables)")
 
-		hotpath          = flag.Bool("hotpath", false, "hot-path benchmark: re-encode baseline vs encode-once vs 304 revalidation against an in-process stack (see -hotpath-requests)")
+		hotpath          = flag.Bool("hotpath", false, "hot-path benchmark: re-encode baseline vs encode-once vs 304 revalidation vs sampled-out tracing against an in-process stack (see -hotpath-requests)")
 		hotpathRequests  = flag.Int("hotpath-requests", 28000, "requests per phase in -hotpath mode (rounded down to the request-mix size)")
 		minHotAllocRatio = flag.Float64("min-hotpath-alloc-ratio", -1, "exit 1 if encode-once allocs/op are not at least this many times below the re-encode baseline (negative disables)")
+		maxTraceAllocs   = flag.Float64("max-trace-allocs", 3, "exit 1 if sampled-out tracing adds more than this many allocs/op over the untraced encode-once hit path (negative disables)")
 
 		benchOut   = flag.String("bench-out", "", "write a BENCH_*.json latency snapshot to this path")
 		maxErrRate = flag.Float64("max-error-rate", -1, "exit 1 if the overall widget error rate exceeds this (0..1; negative disables)")
@@ -280,7 +281,7 @@ func main() {
 		return
 	}
 	if *hotpath {
-		runHotpathBench(*hotpathRequests, *benchOut, *minHotAllocRatio)
+		runHotpathBench(*hotpathRequests, *benchOut, *minHotAllocRatio, *maxTraceAllocs)
 		return
 	}
 

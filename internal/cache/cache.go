@@ -24,10 +24,14 @@
 package cache
 
 import (
+	"context"
 	"errors"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ooddash/internal/trace"
 )
 
 // Clock supplies the current time; it matches slurm.Clock so tests can share
@@ -189,8 +193,23 @@ func (c *Cache) Fetch(key string, ttl time.Duration, compute func() (any, error)
 // Result.Degraded set and the error suppressed. Only a cold cache (or an
 // entry past its grace window) surfaces the compute error.
 func (c *Cache) FetchStale(key string, ttl, staleFor time.Duration, compute func() (any, error)) (Result, error) {
+	return c.FetchStaleCtx(context.Background(), key, ttl, staleFor,
+		func(context.Context) (any, error) { return compute() })
+}
+
+// FetchStaleCtx is FetchStale with a context threaded into the compute
+// function. When the context carries an active trace span the cache records
+// child spans — "cache.hit" for a live entry, "cache.wait" for a collapsed
+// concurrent miss, "cache.fill" around the compute — each annotated with the
+// wall-clock shard lock wait, so a trace shows whether a slow request spent
+// its time computing or contending. An untraced context adds no work beyond
+// one context lookup.
+func (c *Cache) FetchStaleCtx(ctx context.Context, key string, ttl, staleFor time.Duration, compute func(context.Context) (any, error)) (Result, error) {
 	if c.Disabled {
-		v, err := compute()
+		fctx, sp := trace.StartSpan(ctx, "cache.fill")
+		sp.SetAttr("store", "disabled")
+		v, err := compute(fctx)
+		endFill(sp, err, false)
 		return Result{Value: v}, err
 	}
 	now := c.clock.Now()
@@ -198,7 +217,10 @@ func (c *Cache) FetchStale(key string, ttl, staleFor time.Duration, compute func
 	if ttl <= 0 {
 		// Caching disabled for this key: never store, never serve stale.
 		c.stats.misses.Add(1)
-		v, err := compute()
+		fctx, sp := trace.StartSpan(ctx, "cache.fill")
+		sp.SetAttr("store", "bypass")
+		v, err := compute(fctx)
+		endFill(sp, err, false)
 		if err != nil {
 			c.stats.errors.Add(1)
 			return Result{}, err
@@ -206,22 +228,42 @@ func (c *Cache) FetchStale(key string, ttl, staleFor time.Duration, compute func
 		return Result{Value: v}, nil
 	}
 
+	// Lock waits are measured on the wall clock (the simulated clock cannot
+	// see contention), and only for traced requests.
+	traced := trace.SpanFromContext(ctx) != nil
+	var lockWait time.Duration
 	sh := c.shardFor(key)
-	sh.mu.Lock()
+	if traced {
+		t0 := time.Now()
+		sh.mu.Lock()
+		lockWait = time.Since(t0)
+	} else {
+		sh.mu.Lock()
+	}
+	wasStale := false
 	if e, ok := sh.entries[key]; ok {
 		if now.Before(e.expiresAt) {
 			sh.mu.Unlock()
 			c.stats.hits.Add(1)
+			if traced {
+				_, sp := trace.StartSpan(ctx, "cache.hit")
+				setLockWait(sp, lockWait)
+				sp.End()
+			}
 			return Result{Value: e.value, Age: now.Sub(e.storedAt), Rev: e.rev}, nil
 		}
 		// Expired: count the stale miss but keep the entry — it is the
 		// last-known-good fallback if the recompute fails.
 		c.stats.stale.Add(1)
+		wasStale = true
 	}
 	if inflight, ok := sh.calls[key]; ok {
 		sh.mu.Unlock()
 		c.stats.collapsed.Add(1)
+		_, wsp := trace.StartSpan(ctx, "cache.wait")
+		setLockWait(wsp, lockWait)
 		inflight.wg.Wait()
+		wsp.End()
 		if inflight.err != nil {
 			return c.serveStale(key, inflight.err)
 		}
@@ -233,7 +275,12 @@ func (c *Cache) FetchStale(key string, ttl, staleFor time.Duration, compute func
 	sh.mu.Unlock()
 	c.stats.misses.Add(1)
 
-	cl.value, cl.err = compute()
+	fctx, fsp := trace.StartSpan(ctx, "cache.fill")
+	setLockWait(fsp, lockWait)
+	if wasStale {
+		fsp.SetAttr("stale", "true")
+	}
+	cl.value, cl.err = compute(fctx)
 
 	sh.mu.Lock()
 	delete(sh.calls, key)
@@ -250,12 +297,39 @@ func (c *Cache) FetchStale(key string, ttl, staleFor time.Duration, compute func
 		}
 		sh.mu.Unlock()
 		cl.wg.Done()
+		fsp.End()
 		return Result{Value: cl.value, Rev: rev}, nil
 	}
 	sh.mu.Unlock()
 	cl.wg.Done()
 	c.stats.errors.Add(1)
-	return c.serveStale(key, cl.err)
+	res, err := c.serveStale(key, cl.err)
+	endFill(fsp, cl.err, err == nil && res.Degraded)
+	return res, err
+}
+
+// setLockWait annotates a span with the wall-clock shard lock wait. No-op on
+// a nil span.
+func setLockWait(sp *trace.Span, d time.Duration) {
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("lock_wait_us", strconv.FormatInt(d.Microseconds(), 10))
+}
+
+// endFill closes a cache.fill span with its outcome attributes. No-op on a
+// nil span.
+func endFill(sp *trace.Span, err error, staleServed bool) {
+	if sp == nil {
+		return
+	}
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	if staleServed {
+		sp.SetAttr("stale_served", "true")
+	}
+	sp.End()
 }
 
 // serveStale falls back to a retained expired entry after a compute error,

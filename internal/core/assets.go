@@ -52,6 +52,25 @@ th, td { border-bottom: 1px solid #d0d7de; padding: .3rem .5rem; text-align: lef
   max-height: 24rem; overflow-y: scroll; padding: .5rem; }
 .log-view .ln { color: var(--gray); user-select: none; margin-right: .75rem; }
 .controls { display: flex; gap: .5rem; margin-bottom: 1rem; }
+.trace-row { cursor: pointer; }
+.trace-row:hover { background: #f6f8fa; }
+.waterfall { font-size: .8rem; font-family: monospace; }
+.waterfall .span-row { display: flex; align-items: center; gap: .5rem;
+  padding: 1px 0; }
+.waterfall .span-label { flex: 0 0 18rem; overflow: hidden;
+  text-overflow: ellipsis; white-space: nowrap; }
+.waterfall .span-track { flex: 1; position: relative; height: .9rem;
+  background: #f6f8fa; border-radius: 2px; }
+.waterfall .span-bar { position: absolute; top: 0; height: 100%;
+  border-radius: 2px; min-width: 2px; background: var(--blue); }
+.waterfall .span-bar.layer-http { background: var(--blue); }
+.waterfall .span-bar.layer-push { background: var(--gray); }
+.waterfall .span-bar.layer-cache { background: var(--green); }
+.waterfall .span-bar.layer-resilience { background: var(--yellow); }
+.waterfall .span-bar.layer-slurmcli { background: var(--orange); }
+.waterfall .span-bar.layer-slurmctld, .waterfall .span-bar.layer-slurmdbd,
+.waterfall .span-bar.layer-daemon { background: var(--red); }
+.waterfall .span-dur { flex: 0 0 6rem; text-align: right; color: var(--gray); }
 `
 
 // assetCacheJS is the IndexedDB helper (§2.4): get/put JSON blobs keyed by

@@ -1,0 +1,100 @@
+package core
+
+// assetTracesJS drives the staff admin traces page: it lists the tail-sampled
+// trace store (with widget / min-duration / degraded filters) and renders a
+// selected trace's span tree as a waterfall — each span a bar positioned by
+// its microsecond offset within the root, colored by layer (the span-name
+// prefix up to the first dot), so the latency-dominating layer is visible at
+// a glance.
+const assetTracesJS = `"use strict";
+(() => {
+  const listEl = document.querySelector("#trace-list .widget-body");
+  const detailEl = document.querySelector("#trace-detail .widget-body");
+  if (!listEl || !detailEl) return;
+  const widgetIn = document.getElementById("f-widget");
+  const minMsIn = document.getElementById("f-minms");
+  const degradedIn = document.getElementById("f-degraded");
+  const refreshBtn = document.getElementById("f-refresh");
+
+  const esc = (s) => String(s).replace(/[&<>"]/g,
+    (c) => ({"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}[c]));
+  const fmtUS = (us) => us >= 1000 ? (us / 1000).toFixed(2) + " ms" : us + " µs";
+  const layerOf = (name) => {
+    const i = name.indexOf(".");
+    return i < 0 ? name : name.slice(0, i);
+  };
+
+  function spanRows(span, total, depth, out) {
+    const pad = " ".repeat(depth * 2);
+    const left = total > 0 ? (100 * span.offset_us / total) : 0;
+    const width = total > 0 ? Math.max(100 * span.duration_us / total, 0.2) : 100;
+    const attrs = Object.entries(span.attrs || {})
+      .map(([k, v]) => k + "=" + v).join(" ");
+    out.push('<div class="span-row" title="' + esc(attrs) + '">' +
+      '<span class="span-label">' + pad + esc(span.name) + '</span>' +
+      '<span class="span-track"><span class="span-bar layer-' +
+      esc(layerOf(span.name)) + '" style="left:' + left.toFixed(2) +
+      '%;width:' + width.toFixed(2) + '%"></span></span>' +
+      '<span class="span-dur">' + fmtUS(span.duration_us) + '</span></div>');
+    for (const c of span.children || []) spanRows(c, total, depth + 1, out);
+  }
+
+  async function showTrace(id) {
+    detailEl.textContent = "Loading trace " + id + "…";
+    const resp = await fetch("/api/admin/traces/" + encodeURIComponent(id));
+    if (!resp.ok) {
+      detailEl.textContent = "Trace fetch failed: " + resp.status;
+      return;
+    }
+    const tr = await resp.json();
+    const rows = [];
+    if (tr.root) spanRows(tr.root, tr.duration_us, 0, rows);
+    detailEl.innerHTML =
+      "<p><code>" + esc(tr.id) + "</code> · " + esc(tr.widget) +
+      " · origin " + esc(tr.origin) + " · " + fmtUS(tr.duration_us) +
+      " · " + tr.spans + " spans" +
+      (tr.dropped_spans ? " (" + tr.dropped_spans + " dropped)" : "") +
+      '</p><div class="waterfall">' + rows.join("") + "</div>";
+  }
+
+  async function refresh() {
+    const params = new URLSearchParams();
+    if (widgetIn.value) params.set("widget", widgetIn.value.trim());
+    if (minMsIn.value) params.set("min_ms", minMsIn.value.trim());
+    if (degradedIn.checked) params.set("degraded", "1");
+    const resp = await fetch("/api/admin/traces?" + params);
+    if (!resp.ok) {
+      listEl.textContent = "Trace list failed: " + resp.status;
+      return;
+    }
+    const data = await resp.json();
+    const d = data.decisions || {};
+    let html = "<p>" + data.retained + "/" + data.capacity + " retained · " +
+      data.retained_bytes + " bytes · kept " +
+      ((d.kept_error | 0) + (d.kept_slow | 0) + (d.kept_baseline | 0)) +
+      " · dropped " + (d.dropped | 0) + " · evicted " +
+      (d.evicted | 0) + "</p>";
+    html += "<table><thead><tr><th>trace</th><th>widget</th><th>origin</th>" +
+      "<th>duration</th><th>spans</th><th>kept as</th><th>flags</th>" +
+      "</tr></thead><tbody>";
+    for (const t of data.traces || []) {
+      const flags = (t.error ? '<span class="badge red">error</span> ' : "") +
+        (t.degraded ? '<span class="badge yellow">degraded</span>' : "");
+      html += '<tr class="trace-row" data-id="' + esc(t.id) + '">' +
+        "<td><code>" + esc(t.id) + "</code></td><td>" + esc(t.widget) +
+        "</td><td>" + esc(t.origin) + "</td><td>" + t.duration_ms.toFixed(1) +
+        " ms</td><td>" + t.spans + "</td><td>" + esc(t.retained_as || "") +
+        "</td><td>" + flags + "</td></tr>";
+    }
+    html += "</tbody></table>";
+    listEl.innerHTML = html;
+    listEl.classList.remove("loading");
+    for (const row of listEl.querySelectorAll(".trace-row")) {
+      row.addEventListener("click", () => showTrace(row.dataset.id));
+    }
+  }
+
+  refreshBtn.addEventListener("click", refresh);
+  refresh();
+})();
+`

@@ -84,6 +84,26 @@ func DefaultPushWidgets() []string {
 	return []string{"announcements", "recent_jobs", "system_status", "accounts", "storage"}
 }
 
+// TraceConfig tunes the span-tracing subsystem (internal/trace). Semantics
+// of the zero and negative values are delegated to trace.New: a zero field
+// takes the documented default, a negative one disables that feature.
+type TraceConfig struct {
+	// Sample is the head-sampling probability (0 = record everything,
+	// negative = tracing off).
+	Sample float64
+	// Slow is the always-retain / slow-log threshold (0 = 500ms).
+	Slow time.Duration
+	// StoreMax bounds retained traces (0 = 256).
+	StoreMax int
+	// SlowKeepN is the slowest-N-per-widget-per-window retention (0 = 5).
+	SlowKeepN int
+	// Baseline is the probabilistic keep rate for fast, healthy traces
+	// (0 = 0.05).
+	Baseline float64
+	// Window is the slowest-N tracking window (0 = 1 minute).
+	Window time.Duration
+}
+
 // Config configures a dashboard Server.
 type Config struct {
 	// ClusterName appears in page titles and the CSV exports.
@@ -105,6 +125,8 @@ type Config struct {
 	Resilience ResilienceConfig
 	// Push tunes the live-update subsystem (background refresh + SSE).
 	Push PushConfig
+	// Trace tunes per-request span tracing and tail-based trace retention.
+	Trace TraceConfig
 	// PurgeInterval is how often the long-running server sweeps entries past
 	// their stale grace window out of the server and rendered-response
 	// caches, bounding memory growth. Zero means the default (1 minute);

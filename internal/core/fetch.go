@@ -71,16 +71,16 @@ func (m *fetchMeta) absorb(other fetchMeta) {
 // compute. On compute failure a retained last-known-good value comes back
 // with Degraded set instead of the error.
 //
-// The request context (carrying the middleware's trace ID) flows into the
-// resilience layer, so the OnResult hook can attribute upstream latency and
-// failures back to the request that observed them. The per-source result —
-// ok (cache hits included), degraded, or error — lands in the fetch-results
-// counter.
-func (s *Server) fetchVia(r *http.Request, source, key string, ttl time.Duration, compute func() (any, error)) (any, fetchMeta, error) {
-	res, err := s.cache.FetchStale(key, ttl, s.cfg.Resilience.StaleFor, func() (any, error) {
-		return s.res.Do(source, r.Context(), func(context.Context) (any, error) {
-			return compute()
-		})
+// The request context (carrying the middleware's trace ID and active span)
+// flows through the cache into the resilience layer and on into compute, so
+// the OnResult hook can attribute upstream latency back to the request that
+// observed it and every layer's span lands in the same trace. compute
+// receives the attempt-scoped context; Slurm call sites bind it into the
+// runner via s.runnerCtx. The per-source result — ok (cache hits included),
+// degraded, or error — lands in the fetch-results counter.
+func (s *Server) fetchVia(r *http.Request, source, key string, ttl time.Duration, compute func(context.Context) (any, error)) (any, fetchMeta, error) {
+	res, err := s.cache.FetchStaleCtx(r.Context(), key, ttl, s.cfg.Resilience.StaleFor, func(ctx context.Context) (any, error) {
+		return s.res.Do(source, ctx, compute)
 	})
 	oc := s.obsm.fetchOutcome[source]
 	switch {
@@ -97,11 +97,10 @@ func (s *Server) fetchVia(r *http.Request, source, key string, ttl time.Duration
 
 // runResilient runs an uncached upstream call through the source's policy —
 // for the few routes that query outside the cache. The request context
-// propagates the trace ID into the resilience layer's attribution hook.
-func (s *Server) runResilient(r *http.Request, source string, op func() (any, error)) (any, error) {
-	v, err := s.res.Do(source, r.Context(), func(context.Context) (any, error) {
-		return op()
-	})
+// propagates the trace ID and active span into the resilience layer; op
+// receives the attempt-scoped context.
+func (s *Server) runResilient(r *http.Request, source string, op func(context.Context) (any, error)) (any, error) {
+	v, err := s.res.Do(source, r.Context(), op)
 	oc := s.obsm.fetchOutcome[source]
 	if err != nil {
 		oc.err.Inc()

@@ -13,6 +13,7 @@ import (
 	"ooddash/internal/push"
 	"ooddash/internal/resilience"
 	"ooddash/internal/slurmcli"
+	"ooddash/internal/trace"
 )
 
 // traceHeader carries the request-scoped trace ID on every API response.
@@ -66,6 +67,11 @@ type serverObs struct {
 	// (published, unchanged, error).
 	pushRefreshes *obs.CounterVec // ooddash_push_refreshes_total{widget,result}
 
+	// traceSpans receives every finished trace's span timings by layer (the
+	// span name up to the first '.') — the aggregate that survives even for
+	// traces the tail sampler drops.
+	traceSpans *obs.HistogramVec // ooddash_trace_span_seconds{layer}
+
 	// fetchOutcome holds the per-source result counters pre-resolved at
 	// construction: fetchVia bumps one on every widget request, and
 	// CounterVec.With allocates its variadic slice and joined key per call —
@@ -113,6 +119,9 @@ func newServerObs(s *Server) *serverObs {
 		pushRefreshes: reg.CounterVec("ooddash_push_refreshes_total",
 			"Background push refresh attempts by widget and result (published, unchanged, error).",
 			"widget", "result"),
+		traceSpans: reg.HistogramVec("ooddash_trace_span_seconds",
+			"Span durations by layer, extracted from every finished trace (retained or dropped).",
+			nil, "layer"),
 	}
 	o.fetchOutcome = make(map[string]*fetchOutcomeCounters, 4)
 	for _, src := range []string{srcCtld, srcDBD, srcNews, srcStorage} {
@@ -217,6 +226,28 @@ func newServerObs(s *Server) *serverObs {
 	breakerCollector("ooddash_short_circuits_total",
 		"Calls rejected by an open breaker, per data source.", obs.KindCounter,
 		func(b resilience.Stats) float64 { return float64(b.ShortCircuits) })
+
+	// Trace store: the retained-bytes gauge is the proof the tail sampler
+	// bounds memory regardless of traffic; the decisions counter shows how
+	// retention classes are exercised.
+	reg.GaugeFunc("ooddash_trace_retained_bytes",
+		"Estimated bytes held by the tail-sampled trace store.",
+		func() float64 { return float64(s.tracer.Store().RetainedBytes()) })
+	reg.GaugeFunc("ooddash_trace_store_traces", "Traces retained in the store.",
+		func() float64 { return float64(s.tracer.Store().Len()) })
+	reg.CollectorFunc("ooddash_traces_total", obs.KindCounter,
+		"Tail-retention decisions by outcome (kept_error, kept_slow, kept_baseline, dropped, rejected, evicted).",
+		func() []obs.Sample {
+			d := s.tracer.Store().Snapshot()
+			mk := func(decision string, v int64) obs.Sample {
+				return obs.Sample{Labels: []obs.Label{{Name: "decision", Value: decision}}, Value: float64(v)}
+			}
+			return []obs.Sample{
+				mk("kept_error", d.KeptError), mk("kept_slow", d.KeptSlow),
+				mk("kept_baseline", d.KeptBaseline), mk("dropped", d.Dropped),
+				mk("rejected", d.Rejected), mk("evicted", d.Evicted),
+			}
+		})
 
 	// The simulator's own RPC counters via sdiag, so the dashboard's command
 	// cost (ooddash_slurm_commands_total) can be read next to what the
@@ -352,10 +383,31 @@ func (r *statusRecorder) Flush() {
 	}
 }
 
+// pushRefreshHeaderKey is pushRefreshHeader in canonical MIME form, for
+// allocation-free direct map reads in the middleware.
+const pushRefreshHeaderKey = "X-Ooddash-Push"
+
+// selfObserving marks the widgets the middleware never opens spans for:
+// the observability surface itself ("metrics" and the admin trace
+// endpoints, where tracing would make every trace-store read mint its
+// own trace — self-tracing recursion) and the "events" feed, whose SSE
+// variant holds the connection open so a span would measure stream
+// lifetime rather than work and retain every disconnect as a bogus
+// slow trace. Upstream work triggered by push stays traced: the
+// scheduler's loopback refreshes own their push.refresh roots.
+func selfObserving(widget string) bool {
+	switch widget {
+	case "metrics", "admin_traces", "admin_trace", "events":
+		return true
+	}
+	return false
+}
+
 // instrument wraps a widget handler with the request-scoped observability
 // envelope: a trace ID (assigned or adopted, returned as X-OODDash-Trace,
-// and propagated via context), a per-widget latency histogram sample, a
-// status-labelled request counter, and a structured access log line.
+// and propagated via context), a root span feeding the tail-sampled trace
+// store, a per-widget latency histogram sample, a status-labelled request
+// counter, and a structured access log line.
 func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc {
 	// Metric handles for this widget resolve once at mount time; the With
 	// calls they replace allocated per request. 200 and 304 cover every
@@ -363,16 +415,36 @@ func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc 
 	lat := s.obsm.widgetLatency.With(widget)
 	req200 := s.obsm.widgetRequests.With(widget, "200")
 	req304 := s.obsm.widgetRequests.With(widget, "304")
+	spannable := !selfObserving(widget)
 	return func(w http.ResponseWriter, r *http.Request) {
-		var trace string
+		var traceID string
 		if vs := r.Header[traceHeaderKey]; len(vs) > 0 {
-			trace = vs[0]
+			traceID = vs[0]
 		}
-		if !obs.ValidTraceID(trace) {
-			trace = obs.NewTraceID()
+		if !obs.ValidTraceID(traceID) {
+			traceID = obs.NewTraceID()
 		}
-		w.Header()[traceHeaderKey] = []string{trace}
-		ctx := context.WithValue(obs.WithTrace(r.Context(), trace), widgetCtxKey{}, widget)
+		w.Header()[traceHeaderKey] = []string{traceID}
+		ctx := context.WithValue(obs.WithTrace(r.Context(), traceID), widgetCtxKey{}, widget)
+
+		var sp *trace.Span
+		if spannable {
+			if trace.SpanFromContext(ctx) != nil {
+				// A push loopback whose refresh trace is being recorded: join
+				// it as the HTTP edge's child rather than founding a new root.
+				ctx, sp = trace.StartSpan(ctx, "http")
+			} else if len(r.Header[pushRefreshHeaderKey]) == 0 {
+				// A client request: open the trace's root span (subject to head
+				// sampling). Unsampled push loopbacks never mint misattributed
+				// "http" roots — the push path owns its root.
+				ctx, sp = s.tracer.StartRoot(ctx, traceID, "http", widget, "http")
+			}
+			if sp != nil {
+				if user := r.Header.Get(auth.UserHeader); user != "" {
+					sp.SetAttr("user", user)
+				}
+			}
+		}
 		r = r.WithContext(ctx)
 
 		start := time.Now()
@@ -389,9 +461,27 @@ func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc 
 		default:
 			s.obsm.widgetRequests.With(widget, statusLabel(rec.status)).Inc()
 		}
+		if sp != nil {
+			degraded := w.Header().Get(degradedHeader) != ""
+			sp.SetAttr("status", statusLabel(rec.status))
+			if degraded {
+				sp.SetAttr("degraded", "true")
+			}
+			if sp.Root() {
+				if _, kept := s.tracer.Finish(sp, rec.status >= 500, degraded); kept {
+					// A retained trace becomes the histogram exemplar: the
+					// /metrics scrape links the latest interesting request's
+					// latency sample back to its stored flame trace.
+					lat.SetExemplar(traceID, elapsed.Seconds(),
+						float64(s.clock.Now().UnixMilli())/1e3)
+				}
+			} else {
+				sp.End()
+			}
+		}
 		if s.accessLog != nil {
 			s.accessLog(fmt.Sprintf("access trace=%s widget=%s path=%s status=%d dur=%s degraded=%t user=%s",
-				trace, widget, r.URL.Path, rec.status, elapsed.Round(time.Microsecond),
+				traceID, widget, r.URL.Path, rec.status, elapsed.Round(time.Microsecond),
 				w.Header().Get(degradedHeader) != "", logField(r.Header.Get(auth.UserHeader))))
 		}
 	}

@@ -71,6 +71,11 @@ func validateMetricsExposition(t *testing.T, text string) {
 		if strings.HasPrefix(line, "#") {
 			continue
 		}
+		// Strip any OpenMetrics exemplar suffix (` # {trace_id="..."} v ts`)
+		// so label and value parsing see only the sample itself.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
+		}
 		// Sample line: name{labels} value  |  name value
 		name := line
 		labels := ""

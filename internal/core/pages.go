@@ -28,7 +28,8 @@ const baseTemplate = `<!DOCTYPE html>
   <a href="/jobperf">Job Performance</a>
   <a href="/clusterstatus">Cluster Status</a>
   <a href="/insights">Insights</a>
-  <span class="spacer"></span>
+{{if .IsAdmin}}  <a href="/admin">Traces</a>
+{{end}}  <span class="spacer"></span>
   <span class="user">{{.User}}</span>
 </nav>
 <main>
@@ -148,6 +149,30 @@ var pageTemplates = map[string]string{
   <div class="widget-body loading" role="status">Loading news…</div>
 </section>
 {{end}}`,
+
+	// The admin traces page is staff-only (the /admin route checks the
+	// Admin flag before rendering): a filterable listing of the tail-sampled
+	// trace store and a per-trace waterfall. Its widget sections are driven
+	// by traces.js rather than widgets.js — trace payloads are admin-scoped
+	// and must not land in the shared IndexedDB client cache.
+	"admin": `{{define "content"}}
+<h1>Request Traces</h1>
+<div class="controls">
+  <input id="f-widget" type="search" placeholder="Widget…" aria-label="Filter by widget">
+  <input id="f-minms" type="number" min="0" placeholder="Min ms" aria-label="Minimum duration in milliseconds">
+  <label><input id="f-degraded" type="checkbox"> Degraded/error only</label>
+  <button id="f-refresh">Refresh</button>
+</div>
+<section class="widget" id="trace-list">
+  <h2>Retained traces</h2>
+  <div class="widget-body loading" role="status">Loading traces…</div>
+</section>
+<section class="widget" id="trace-detail">
+  <h2>Waterfall</h2>
+  <div class="widget-body" role="status">Select a trace above.</div>
+</section>
+<script src="/assets/traces.js"></script>
+{{end}}`,
 }
 
 // pages holds the parsed template set, one entry per page.
@@ -169,6 +194,8 @@ type pageData struct {
 	UserGuideURL string
 	// Subject is the page's path parameter (node name or job ID).
 	Subject string
+	// IsAdmin gates the staff-only navigation entries.
+	IsAdmin bool
 }
 
 // renderPage executes a page template; authentication failures render a 401
@@ -191,6 +218,7 @@ func (s *Server) renderPage(w http.ResponseWriter, r *http.Request, page, title,
 		User:         user.Name,
 		UserGuideURL: s.cfg.UserGuideURL,
 		Subject:      subject,
+		IsAdmin:      user.Admin,
 	}
 	if err := t.ExecuteTemplate(w, "base", data); err != nil {
 		log.Printf("core: rendering %s: %v", page, err)
@@ -223,9 +251,22 @@ func (s *Server) registerPages(mux *http.ServeMux) {
 	mux.HandleFunc("GET /insights", func(w http.ResponseWriter, r *http.Request) {
 		s.renderPage(w, r, "insights", "Job Insights", "")
 	})
+	mux.HandleFunc("GET /admin", func(w http.ResponseWriter, r *http.Request) {
+		user, err := s.currentUser(r)
+		if err != nil {
+			http.Error(w, "authentication required", http.StatusUnauthorized)
+			return
+		}
+		if !user.Admin {
+			http.Error(w, "admin access required", http.StatusForbidden)
+			return
+		}
+		s.renderPage(w, r, "admin", "Request Traces", "")
+	})
 	mux.HandleFunc("GET /assets/dashboard.css", serveAsset("text/css", assetCSS))
 	mux.HandleFunc("GET /assets/cache.js", serveAsset("application/javascript", assetCacheJS))
 	mux.HandleFunc("GET /assets/widgets.js", serveAsset("application/javascript", assetWidgetsJS))
+	mux.HandleFunc("GET /assets/traces.js", serveAsset("application/javascript", assetTracesJS))
 }
 
 func serveAsset(contentType, body string) http.HandlerFunc {

@@ -12,7 +12,15 @@ import (
 
 // benchServe drives the widget path in-process (no network) and reports
 // allocations — the regression numbers the encode-once work is about.
+// Tracing is disabled so these benchmarks keep measuring the PR-4 hit path;
+// trace_bench_test.go measures the tracing overhead against them.
 func benchServe(b *testing.B, path string, renderOff bool, ifNoneMatch bool) {
+	benchServeSampled(b, path, renderOff, ifNoneMatch, -1)
+}
+
+// benchServeSampled is benchServe with an explicit head-sampling setting
+// (-1 tracing off, 0 sampled-out, 1 every request traced).
+func benchServeSampled(b *testing.B, path string, renderOff bool, ifNoneMatch bool, sample float64) {
 	e := newEnv(b)
 	for i := 0; i < 20; i++ {
 		e.submit(slurm.SubmitRequest{Name: fmt.Sprintf("j%d", i), User: "alice",
@@ -20,6 +28,7 @@ func benchServe(b *testing.B, path string, renderOff bool, ifNoneMatch bool) {
 	}
 	e.server.SetRenderCacheDisabled(renderOff)
 	defer e.server.SetRenderCacheDisabled(false)
+	e.server.SetTraceSample(sample)
 
 	req := httptest.NewRequest("GET", path, nil)
 	req.Header.Set(auth.UserHeader, "alice")

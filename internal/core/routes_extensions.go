@@ -6,6 +6,7 @@ package core
 // engine), and permission-based accounting (admin-only cluster overview).
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"sort"
@@ -124,8 +125,8 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("insights:%s:%d:%d", user.Name, start.Unix(), end.Unix())
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
-		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
+		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
 		if err != nil {
@@ -186,8 +187,8 @@ func (s *Server) handleAdminOverview(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("admin_overview:%d:%d", start.Unix(), end.Unix())
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
-		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
+		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
 			AllUsers: true, Start: start, End: end,
 		})
 		if err != nil {

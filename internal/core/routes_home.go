@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"log"
@@ -45,7 +46,7 @@ func (s *Server) handleAnnouncements(w http.ResponseWriter, r *http.Request) {
 		writeError(w, fmt.Errorf("%w: no news source configured", errNotFound))
 		return
 	}
-	v, meta, err := s.fetchVia(r, srcNews, "announcements", s.cfg.TTLs.Announcements, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcNews, "announcements", s.cfg.TTLs.Announcements, func(context.Context) (any, error) {
 		return s.news.Fetch(s.cfg.AnnouncementsLimit)
 	})
 	if err != nil {
@@ -103,8 +104,8 @@ func (s *Server) handleRecentJobs(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "recent_jobs:" + user.Name
-	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.RecentJobs, func() (any, error) {
-		return slurmcli.Squeue(s.runner, slurmcli.SqueueOptions{
+	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.RecentJobs, func(ctx context.Context) (any, error) {
+		return slurmcli.Squeue(s.runnerCtx(ctx), slurmcli.SqueueOptions{
 			User: user.Name, AllStates: true, Limit: s.cfg.RecentJobsLimit,
 		})
 	})
@@ -225,12 +226,12 @@ func (s *Server) handleSystemStatus(w http.ResponseWriter, r *http.Request) {
 		Parts        []slurmcli.PartitionStatus
 		Reservations []slurmcli.ReservationDetail
 	}
-	v, meta, err := s.fetchVia(r, srcCtld, "system_status", s.cfg.TTLs.SystemStatus, func() (any, error) {
-		parts, err := slurmcli.Sinfo(s.runner)
+	v, meta, err := s.fetchVia(r, srcCtld, "system_status", s.cfg.TTLs.SystemStatus, func(ctx context.Context) (any, error) {
+		parts, err := slurmcli.Sinfo(s.runnerCtx(ctx))
 		if err != nil {
 			return nil, err
 		}
-		res, err := slurmcli.ShowReservations(s.runner)
+		res, err := slurmcli.ShowReservations(s.runnerCtx(ctx))
 		if err != nil {
 			return nil, err
 		}
@@ -321,12 +322,12 @@ type accountUserUsage struct {
 // fetchAccountUsage loads one account's usage through the command layer,
 // caching under a per-account key so group members share the entry.
 func (s *Server) fetchAccountUsage(r *http.Request, account string) (*accountUsage, fetchMeta, error) {
-	v, meta, err := s.fetchVia(r, srcCtld, "account_usage:"+account, s.cfg.TTLs.Accounts, func() (any, error) {
-		assocs, err := slurmcli.ShowAssocs(s.runner, account, "")
+	v, meta, err := s.fetchVia(r, srcCtld, "account_usage:"+account, s.cfg.TTLs.Accounts, func(ctx context.Context) (any, error) {
+		assocs, err := slurmcli.ShowAssocs(s.runnerCtx(ctx), account, "")
 		if err != nil {
 			return nil, err
 		}
-		queue, err := slurmcli.Squeue(s.runner, slurmcli.SqueueOptions{Account: account})
+		queue, err := slurmcli.Squeue(s.runnerCtx(ctx), slurmcli.SqueueOptions{Account: account})
 		if err != nil {
 			return nil, err
 		}
@@ -547,7 +548,7 @@ func (s *Server) handleStorage(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := "storage:" + user.Name
-	v, meta, err := s.fetchVia(r, srcStorage, key, s.cfg.TTLs.Storage, func() (any, error) {
+	v, meta, err := s.fetchVia(r, srcStorage, key, s.cfg.TTLs.Storage, func(context.Context) (any, error) {
 		return s.storage.DirectoriesFor(user.Name, user.Accounts), nil
 	})
 	if err != nil {

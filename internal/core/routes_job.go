@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -107,8 +108,8 @@ func parseJobID(raw string) (slurm.JobID, error) {
 // fetchJobDetail loads scontrol's view of a job, cached briefly.
 func (s *Server) fetchJobDetail(r *http.Request, id slurm.JobID) (*slurmcli.JobDetail, fetchMeta, error) {
 	key := fmt.Sprintf("job:%d", id)
-	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.JobDetail, func() (any, error) {
-		return slurmcli.ShowJob(s.runner, id)
+	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.JobDetail, func(ctx context.Context) (any, error) {
+		return slurmcli.ShowJob(s.runnerCtx(ctx), id)
 	})
 	if err != nil {
 		return nil, fetchMeta{}, err
@@ -120,8 +121,8 @@ func (s *Server) fetchJobDetail(r *http.Request, id slurm.JobID) (*slurmcli.JobD
 // card), cached with the detail TTL.
 func (s *Server) fetchJobAccounting(r *http.Request, id slurm.JobID) (*slurmcli.SacctRow, fetchMeta, error) {
 	key := fmt.Sprintf("job_acct:%d", id)
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobDetail, func() (any, error) {
-		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobDetail, func(ctx context.Context) (any, error) {
+		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
 			JobIDs: []slurm.JobID{id}, AllUsers: true,
 		})
 		if err != nil {
@@ -379,8 +380,8 @@ func (s *Server) handleJobArray(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("job_array:%d", id)
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
-		return slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
+		return slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
 			ArrayJob: strconv.FormatInt(int64(id), 10), AllUsers: true,
 		})
 	})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"net/http"
@@ -200,8 +201,8 @@ func (s *Server) fetchUserJobs(r *http.Request, userName string, accounts []stri
 	// (hit or miss), and Sprintf boxes both ints per call.
 	key := "myjobs:" + userName + ":" +
 		strconv.FormatInt(start.Unix(), 10) + ":" + strconv.FormatInt(end.Unix(), 10)
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
-		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
+		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
 			Accounts: accounts, AllUsers: true,
 			Start: start, End: end,
 		})
@@ -484,8 +485,8 @@ func (s *Server) handleJobPerf(w http.ResponseWriter, r *http.Request) {
 	}
 	// Job Performance Metrics covers the user's own jobs only.
 	key := fmt.Sprintf("jobperf:%s:%d:%d", user.Name, start.Unix(), end.Unix())
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
-		return slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
+		return slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
 	})

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ooddash/internal/auth"
+	"ooddash/internal/obs"
 	"ooddash/internal/push"
 )
 
@@ -107,21 +108,35 @@ func (l *loopbackRecorder) Flush()                      {}
 // check.
 func (s *Server) pushFetch(route pushRoute, user string) push.FetchFunc {
 	return func(ctx context.Context) ([]byte, bool, error) {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, route.path, nil)
+		// Root the refresh in its own trace, origin "push": the loopback
+		// request carries the minted ID in the trace header so the instrument
+		// middleware joins this trace as a child "http" span instead of
+		// minting an orphaned root it would misattribute to client traffic.
+		id := obs.NewTraceID()
+		tctx, sp := s.tracer.StartRoot(ctx, id, "push.refresh", route.widget, "push")
+		req, err := http.NewRequestWithContext(tctx, http.MethodGet, route.path, nil)
 		if err != nil {
+			sp.End()
 			return nil, false, err
 		}
 		req.Header.Set(auth.UserHeader, user)
 		req.Header.Set("Accept", "application/json")
 		req.Header.Set(pushRefreshHeader, "refresh")
+		if sp != nil {
+			req.Header[traceHeaderKey] = []string{id}
+		}
 		rec := newLoopbackRecorder()
 		defer rec.release()
 		s.mux.ServeHTTP(rec, req)
+		degraded := rec.header.Get(degradedHeader) != ""
+		if sp != nil {
+			sp.SetAttr("status", statusLabel(rec.status))
+			s.tracer.Finish(sp, rec.status != http.StatusOK, degraded)
+		}
 		if rec.status != http.StatusOK {
 			return nil, false, fmt.Errorf("core: push refresh %s: status %d: %.120s",
 				route.path, rec.status, rec.body.Bytes())
 		}
-		degraded := rec.header.Get(degradedHeader) != ""
 		// The hub retains the payload; the recorder is about to be reused, so
 		// hand over an exact-size copy rather than a view into its buffer.
 		payload := bytes.TrimRight(rec.body.Bytes(), "\n")

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -59,8 +60,8 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 	if start.IsZero() {
 		// "all" range: anchor at the earliest record rather than the epoch.
 		// Uncached, so the call still goes through the slurmdbd policy.
-		v, err := s.runResilient(r, srcDBD, func() (any, error) {
-			return slurmcli.Sacct(s.runner, slurmcli.SacctOptions{User: user.Name, Limit: 0})
+		v, err := s.runResilient(r, srcDBD, func(ctx context.Context) (any, error) {
+			return slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{User: user.Name, Limit: 0})
 		})
 		if err != nil {
 			writeFetchError(w, err)
@@ -77,8 +78,8 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 	}
 
 	key := fmt.Sprintf("jobperf_ts:%s:%d:%d:%d", user.Name, start.Unix(), end.Unix(), bucket/time.Second)
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func() (any, error) {
-		rows, err := slurmcli.Sacct(s.runner, slurmcli.SacctOptions{
+	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
+		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http"
@@ -17,6 +18,7 @@ import (
 	"ooddash/internal/resilience"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/storagedb"
+	"ooddash/internal/trace"
 )
 
 // Clock supplies the current time (matches slurm.Clock). The server's clock
@@ -81,6 +83,11 @@ type Server struct {
 	// when set, receives one structured line per instrumented request.
 	obsm      *serverObs
 	accessLog func(line string)
+
+	// tracer is the span-tracing subsystem: root spans from the instrument
+	// middleware and the push refresh loop, tail-sampled retention in its
+	// store, exposed on the admin trace routes.
+	tracer *trace.Tracer
 
 	// Push subsystem: the versioned snapshot hub fanning out to SSE
 	// clients, the background refresh scheduler feeding it, the
@@ -152,6 +159,30 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 			s.observeRefresh(widget, d, published, err)
 		},
 	})
+	// The tracer precedes the metrics registry so its store gauges can be
+	// registered as collectors; its hooks read s.obsm/s.accessLog lazily (both
+	// are set before any request can be served).
+	s.tracer = trace.New(trace.Config{
+		Clock:     deps.Clock,
+		Sample:    s.cfg.Trace.Sample,
+		Slow:      s.cfg.Trace.Slow,
+		StoreMax:  s.cfg.Trace.StoreMax,
+		SlowKeepN: s.cfg.Trace.SlowKeepN,
+		Baseline:  s.cfg.Trace.Baseline,
+		Window:    s.cfg.Trace.Window,
+		OnSpan: func(layer string, seconds float64) {
+			s.obsm.traceSpans.With(layer).Observe(seconds)
+		},
+		OnSlow: func(sum trace.Summary) {
+			line := fmt.Sprintf("slow-request trace=%s widget=%s origin=%s duration_ms=%.1f spans=%d degraded=%t error=%t",
+				sum.ID, sum.Widget, sum.Origin, sum.DurationMS, sum.Spans, sum.Degraded, sum.Error)
+			if s.accessLog != nil {
+				s.accessLog(line)
+			} else {
+				log.Printf("core: %s", line)
+			}
+		},
+	})
 	s.obsm = newServerObs(s)
 	// Every Slurm command the routes issue goes through the metered wrapper,
 	// so /metrics attributes dashboard-side RPC cost per command and daemon.
@@ -191,6 +222,22 @@ func (s *Server) Config() Config { return s.cfg }
 // Resilience exposes the per-source breaker set for inspection (health
 // routes, experiments, failure drills).
 func (s *Server) Resilience() *resilience.Set { return s.res }
+
+// Tracer exposes the span-tracing subsystem (admin routes, tests,
+// benchmarks).
+func (s *Server) Tracer() *trace.Tracer { return s.tracer }
+
+// SetTraceSample adjusts head sampling at runtime: 1 records every request,
+// a fraction records that share, negative disables tracing entirely. The
+// hotpath benchmark uses this to measure the sampled-out overhead.
+func (s *Server) SetTraceSample(p float64) { s.tracer.SetSample(p) }
+
+// runnerCtx returns the server's runner bound to ctx so Slurm commands made
+// on behalf of this request contribute spans; outside a traced request it is
+// the runner itself.
+func (s *Server) runnerCtx(ctx context.Context) slurmcli.Runner {
+	return slurmcli.Bind(ctx, s.runner)
+}
 
 // Widget is one modular dashboard feature: a named JSON API route with its
 // cache TTL. Widgets are self-contained so they can be mounted individually
@@ -281,6 +328,12 @@ func (s *Server) registerWidgets() {
 		{Name: "metrics", Route: "GET /metrics",
 			TTL: 0, DataSource: "backend cache stats + sdiag (Slurm)",
 			Handler: s.handleMetrics},
+		{Name: "admin_traces", Route: "GET /api/admin/traces",
+			TTL: 0, DataSource: "trace store (tail-sampled request spans)",
+			Handler: s.handleAdminTraces},
+		{Name: "admin_trace", Route: "GET /api/admin/traces/{id}",
+			TTL: 0, DataSource: "trace store (tail-sampled request spans)",
+			Handler: s.handleAdminTrace},
 	}
 }
 

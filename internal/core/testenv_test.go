@@ -34,6 +34,14 @@ type env struct {
 // database, user directory, log store, dashboard server.
 func newEnv(t testing.TB) *env {
 	t.Helper()
+	return newEnvWith(t, nil, nil)
+}
+
+// newEnvWith is newEnv with hooks: mutate adjusts the server config before
+// construction (e.g. a deterministic TraceConfig), and wrapRunner wraps the
+// simulator's command runner (e.g. in a FaultRunner for failure drills).
+func newEnvWith(t testing.TB, mutate func(*Config), wrapRunner func(slurmcli.Runner) slurmcli.Runner) *env {
+	t.Helper()
 	clock := slurm.NewSimClock(time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC))
 	cfg := slurm.ClusterConfig{
 		Name: "testcluster",
@@ -79,8 +87,16 @@ func newEnv(t testing.TB) *env {
 
 	logs := NewMemLogStore()
 
-	server, err := NewServer(Config{ClusterName: "testcluster"}, Deps{
-		Runner:  slurmcli.NewSimRunner(cluster),
+	scfg := Config{ClusterName: "testcluster"}
+	if mutate != nil {
+		mutate(&scfg)
+	}
+	var runner slurmcli.Runner = slurmcli.NewSimRunner(cluster)
+	if wrapRunner != nil {
+		runner = wrapRunner(runner)
+	}
+	server, err := NewServer(scfg, Deps{
+		Runner:  runner,
 		News:    &newsfeed.Client{BaseURL: feedSrv.URL, HTTPClient: feedSrv.Client()},
 		Storage: storage,
 		Users:   users,

@@ -1,0 +1,26 @@
+package core
+
+import "testing"
+
+// These benchmarks measure what span tracing costs the PR-4 encode-once hit
+// path (BenchmarkWidgetServeEncodeOnce, which runs with tracing disabled).
+//
+// The budget the subsystem is designed to: a sampled-out request — head
+// sampling enabled but this trace ID not selected — must add at most ~3
+// allocations over the untraced hit path (the no-op span checks are
+// pointer-nil tests, and no span structs are built). The fully-sampled
+// variant exists to watch the retained-path cost; it is expected to
+// allocate (spans, attrs, store bookkeeping) and is not gated.
+
+// BenchmarkTracedHitPath is the sampled-out overhead: tracing on, sampling
+// probability 0, every request hashes its trace ID, misses, and serves the
+// materialized hit path with nil spans throughout.
+func BenchmarkTracedHitPath(b *testing.B) {
+	benchServeSampled(b, "/api/myjobs", false, false, 0)
+}
+
+// BenchmarkTracedHitPathSampled is the fully-traced hit path: every request
+// builds its span tree and offers the finished trace to the tail sampler.
+func BenchmarkTracedHitPathSampled(b *testing.B) {
+	benchServeSampled(b, "/api/myjobs", false, false, 1)
+}

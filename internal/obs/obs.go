@@ -120,6 +120,16 @@ type Histogram struct {
 	counts []atomic.Int64 // len(bounds)+1; last is the +Inf overflow bucket
 	count  atomic.Int64
 	sum    Gauge
+	ex     atomic.Pointer[exemplar]
+}
+
+// exemplar links one observed value back to the trace that produced it, in
+// the OpenMetrics sense: rendered as ` # {trace_id="..."} value ts` on the
+// bucket line whose range contains the value.
+type exemplar struct {
+	traceID string
+	value   float64
+	ts      float64
 }
 
 // NewHistogram returns a histogram over the given ascending bucket upper
@@ -140,6 +150,23 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// SetExemplar links the histogram's most recent interesting observation to
+// a trace ID. The exposition renders it on the matching bucket line; each
+// call replaces the previous exemplar (last-write-wins, lock-free).
+func (h *Histogram) SetExemplar(traceID string, value, ts float64) {
+	h.ex.Store(&exemplar{traceID: traceID, value: value, ts: ts})
+}
+
+// Exemplar returns the current exemplar's trace ID, value, and timestamp
+// (ok=false when none has been set).
+func (h *Histogram) Exemplar() (traceID string, value, ts float64, ok bool) {
+	e := h.ex.Load()
+	if e == nil {
+		return "", 0, 0, false
+	}
+	return e.traceID, e.value, e.ts, true
 }
 
 // Count returns the number of observations.
@@ -539,14 +566,29 @@ func (f *family) writeHistograms(w io.Writer) error {
 		v.mu.Unlock()
 		base := pairLabels(v.labels, values)
 		cum, count, sum := h.snapshot()
+		// The exemplar attaches to the bucket line whose range contains its
+		// value (the +Inf line when past every bound).
+		ex := h.ex.Load()
+		exIdx := -1
+		if ex != nil {
+			exIdx = sort.SearchFloat64s(h.bounds, ex.value)
+		}
 		for i, bound := range h.bounds {
 			labels := append(append([]Label{}, base...), Label{Name: "le", Value: formatValue(bound)})
-			if _, err := io.WriteString(w, sampleLine(f.name+"_bucket", labels, float64(cum[i]))); err != nil {
+			line := sampleLine(f.name+"_bucket", labels, float64(cum[i]))
+			if i == exIdx {
+				line = withExemplar(line, ex)
+			}
+			if _, err := io.WriteString(w, line); err != nil {
 				return err
 			}
 		}
 		labels := append(append([]Label{}, base...), Label{Name: "le", Value: "+Inf"})
-		if _, err := io.WriteString(w, sampleLine(f.name+"_bucket", labels, float64(count))); err != nil {
+		line := sampleLine(f.name+"_bucket", labels, float64(count))
+		if exIdx == len(h.bounds) {
+			line = withExemplar(line, ex)
+		}
+		if _, err := io.WriteString(w, line); err != nil {
 			return err
 		}
 		if _, err := io.WriteString(w, sampleLine(f.name+"_sum", base, sum)); err != nil {
@@ -557,4 +599,11 @@ func (f *family) writeHistograms(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// withExemplar appends an OpenMetrics exemplar to a rendered sample line:
+// `name_bucket{le="x"} 3 # {trace_id="..."} 0.042 1718000000.5`.
+func withExemplar(line string, ex *exemplar) string {
+	return line[:len(line)-1] + ` # {trace_id="` + labelEscaper.Replace(ex.traceID) + `"} ` +
+		formatValue(ex.value) + " " + formatValue(ex.ts) + "\n"
 }

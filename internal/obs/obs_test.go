@@ -199,6 +199,7 @@ func ValidateExposition(t *testing.T, text string) {
 			continue
 		}
 		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			// (checked before exemplar stripping: exemplars also start " # ")
 			parts := strings.SplitN(line, " ", 4)
 			if len(parts) < 4 {
 				t.Fatalf("malformed comment line: %q", line)
@@ -222,6 +223,11 @@ func ValidateExposition(t *testing.T, text string) {
 			}
 			current = name
 			continue
+		}
+		// Strip any OpenMetrics exemplar suffix (` # {trace_id="..."} v ts`)
+		// before parsing the sample itself.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
 		}
 		name := line
 		if i := strings.IndexAny(line, "{ "); i >= 0 {

@@ -22,6 +22,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"ooddash/internal/trace"
 )
 
 // Clock supplies the current time; it matches slurm.Clock so the whole stack
@@ -336,7 +338,14 @@ func (b *Breaker) Snapshot() Stats {
 // return a *OpenError; classified non-availability errors return as-is.
 func (b *Breaker) Do(ctx context.Context, op func(context.Context) (any, error)) (any, error) {
 	start := time.Now()
+	traced := trace.SpanFromContext(ctx) != nil
 	if err := b.admit(); err != nil {
+		if traced {
+			_, sp := trace.StartSpan(ctx, "resilience.short_circuit")
+			sp.SetAttr("source", b.source)
+			sp.SetAttr("error", err.Error())
+			sp.End()
+		}
 		b.observe(ctx, start, 0, OutcomeShortCircuit, err)
 		return nil, err
 	}
@@ -348,8 +357,20 @@ func (b *Breaker) Do(ctx context.Context, op func(context.Context) (any, error))
 		b.stats.Attempts++
 		b.mu.Unlock()
 		attempts = attempt
-		v, err := b.runOnce(ctx, op)
+		// Each attempt gets its own span; deeper layers (slurmcli, the
+		// daemons) nest under the attempt's context, so a trace attributes
+		// work to the retry that did it.
+		actx := ctx
+		var asp *trace.Span
+		if traced {
+			actx, asp = trace.StartSpan(ctx, "resilience.attempt")
+			asp.SetAttr("source", b.source)
+			asp.SetAttrInt("attempt", attempt)
+			asp.SetAttr("state", b.State().String())
+		}
+		v, err := b.runOnce(actx, op)
 		if err == nil {
+			asp.End()
 			b.recordSuccess()
 			outcome := OutcomeOK
 			if attempt > 1 {
@@ -358,13 +379,21 @@ func (b *Breaker) Do(ctx context.Context, op func(context.Context) (any, error))
 			b.observe(ctx, start, attempts, outcome, nil)
 			return v, nil
 		}
+		if asp != nil {
+			asp.SetAttr("error", err.Error())
+		}
 		if p.Classify != nil && !p.Classify(err) {
 			// A semantic error from a healthy upstream: the daemon answered,
 			// so the contact counts as a success for the breaker.
+			if asp != nil {
+				asp.SetAttr("class", "semantic")
+			}
+			asp.End()
 			b.recordSuccess()
 			b.observe(ctx, start, attempts, OutcomeSemantic, err)
 			return nil, err
 		}
+		asp.End()
 		lastErr = err
 		if attempt >= p.MaxAttempts || ctx.Err() != nil {
 			break
@@ -372,7 +401,14 @@ func (b *Breaker) Do(ctx context.Context, op func(context.Context) (any, error))
 		b.mu.Lock()
 		b.stats.Retries++
 		b.mu.Unlock()
-		b.sleep(b.backoff(attempt))
+		if traced {
+			_, bsp := trace.StartSpan(ctx, "resilience.backoff")
+			bsp.SetAttrInt("after_attempt", attempt)
+			b.sleep(b.backoff(attempt))
+			bsp.End()
+		} else {
+			b.sleep(b.backoff(attempt))
+		}
 	}
 	if ctx.Err() != nil && ctx.Err() == context.Canceled {
 		// The client went away mid-call; that says nothing about the

@@ -1,0 +1,49 @@
+package slurm
+
+import (
+	"context"
+
+	"ooddash/internal/trace"
+)
+
+// Handle serves one client RPC on the controller: the availability gate
+// first, then fn (the command body). When ctx carries an active trace span a
+// "slurmctld.handle" child span wraps the server-side work — the in-process
+// stand-in for the daemon joining a propagated trace — so a request's
+// waterfall shows time spent inside slurmctld, attributed by RPC name.
+func (c *Controller) Handle(ctx context.Context, rpc string, fn func() (string, error)) (string, error) {
+	return handleDaemonRPC(ctx, "slurmctld.handle", rpc, c.Available, fn)
+}
+
+// Handle serves one client RPC on the accounting daemon; see
+// Controller.Handle. The span is named "slurmdbd.handle" so trace timings
+// split controller load from accounting load — the asymmetry the dashboard's
+// cache sizing targets.
+func (d *DBD) Handle(ctx context.Context, rpc string, fn func() (string, error)) (string, error) {
+	return handleDaemonRPC(ctx, "slurmdbd.handle", rpc, d.Available, fn)
+}
+
+// handleDaemonRPC runs a daemon's availability gate and command body under a
+// server-side span. An untraced context runs gate and body with no overhead
+// beyond one context lookup.
+func handleDaemonRPC(ctx context.Context, spanName, rpc string, avail func() error, fn func() (string, error)) (string, error) {
+	if trace.SpanFromContext(ctx) == nil {
+		if err := avail(); err != nil {
+			return "", err
+		}
+		return fn()
+	}
+	_, sp := trace.StartSpan(ctx, spanName)
+	sp.SetAttr("rpc", rpc)
+	if err := avail(); err != nil {
+		sp.SetAttr("error", err.Error())
+		sp.End()
+		return "", err
+	}
+	out, err := fn()
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+	}
+	sp.End()
+	return out, err
+}

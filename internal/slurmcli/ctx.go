@@ -1,0 +1,46 @@
+package slurmcli
+
+import (
+	"context"
+
+	"ooddash/internal/trace"
+)
+
+// CtxRunner is implemented by runners that accept a context, which carries
+// the active trace span (and nothing else — command semantics are identical
+// to Run). Runner stays the dashboard's dependency surface; context-aware
+// callers probe for CtxRunner via RunWith.
+type CtxRunner interface {
+	RunContext(ctx context.Context, name string, args ...string) (string, error)
+}
+
+// RunWith runs a command through r, passing ctx along when r supports it.
+// Runners that only implement Runner are called without the context: they
+// simply do not contribute spans.
+func RunWith(ctx context.Context, r Runner, name string, args ...string) (string, error) {
+	if cr, ok := r.(CtxRunner); ok {
+		return cr.RunContext(ctx, name, args...)
+	}
+	return r.Run(name, args...)
+}
+
+// boundRunner carries a context into every Run call, so code holding a plain
+// Runner (the route helpers) still propagates the request's trace.
+type boundRunner struct {
+	ctx   context.Context
+	inner Runner
+}
+
+func (b boundRunner) Run(name string, args ...string) (string, error) {
+	return RunWith(b.ctx, b.inner, name, args...)
+}
+
+// Bind returns a Runner whose calls carry ctx. When the context holds no
+// active span the original runner is returned unchanged — the untraced path
+// allocates nothing.
+func Bind(ctx context.Context, r Runner) Runner {
+	if trace.SpanFromContext(ctx) == nil {
+		return r
+	}
+	return boundRunner{ctx: ctx, inner: r}
+}

@@ -1,6 +1,7 @@
 package slurmcli
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"ooddash/internal/slurm"
+	"ooddash/internal/trace"
 )
 
 // FaultRule describes one fault-injection behavior. Rules are matched
@@ -83,14 +85,42 @@ func (f *FaultRunner) SetRules(rules ...FaultRule) {
 // runner. Injected failures wrap slurm.ErrUnavailable so the resilience
 // layer classifies them as availability faults.
 func (f *FaultRunner) Run(name string, args ...string) (string, error) {
+	return f.RunContext(context.Background(), name, args...)
+}
+
+// RunContext implements CtxRunner. Injected latency is recorded as a span
+// named for the daemon the command targets ("slurmdbd.fault" for a slowed
+// sacct), so a trace attributes drill-induced delay to the daemon being
+// drilled rather than leaving an unexplained gap in the waterfall.
+func (f *FaultRunner) RunContext(ctx context.Context, name string, args ...string) (string, error) {
 	delay, fail := f.plan(name)
 	if delay > 0 {
-		f.sleep(delay)
+		if trace.SpanFromContext(ctx) != nil {
+			_, sp := trace.StartSpan(ctx, faultSpanName(name))
+			sp.SetAttr("command", name)
+			sp.SetAttr("injected", "true")
+			f.sleep(delay)
+			sp.End()
+		} else {
+			f.sleep(delay)
+		}
 	}
 	if fail {
 		return "", fmt.Errorf("slurmcli: %s: injected fault: %w", name, slurm.ErrUnavailable)
 	}
-	return f.inner.Run(name, args...)
+	return RunWith(ctx, f.inner, name, args...)
+}
+
+// faultSpanName attributes injected latency to the daemon serving the
+// command.
+func faultSpanName(command string) string {
+	switch DaemonFor(command) {
+	case "slurmdbd":
+		return "slurmdbd.fault"
+	case "slurmctld":
+		return "slurmctld.fault"
+	}
+	return "daemon.fault"
 }
 
 // plan decides, under the lock, what happens to this call: how long it

@@ -1,6 +1,11 @@
 package slurmcli
 
-import "time"
+import (
+	"context"
+	"time"
+
+	"ooddash/internal/trace"
+)
 
 // DaemonFor maps a Slurm command to the daemon that serves it — the same
 // blast-radius split Run enforces. The dashboard's observability layer uses
@@ -35,8 +40,27 @@ func NewMeteredRunner(next Runner, observe func(command, daemon string, d time.D
 
 // Run implements Runner.
 func (m *MeteredRunner) Run(name string, args ...string) (string, error) {
+	return m.RunContext(context.Background(), name, args...)
+}
+
+// RunContext implements CtxRunner: the same metering, plus a
+// "slurmcli.<command>" span when the context carries an active trace, under
+// which the fault injector and daemon handlers nest their own spans.
+func (m *MeteredRunner) RunContext(ctx context.Context, name string, args ...string) (string, error) {
 	start := time.Now()
-	out, err := m.Next.Run(name, args...)
+	var sp *trace.Span
+	if trace.SpanFromContext(ctx) != nil {
+		ctx, sp = trace.StartSpan(ctx, "slurmcli."+name)
+		sp.SetAttr("command", name)
+		sp.SetAttr("daemon", DaemonFor(name))
+	}
+	out, err := RunWith(ctx, m.Next, name, args...)
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
 	if m.Observe != nil {
 		m.Observe(name, DaemonFor(name), time.Since(start), err)
 	}

@@ -42,19 +42,34 @@ func IsUnavailable(err error) bool {
 // need slurmctld, sacct/sreport need slurmdbd — the same blast radii a real
 // outage has.
 func (r *SimRunner) Run(name string, args ...string) (string, error) {
+	return r.RunContext(context.Background(), name, args...)
+}
+
+// RunContext is Run carrying the request context into the daemon that serves
+// the command, so its server-side handling records a child span attributed
+// to slurmctld or slurmdbd — the in-process equivalent of trace propagation
+// across an RPC boundary.
+func (r *SimRunner) RunContext(ctx context.Context, name string, args ...string) (string, error) {
 	if r.Cluster == nil {
 		return "", fmt.Errorf("slurmcli: runner has no cluster")
 	}
 	switch name {
 	case "sacct", "sreport":
-		if err := r.Cluster.DBD.Available(); err != nil {
-			return "", err
-		}
+		return r.Cluster.DBD.Handle(ctx, name, func() (string, error) {
+			return r.dispatch(name, args)
+		})
 	case "squeue", "sinfo", "scontrol", "scancel", "sdiag", "sprio":
-		if err := r.Cluster.Ctl.Available(); err != nil {
-			return "", err
-		}
+		return r.Cluster.Ctl.Handle(ctx, name, func() (string, error) {
+			return r.dispatch(name, args)
+		})
+	default:
+		return "", fmt.Errorf("slurmcli: %s: command not found", name)
 	}
+}
+
+// dispatch runs the emulated command body (after the daemon's availability
+// gate has passed).
+func (r *SimRunner) dispatch(name string, args []string) (string, error) {
 	switch name {
 	case "squeue":
 		return runSqueue(r.Cluster, args)

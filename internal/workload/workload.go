@@ -416,7 +416,13 @@ func (e *Env) NewServer(newsBaseURL string) (*core.Server, error) {
 // NewServerPush is NewServer with an explicit push-subsystem configuration
 // (cmd/dashboard threads its -push-* flags through here).
 func (e *Env) NewServerPush(newsBaseURL string, pushCfg core.PushConfig) (*core.Server, error) {
-	return core.NewServer(core.Config{ClusterName: e.Cluster.Name, Push: pushCfg}, core.Deps{
+	return e.NewServerTraced(newsBaseURL, pushCfg, core.TraceConfig{})
+}
+
+// NewServerTraced is NewServerPush with an explicit span-tracing
+// configuration (cmd/dashboard threads its -trace-* flags through here).
+func (e *Env) NewServerTraced(newsBaseURL string, pushCfg core.PushConfig, traceCfg core.TraceConfig) (*core.Server, error) {
+	return core.NewServer(core.Config{ClusterName: e.Cluster.Name, Push: pushCfg, Trace: traceCfg}, core.Deps{
 		Runner:  e.Runner,
 		News:    &newsfeed.Client{BaseURL: newsBaseURL},
 		Storage: e.Storage,
