@@ -1,8 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: check test vet test-race race bench bench-go bench-push bench-hotpath harness run verify
+.PHONY: check test vet test-race race bench bench-go bench-push bench-hotpath bench-chaos drills harness run verify
 
-check: test vet test-race vet-push vet-trace  ## the default CI gate: build + tests + vet + race detector
+check: test vet test-race vet-push vet-trace drills  ## the default CI gate: build + tests + vet + race detector + chaos drills
+
+drills:          ## fast chaos-drill smoke: every catalog scenario + unit drills under -race
+	go test -race -run Drill -count=1 ./internal/slurm/ ./internal/core/ ./internal/chaos/
 
 .PHONY: vet-push
 vet-push:        ## focused gate on the push subsystem (vet + race over its packages)
@@ -39,6 +42,10 @@ bench-push:      ## polling vs SSE upstream-RPC comparison -> BENCH_push.json
 bench-hotpath: check  ## encode-once vs re-encode hit path -> BENCH_hotpath.json (gated)
 	go run ./cmd/loadgen -hotpath -hotpath-requests 28000 \
 		-min-hotpath-alloc-ratio 5 -max-trace-allocs 3 -bench-out BENCH_hotpath.json
+
+bench-chaos: drills  ## full chaos catalog under open-loop load, SLO-gated -> BENCH_chaos.json
+	go run ./cmd/loadgen -chaos all -arrival-rate 400 -seed 7 \
+		-chaos-wall 250ms -fill-cap 24 -bench-out BENCH_chaos.json
 
 harness:         ## regenerate every paper artifact (EXPERIMENTS.md numbers)
 	go run ./cmd/benchharness

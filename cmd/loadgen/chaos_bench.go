@@ -1,0 +1,320 @@
+package main
+
+// Chaos mode: replay the internal/chaos scenario catalog against a real
+// HTTP dashboard under an OPEN-LOOP request load, and gate each scenario on
+// its SLO envelope.
+//
+// Open-loop means arrivals are scheduled ahead of time from a Poisson
+// process (-arrival-rate requests/second) and fired at their intended
+// instants regardless of how many requests are already in flight; latency
+// is measured from the INTENDED arrival time, not from when the client got
+// around to sending. A server that stalls therefore shows up as unbounded
+// p99 growth instead of being hidden by coordinated omission (every
+// closed-loop client politely waiting its turn).
+//
+// The scenario script itself still runs on the simulated clock: each
+// scripted step advances simulated time by the scenario's StepEvery while
+// -chaos-wall of real time elapses, so breakers, TTLs, reboot timers, and
+// power-up delays play out exactly as in the drills while the wall-clock
+// arrival storm plays out against the same server.
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/chaos"
+	"ooddash/internal/core"
+)
+
+// arrival is one pre-scheduled open-loop request.
+type arrival struct {
+	at   time.Duration // offset from scenario start (intended send instant)
+	user string
+	path string
+}
+
+// chaosTally classifies every open-loop response for one scenario.
+type chaosTally struct {
+	mu        sync.Mutex
+	lats      []time.Duration
+	ok        int
+	degraded  int
+	rejected  int // 503: breaker open, upstream down, or fill-cap overflow
+	server5xx int // any other 5xx — always a gate failure
+	other     int // 4xx etc.
+	transport int // client-side errors (dial, timeout)
+}
+
+func (t *chaosTally) record(lat time.Duration, status int, degraded bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.lats = append(t.lats, lat)
+	switch {
+	case err != nil:
+		t.transport++
+	case status >= 200 && status < 300:
+		t.ok++
+		if degraded {
+			t.degraded++
+		}
+	case status == http.StatusServiceUnavailable:
+		t.rejected++
+	case status >= 500:
+		t.server5xx++
+	default:
+		t.other++
+	}
+}
+
+// chaosScenarioReport is one scenario's row in BENCH_chaos.json.
+type chaosScenarioReport struct {
+	Steps        int             `json:"steps"`
+	SimSpanMs    float64         `json:"sim_span_ms"`
+	Arrivals     int             `json:"arrivals"`
+	OK           int             `json:"ok"`
+	Degraded     int             `json:"degraded"`
+	Rejected503  int             `json:"rejected_503"`
+	Server5xx    int             `json:"server_5xx"`
+	Transport    int             `json:"transport_errors"`
+	Other        int             `json:"other"`
+	P50Ms        float64         `json:"p50_ms"`
+	P99Ms        float64         `json:"p99_ms"`
+	MaxMs        float64         `json:"max_ms"`
+	DegradedRate float64         `json:"degraded_rate"`
+	RejectedRate float64         `json:"rejected_rate"`
+	SLOP99Ms     float64         `json:"slo_p99_ms"`
+	SLOMaxDegr   float64         `json:"slo_max_degraded_rate"`
+	SLOMaxRej    float64         `json:"slo_max_rejected_rate"`
+	Fills        []core.FillStat `json:"fills"`
+	DrillHealth  chaos.Health    `json:"drill_health"`
+	Pass         bool            `json:"pass"`
+}
+
+// chaosBenchReport is the BENCH_chaos.json snapshot.
+type chaosBenchReport struct {
+	Kind        string                         `json:"kind"` // "loadgen_chaos"
+	GeneratedAt time.Time                      `json:"generated_at"`
+	Seed        int64                          `json:"seed"`
+	ArrivalRate float64                        `json:"arrival_rate_per_sec"`
+	StepWallMs  float64                        `json:"step_wall_ms"`
+	FillCap     int                            `json:"fill_cap"`
+	Scenarios   map[string]chaosScenarioReport `json:"scenarios"`
+	Pass        bool                           `json:"pass"`
+}
+
+// runChaosBench executes the named scenarios (or all of them) and exits
+// non-zero if any scenario misses its SLO envelope or fails verification.
+func runChaosBench(name string, rate float64, seed int64, stepWall time.Duration, fillCap int, benchOut string) {
+	var scenarios []chaos.Scenario
+	if name == "all" {
+		scenarios = chaos.Catalog()
+	} else {
+		sc, ok := chaos.ByName(name)
+		if !ok {
+			log.Fatalf("chaos: unknown scenario %q (have %v)", name, chaos.Names())
+		}
+		scenarios = []chaos.Scenario{sc}
+	}
+	if rate <= 0 {
+		log.Fatalf("chaos: -arrival-rate must be positive, got %v", rate)
+	}
+
+	rep := chaosBenchReport{
+		Kind:        "loadgen_chaos",
+		GeneratedAt: time.Now().UTC(),
+		Seed:        seed,
+		ArrivalRate: rate,
+		StepWallMs:  ms(stepWall),
+		FillCap:     fillCap,
+		Scenarios:   make(map[string]chaosScenarioReport, len(scenarios)),
+		Pass:        true,
+	}
+	for _, sc := range scenarios {
+		row, err := runChaosScenario(sc, rate, seed, stepWall, fillCap)
+		if err != nil {
+			log.Printf("FAIL %s: %v", sc.Name, err)
+			row.Pass = false
+		}
+		if !row.Pass {
+			rep.Pass = false
+		}
+		rep.Scenarios[sc.Name] = row
+	}
+
+	if benchOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding chaos snapshot: %v", err)
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", benchOut, err)
+		}
+		log.Printf("chaos snapshot written to %s", benchOut)
+	}
+	if !rep.Pass {
+		log.Printf("FAIL: one or more chaos scenarios missed their SLO gates")
+		os.Exit(1)
+	}
+	log.Printf("PASS: %d chaos scenario(s) within SLO", len(scenarios))
+}
+
+// runChaosScenario runs one scenario: scripted steps on the simulated clock
+// paced by stepWall of real time, with the open-loop arrival storm firing
+// at the dashboard's real HTTP listener throughout.
+func runChaosScenario(sc chaos.Scenario, rate float64, seed int64, stepWall time.Duration, fillCap int) (chaosScenarioReport, error) {
+	row := chaosScenarioReport{
+		Steps:      sc.Steps,
+		SimSpanMs:  ms(time.Duration(sc.Steps) * sc.StepEvery),
+		SLOP99Ms:   ms(sc.SLO.P99),
+		SLOMaxDegr: sc.SLO.MaxDegradedRate,
+		SLOMaxRej:  sc.SLO.MaxRejectedRate,
+	}
+	r, err := chaos.NewRun(chaos.Options{
+		Seed:    seed,
+		FillCap: fillCap,
+		Sleep:   time.Sleep, // injected fault latency really stalls requests
+	})
+	if err != nil {
+		return row, err
+	}
+	defer r.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, fmt.Errorf("listener: %v", err)
+	}
+	defer ln.Close()
+	go func() { _ = http.Serve(ln, r.Server) }()
+	baseURL := fmt.Sprintf("http://%s", ln.Addr())
+
+	// Setup first: login-rush draws need the rush cohort to exist.
+	if sc.Setup != nil {
+		if err := sc.Setup(r); err != nil {
+			return row, fmt.Errorf("setup: %v", err)
+		}
+	}
+
+	// Pre-schedule the whole Poisson storm so send instants are independent
+	// of server behavior (the open-loop property).
+	total := time.Duration(sc.Steps) * stepWall
+	rng := rand.New(rand.NewSource(seed))
+	var plan []arrival
+	for at := time.Duration(0); at < total; {
+		at += time.Duration(rng.ExpFloat64() / rate * float64(time.Second))
+		if at >= total {
+			break
+		}
+		user, path := sc.Draw(r, rng)
+		plan = append(plan, arrival{at: at, user: user, path: path})
+	}
+	row.Arrivals = len(plan)
+	log.Printf("chaos %s: %d open-loop arrivals over %v wall (%.0f/s), %d sim steps of %v",
+		sc.Name, len(plan), total, rate, sc.Steps, sc.StepEvery)
+
+	client := &http.Client{
+		Timeout:   10 * time.Second,
+		Transport: &http.Transport{MaxIdleConns: 512, MaxIdleConnsPerHost: 512},
+	}
+	tally := &chaosTally{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for _, a := range plan {
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			intended := start.Add(a.at)
+			time.Sleep(time.Until(intended))
+			req, _ := http.NewRequest(http.MethodGet, baseURL+a.path, nil)
+			req.Header.Set(auth.UserHeader, a.user)
+			resp, err := client.Do(req)
+			lat := time.Since(intended) // from INTENDED arrival: no omission
+			if err != nil {
+				tally.record(lat, 0, false, err)
+				return
+			}
+			degraded := resp.Header.Get("X-OODDash-Degraded") != ""
+			_ = resp.Body.Close()
+			tally.record(lat, resp.StatusCode, degraded, nil)
+		}(a)
+	}
+
+	// The scripted storm advances in lockstep with the wall-clock schedule.
+	var stepErr error
+	for i := 0; i < sc.Steps; i++ {
+		if err := r.Step(sc, i); err != nil {
+			stepErr = err
+			break
+		}
+		time.Sleep(time.Until(start.Add(time.Duration(i+1) * stepWall)))
+	}
+	wg.Wait()
+	if stepErr != nil {
+		return row, stepErr
+	}
+	if sc.Verify != nil {
+		if err := sc.Verify(r); err != nil {
+			return row, fmt.Errorf("verify: %v", err)
+		}
+	}
+
+	tally.mu.Lock()
+	defer tally.mu.Unlock()
+	sort.Slice(tally.lats, func(i, j int) bool { return tally.lats[i] < tally.lats[j] })
+	row.OK = tally.ok
+	row.Degraded = tally.degraded
+	row.Rejected503 = tally.rejected
+	row.Server5xx = tally.server5xx
+	row.Transport = tally.transport
+	row.Other = tally.other
+	row.P50Ms = ms(percentile(tally.lats, 0.50))
+	row.P99Ms = ms(percentile(tally.lats, 0.99))
+	if n := len(tally.lats); n > 0 {
+		row.MaxMs = ms(tally.lats[n-1])
+	}
+	n := float64(len(plan))
+	row.DegradedRate = float64(tally.degraded) / math.Max(n, 1)
+	row.RejectedRate = float64(tally.rejected) / math.Max(n, 1)
+	row.Fills = r.Server.FillStats()
+	row.DrillHealth = r.Health()
+
+	// The gates. Page-level 5xx and client transport errors are always
+	// fatal; the rest is the scenario's SLO envelope.
+	row.Pass = true
+	fail := func(format string, args ...any) {
+		row.Pass = false
+		log.Printf("FAIL %s: "+format, append([]any{sc.Name}, args...)...)
+	}
+	if len(plan) == 0 {
+		fail("no arrivals scheduled")
+	}
+	if tally.server5xx > 0 {
+		fail("%d page-level 5xx responses (want 0)", tally.server5xx)
+	}
+	if tally.transport > 0 {
+		fail("%d transport errors (want 0)", tally.transport)
+	}
+	if p99 := percentile(tally.lats, 0.99); p99 > sc.SLO.P99 {
+		fail("open-loop p99 %v exceeds SLO %v", p99.Round(time.Millisecond), sc.SLO.P99)
+	}
+	if row.DegradedRate > sc.SLO.MaxDegradedRate {
+		fail("degraded rate %.3f exceeds SLO %.3f", row.DegradedRate, sc.SLO.MaxDegradedRate)
+	}
+	if row.RejectedRate > sc.SLO.MaxRejectedRate {
+		fail("rejected rate %.3f exceeds SLO %.3f", row.RejectedRate, sc.SLO.MaxRejectedRate)
+	}
+	log.Printf("chaos %s: ok=%d degraded=%d rejected=%d 5xx=%d p50=%v p99=%v pass=%t",
+		sc.Name, tally.ok, tally.degraded, tally.rejected, tally.server5xx,
+		percentile(tally.lats, 0.50).Round(time.Millisecond),
+		percentile(tally.lats, 0.99).Round(time.Millisecond), row.Pass)
+	return row, nil
+}

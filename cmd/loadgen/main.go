@@ -15,6 +15,17 @@
 //	loadgen -smoke [-users 25] [-rounds 8] [-interval 5s] [-bench-out ...]
 //	loadgen -sse [-users 50] [-rounds 6] [-interval 75s] [-bench-out BENCH_push.json]
 //	        [-max-sse-rpc-ratio 2]
+//	loadgen -chaos all [-arrival-rate 400] [-seed 7] [-chaos-wall 250ms]
+//	        [-fill-cap 24] [-bench-out BENCH_chaos.json]
+//
+// With -chaos, loadgen replays the internal/chaos scenario catalog
+// (maintenance drain, node-failure storm, power cycle, job-array storm,
+// accounting backfill, login rush) against an in-process dashboard under an
+// open-loop Poisson request storm: arrivals are pre-scheduled at
+// -arrival-rate and latency is measured from each request's INTENDED
+// arrival instant, so coordinated omission cannot hide a stall. Each
+// scenario gates on its own p99 / degraded-rate / rejected-rate SLO and any
+// page-level 5xx fails the run.
 //
 // With -smoke, loadgen needs no running dashboard: it builds the small
 // simulated cluster in-process, serves the dashboard on an ephemeral port,
@@ -270,12 +281,22 @@ func main() {
 		minHotAllocRatio = flag.Float64("min-hotpath-alloc-ratio", -1, "exit 1 if encode-once allocs/op are not at least this many times below the re-encode baseline (negative disables)")
 		maxTraceAllocs   = flag.Float64("max-trace-allocs", 3, "exit 1 if sampled-out tracing adds more than this many allocs/op over the untraced encode-once hit path (negative disables)")
 
+		chaosName   = flag.String("chaos", "", "chaos mode: run this internal/chaos scenario (or \"all\") under open-loop load with per-scenario SLO gates")
+		arrivalRate = flag.Float64("arrival-rate", 400, "chaos mode: open-loop Poisson arrival rate, requests/second (latency measured from intended arrival)")
+		seed        = flag.Int64("seed", 7, "chaos mode: seed for the workload, fault injector, and arrival schedule (recorded in BENCH_chaos.json)")
+		chaosWall   = flag.Duration("chaos-wall", 250*time.Millisecond, "chaos mode: wall time per scripted scenario step")
+		fillCap     = flag.Int("fill-cap", 24, "chaos mode: per-source concurrent upstream fill cap (0 = server default, negative = unlimited)")
+
 		benchOut   = flag.String("bench-out", "", "write a BENCH_*.json latency snapshot to this path")
 		maxErrRate = flag.Float64("max-error-rate", -1, "exit 1 if the overall widget error rate exceeds this (0..1; negative disables)")
 		maxDegRate = flag.Float64("max-degraded-rate", -1, "exit 1 if the overall degraded-response rate exceeds this (0..1; negative disables)")
 	)
 	flag.Parse()
 
+	if *chaosName != "" {
+		runChaosBench(*chaosName, *arrivalRate, *seed, *chaosWall, *fillCap, *benchOut)
+		return
+	}
 	if *sse {
 		runPushBench(*users, *rounds, *interval, *benchOut, *maxRPCRatio)
 		return

@@ -1,0 +1,149 @@
+package chaos
+
+// The drills: every catalog scenario executed end to end on the simulated
+// clock — no wall-clock sleeps, so the whole file runs in milliseconds and
+// stays -race clean. Each drill builds a fresh cluster + dashboard, runs the
+// scenario's scripted storm, and relies on the scenario's own Check/Verify
+// hooks for the resilience assertions; the test bodies add only the
+// drill-harness-specific expectations (traffic actually flowed, fault
+// injection actually bit).
+
+import (
+	"testing"
+	"time"
+)
+
+func drill(t *testing.T, name string, opts Options) *Run {
+	t.Helper()
+	sc, ok := ByName(name)
+	if !ok {
+		t.Fatalf("scenario %q not in catalog", name)
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1905
+	}
+	r, err := NewRun(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Close)
+	start := r.Env.Clock.Now()
+	if err := r.Execute(sc); err != nil {
+		t.Fatal(err)
+	}
+	// The drill ran on simulated time only: the clock must have moved by
+	// exactly the scripted span plus any injected-latency sleeps, and there
+	// must have been actual scenario traffic to classify.
+	if got := r.Env.Clock.Now().Sub(start); got < time.Duration(sc.Steps)*sc.StepEvery {
+		t.Fatalf("simulated span = %v, want >= %v", got, time.Duration(sc.Steps)*sc.StepEvery)
+	}
+	if h := r.Health(); h.Requests == 0 {
+		t.Fatal("scenario issued no loopback traffic")
+	}
+	return r
+}
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{
+		"maintenance_drain", "node_failure_storm", "power_cycle",
+		"job_array_storm", "accounting_backfill", "login_rush",
+	}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("catalog has %d scenarios, want %d: %v", len(got), len(want), got)
+	}
+	for i, name := range want {
+		if got[i] != name {
+			t.Fatalf("catalog[%d] = %q, want %q", i, got[i], name)
+		}
+		sc, ok := ByName(name)
+		if !ok || sc.Name != name {
+			t.Fatalf("ByName(%q) not found", name)
+		}
+		if sc.Steps <= 0 || sc.StepEvery <= 0 {
+			t.Fatalf("%s: unscripted steps (%d x %v)", name, sc.Steps, sc.StepEvery)
+		}
+		if sc.SLO.P99 <= 0 {
+			t.Fatalf("%s: no p99 SLO", name)
+		}
+		if sc.Draw == nil {
+			t.Fatalf("%s: no load-harness draw", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted an unknown scenario")
+	}
+}
+
+func TestDrillMaintenanceDrain(t *testing.T) {
+	r := drill(t, "maintenance_drain", Options{})
+	if len(r.Covered) == 0 {
+		t.Fatal("no nodes were drained")
+	}
+	if h := r.Health(); h.ServerErrors > 0 || h.Other > 0 {
+		t.Fatalf("health = %+v, want clean 2xx/503 split", h)
+	}
+}
+
+func TestDrillNodeFailureStorm(t *testing.T) {
+	r := drill(t, "node_failure_storm", Options{})
+	h := r.Health()
+	if h.Degraded == 0 {
+		t.Fatalf("health = %+v: the outage never forced a stale serve", h)
+	}
+	if h.ServerErrors > 0 {
+		t.Fatalf("health = %+v: page-level 5xx during the storm", h)
+	}
+	if stats := r.Server.PushScheduler().Stats(); stats.Refreshes == 0 {
+		t.Fatalf("push stats = %+v: the registered source never refreshed", stats)
+	}
+}
+
+func TestDrillPowerCycle(t *testing.T) {
+	r := drill(t, "power_cycle", Options{})
+	if len(r.Covered) == 0 {
+		t.Fatal("no nodes were powered down")
+	}
+	if got := r.Env.Cluster.Ctl.Power(); got.AutoWakes == 0 {
+		t.Fatalf("power stats = %+v, want at least one auto-wake", got)
+	}
+}
+
+func TestDrillJobArrayStorm(t *testing.T) {
+	r := drill(t, "job_array_storm", Options{})
+	if len(r.JobIDs) == 0 {
+		t.Fatal("no arrays were submitted")
+	}
+}
+
+func TestDrillAccountingBackfill(t *testing.T) {
+	r := drill(t, "accounting_backfill", Options{})
+	// The injected sacct latency must have been absorbed by the simulated
+	// clock, not hidden: at least one dbd fill went through the gate.
+	var sawDBD bool
+	for _, st := range r.Server.FillStats() {
+		if st.Source == "slurmdbd" && st.Peak >= 1 {
+			sawDBD = true
+		}
+	}
+	if !sawDBD {
+		t.Fatal("no slurmdbd fill crossed the admission gate")
+	}
+}
+
+func TestDrillLoginRush(t *testing.T) {
+	// A tight cap makes the stampede bite: 300 cold users cannot all fill at
+	// once, so the gate must reject the overflow as retriable 503s while the
+	// server never drops a 500. The fill gate bounds WALL-time concurrency,
+	// so this one drill gives the scenario's injected 2ms command stall real
+	// wall duration (every other drill keeps the simulated-clock sleep);
+	// total added wall time stays well under a second.
+	r := drill(t, "login_rush", Options{FillCap: 8, Sleep: time.Sleep})
+	h := r.Health()
+	if h.Rejected == 0 {
+		t.Fatalf("health = %+v: a 300-user stampede against cap 8 rejected nothing", h)
+	}
+	if h.OK == 0 {
+		t.Fatalf("health = %+v: nobody got through the rush", h)
+	}
+}

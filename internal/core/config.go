@@ -48,6 +48,14 @@ type ResilienceConfig struct {
 	// source; zero-valued fields fall back to resilience.DefaultPolicy. The
 	// server adds the per-source availability classifier itself.
 	Policy resilience.Policy
+	// MaxConcurrentFills caps how many upstream fills one data source runs
+	// at once (the cold-fill admission gate). Singleflight already collapses
+	// a stampede on one key, but per-user keys make a login rush N distinct
+	// cold fills; beyond the cap a fill fails fast — degraded if a stale
+	// value is retained, 503 + Retry-After otherwise — instead of queueing
+	// on the upstream. Zero means the default (32); negative disables the
+	// cap.
+	MaxConcurrentFills int
 }
 
 // PushConfig tunes the live-update push subsystem: the background refresh
@@ -184,6 +192,12 @@ func (c Config) withDefaults() Config {
 		c.Resilience.StaleFor = 15 * time.Minute
 	case c.Resilience.StaleFor < 0:
 		c.Resilience.StaleFor = 0
+	}
+	switch {
+	case c.Resilience.MaxConcurrentFills == 0:
+		c.Resilience.MaxConcurrentFills = 32
+	case c.Resilience.MaxConcurrentFills < 0:
+		c.Resilience.MaxConcurrentFills = 0
 	}
 	if len(c.Push.Widgets) == 0 {
 		c.Push.Widgets = DefaultPushWidgets()

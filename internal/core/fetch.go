@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"time"
@@ -79,13 +80,28 @@ func (m *fetchMeta) absorb(other fetchMeta) {
 // runner via s.runnerCtx. The per-source result — ok (cache hits included),
 // degraded, or error — lands in the fetch-results counter.
 func (s *Server) fetchVia(r *http.Request, source, key string, ttl time.Duration, compute func(context.Context) (any, error)) (any, fetchMeta, error) {
+	gate := s.fills[source]
 	res, err := s.cache.FetchStaleCtx(r.Context(), key, ttl, s.cfg.Resilience.StaleFor, func(ctx context.Context) (any, error) {
+		// Admission runs inside the cache's compute so singleflight waiters
+		// never consume slots, and before the resilience layer so a rejected
+		// fill is backpressure — it neither retries nor trips the breaker. A
+		// key with a retained stale value absorbs the rejection as a degraded
+		// serve; a cold key surfaces it as 503 + Retry-After.
+		if !gate.tryAcquire() {
+			return nil, &FillSaturatedError{Source: source, RetryAfter: fillRetryAfter}
+		}
+		defer gate.release()
 		return s.res.Do(source, ctx, compute)
 	})
 	oc := s.obsm.fetchOutcome[source]
 	switch {
 	case err != nil:
-		oc.err.Inc()
+		var fe *FillSaturatedError
+		if errors.As(err, &fe) {
+			oc.rejected.Inc()
+		} else {
+			oc.err.Inc()
+		}
 		return nil, fetchMeta{}, err
 	case res.Degraded:
 		oc.degraded.Inc()
@@ -116,21 +132,34 @@ func (s *Server) runResilient(r *http.Request, source string, op func(context.Co
 func isUnavailable(err error) bool {
 	var oe *resilience.OpenError
 	var ue *resilience.UpstreamError
-	return errors.As(err, &oe) || errors.As(err, &ue) || slurmcli.IsUnavailable(err)
+	var fe *FillSaturatedError
+	return errors.As(err, &oe) || errors.As(err, &ue) || errors.As(err, &fe) ||
+		slurmcli.IsUnavailable(err)
 }
+
+// retryAfterJitterSecs bounds the random seconds added on top of every
+// Retry-After hint. Cold 503s from an outage or a saturated fill gate hit a
+// whole cohort of clients in the same instant; if they all honor the same
+// hint they come back in the same instant too and re-stampede. The jitter
+// spreads the cohort's retries over a few seconds.
+const retryAfterJitterSecs = 3
 
 // writeFetchError maps a fetch failure to its response. Source-unavailable
 // errors become 503 with a Retry-After hint (the breaker's remaining open
-// window); everything else goes through the usual status mapping.
+// window, or the admission gate's drain estimate) plus bounded random
+// jitter; everything else goes through the usual status mapping.
 func writeFetchError(w http.ResponseWriter, err error) {
 	var retryAfter time.Duration
 	var oe *resilience.OpenError
 	var ue *resilience.UpstreamError
+	var fe *FillSaturatedError
 	switch {
 	case errors.As(err, &oe):
 		retryAfter = oe.RetryAfter
 	case errors.As(err, &ue):
 		retryAfter = ue.RetryAfter
+	case errors.As(err, &fe):
+		retryAfter = fe.RetryAfter
 	case slurmcli.IsUnavailable(err):
 		// Unavailable but not wrapped by the policy layer (e.g. a direct
 		// runner call): still a 503, with a nominal retry hint.
@@ -142,6 +171,7 @@ func writeFetchError(w http.ResponseWriter, err error) {
 	if secs < 1 {
 		secs = 1
 	}
+	secs += rand.Int63n(retryAfterJitterSecs + 1)
 	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 	writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 }

@@ -84,6 +84,7 @@ type fetchOutcomeCounters struct {
 	ok       *obs.Counter
 	degraded *obs.Counter
 	err      *obs.Counter
+	rejected *obs.Counter // fill admission gate said no (cold key, gate at cap)
 }
 
 // newServerObs builds the registry and registers every family, including
@@ -129,8 +130,33 @@ func newServerObs(s *Server) *serverObs {
 			ok:       o.fetchResults.With(src, "ok"),
 			degraded: o.fetchResults.With(src, "degraded"),
 			err:      o.fetchResults.With(src, "error"),
+			rejected: o.fetchResults.With(src, "rejected"),
 		}
 	}
+
+	// Fill admission gates: concurrent-fill pressure per source, the high
+	// water mark, and how many fills the cap turned away.
+	fillCollector := func(name, help string, kind obs.Kind, read func(*fillGate) float64) {
+		reg.CollectorFunc(name, kind, help, func() []obs.Sample {
+			out := make([]obs.Sample, 0, len(fillSources))
+			for _, src := range fillSources {
+				out = append(out, obs.Sample{
+					Labels: []obs.Label{{Name: "source", Value: src}},
+					Value:  read(s.fills[src]),
+				})
+			}
+			return out
+		})
+	}
+	fillCollector("ooddash_fill_inflight",
+		"Upstream cache fills currently in flight, per data source.", obs.KindGauge,
+		func(g *fillGate) float64 { return float64(g.inflight.Load()) })
+	fillCollector("ooddash_fill_inflight_peak",
+		"High-water mark of concurrent upstream fills, per data source.", obs.KindGauge,
+		func(g *fillGate) float64 { return float64(g.peak.Load()) })
+	fillCollector("ooddash_fill_rejected_total",
+		"Cache fills rejected by the per-source concurrency cap.", obs.KindCounter,
+		func(g *fillGate) float64 { return float64(g.rejected.Load()) })
 
 	// Push fan-out health: connected clients, event flow, and the newest
 	// version per widget source (a stalled gauge means refreshes stopped).

@@ -27,6 +27,9 @@ func nodeStateColor(state slurm.NodeState) string {
 		return "orange"
 	case slurm.NodeDown:
 		return "red"
+	case slurm.NodePoweredDown, slurm.NodePoweringUp, slurm.NodeReboot:
+		// Energy-saving and reboot cycles: intentionally offline, not faulty.
+		return "gray"
 	default:
 		return "gray"
 	}

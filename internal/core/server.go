@@ -68,6 +68,11 @@ type Server struct {
 	mux     *http.ServeMux
 	widgets []Widget
 
+	// fills are the per-source cold-fill admission gates (see admission.go):
+	// they bound concurrent upstream fills where singleflight cannot (many
+	// distinct cold keys at once).
+	fills map[string]*fillGate
+
 	// Rendered-response layer (see render.go): materialized JSON bytes and
 	// ETags keyed by widget/variant/URI, plus its traffic counters.
 	rendered *cache.Cache
@@ -134,6 +139,7 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 	}
 	s.rendered = cache.New(deps.Clock)
 	s.lastPurge = deps.Clock.Now()
+	s.fills = newFillGates(s.cfg.Resilience.MaxConcurrentFills)
 	s.res = resilience.NewSet(resilience.Options{
 		Clock: deps.Clock,
 		Sleep: deps.Sleep,

@@ -34,6 +34,12 @@ type Controller struct {
 	maintSeq     int
 	manualMaint  map[string]bool // nodes placed in maintenance by hand
 
+	// Power management (see power.go): transition counters and the boot
+	// delays for power-up and reboot cycles (zero means the defaults).
+	power       PowerStats
+	resumeDelay time.Duration
+	rebootDelay time.Duration
+
 	// healthGate simulates controller outages and brown-outs; queries are
 	// gated at the command surface (slurmcli.SimRunner), not here, so
 	// internal bookkeeping keeps working while "clients" see failures.

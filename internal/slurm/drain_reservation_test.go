@@ -1,0 +1,114 @@
+package slurm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDrillDrainReservationInterplay covers the maintenance-drain flow: a
+// maintenance reservation laid over already-drained nodes must schedule zero
+// jobs onto them for the whole window and release cleanly on resume — the
+// drained nodes come back schedulable with no leftover maint flag or reason.
+func TestDrillDrainReservationInterplay(t *testing.T) {
+	cl, clock := testCluster(t)
+	ctl := cl.Ctl
+	covered := []string{"c001", "c002"}
+
+	// Operators drain ahead of the window, then the reservation activates on
+	// top of the drain (both paths must independently keep jobs off).
+	for _, name := range covered {
+		if err := ctl.DrainNode(name, "pre-maintenance drain"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := clock.Now().Add(30 * time.Minute)
+	end := start.Add(2 * time.Hour)
+	winID, err := ctl.ScheduleMaintenance("rack-pm", start, end, covered, "rack maintenance")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	onCovered := func(j *Job) bool {
+		for _, n := range j.Nodes {
+			for _, c := range covered {
+				if n == c {
+					return true
+				}
+			}
+		}
+		return false
+	}
+
+	// Submit a steady stream of short jobs across the window. Every five
+	// minutes more arrive than the two uncovered cpu nodes can hold, so the
+	// scheduler is constantly tempted by the reserved pair.
+	submit := func(n int) {
+		for i := 0; i < n; i++ {
+			submitOne(t, cl, SubmitRequest{
+				User: "carol", Account: "lab-b", Partition: "cpu",
+				ReqTRES: TRES{CPUs: 4, MemMB: 2048}, TimeLimit: 20 * time.Minute,
+				Profile: UsageProfile{ActualDuration: 10 * time.Minute,
+					CPUUtilization: 0.8, MemUtilization: 0.5},
+			})
+		}
+	}
+	for step := 0; step < 36; step++ { // 3 simulated hours in 5-minute steps
+		submit(3)
+		clock.Advance(5 * time.Minute)
+		ctl.Tick()
+		now := clock.Now()
+		inWindow := !now.Before(start) && now.Before(end)
+		for _, j := range ctl.Jobs(LiveJobFilter{States: []JobState{StateRunning}}) {
+			if onCovered(j) {
+				t.Fatalf("step %d (in window=%t): job %d running on reserved nodes %v",
+					step, inWindow, j.ID, j.Nodes)
+			}
+		}
+		if inWindow {
+			for _, name := range covered {
+				if n := ctl.Node(name); !n.Maint {
+					t.Fatalf("step %d: covered node %s not in maint during window", step, name)
+				}
+			}
+		}
+	}
+
+	// The window has ended (3h > 30m + 2h). Resume the drained nodes: they
+	// must come back clean — schedulable, no maint flag, no stale reason.
+	for _, name := range covered {
+		if err := ctl.ResumeNode(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl.Tick()
+	for _, name := range covered {
+		n := ctl.Node(name)
+		if !n.Schedulable() || n.Maint || n.Drain || n.StateReason != "" {
+			t.Fatalf("node %s after resume: schedulable=%t maint=%t drain=%t reason=%q",
+				name, n.Schedulable(), n.Maint, n.Drain, n.StateReason)
+		}
+	}
+	// The past window must not block new placements onto the released nodes.
+	submit(8)
+	ctl.Tick()
+	placed := false
+	for _, j := range ctl.Jobs(LiveJobFilter{States: []JobState{StateRunning}}) {
+		if onCovered(j) {
+			placed = true
+			break
+		}
+	}
+	if !placed {
+		t.Fatal("no job placed onto released nodes after resume")
+	}
+	// The expired window is still listed (pruning waits 24h) but inert.
+	found := false
+	for _, w := range ctl.MaintenanceWindows() {
+		if w.ID == winID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("window vanished before its prune horizon")
+	}
+}

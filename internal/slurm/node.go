@@ -30,6 +30,15 @@ type Node struct {
 	CPULoad     float64
 	LastBusy    time.Time
 	RunningJobs []JobID
+
+	// Power state (see power.go): an energy-saving shutdown, an in-progress
+	// boot after a power-up request, or a health-check reboot cycle. At most
+	// one of the three is set; PowerReadyAt is when an in-progress transition
+	// completes.
+	PoweredDown  bool
+	PoweringUp   bool
+	Rebooting    bool
+	PowerReadyAt time.Time
 }
 
 // Free returns the node's unallocated capacity.
@@ -47,6 +56,12 @@ func (n *Node) EffectiveState() NodeState {
 	switch {
 	case n.State == NodeDown:
 		return NodeDown
+	case n.Rebooting:
+		return NodeReboot
+	case n.PoweredDown:
+		return NodePoweredDown
+	case n.PoweringUp:
+		return NodePoweringUp
 	case n.Maint:
 		return NodeMaint
 	case n.Drain && n.Alloc.CPUs > 0:
@@ -64,7 +79,8 @@ func (n *Node) EffectiveState() NodeState {
 
 // Schedulable reports whether the scheduler may place new work here.
 func (n *Node) Schedulable() bool {
-	return n.State.Schedulable() && !n.Drain && !n.Maint && n.State != NodeDown
+	return n.State.Schedulable() && !n.Drain && !n.Maint && n.State != NodeDown &&
+		!n.PoweredDown && !n.PoweringUp && !n.Rebooting
 }
 
 // HasFeatures reports whether the node advertises every feature in the

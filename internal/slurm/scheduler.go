@@ -25,8 +25,10 @@ func (c *Controller) Tick() {
 	var done []finished
 
 	c.mu.Lock()
-	// 0. Enter/leave scheduled maintenance windows.
+	// 0. Enter/leave scheduled maintenance windows; complete power-up and
+	// reboot transitions whose boot delay has elapsed.
 	c.applyMaintenanceLocked(now)
+	c.applyPowerLocked(now)
 	// 1. Fail jobs (running or suspended) whose nodes went down.
 	for _, id := range c.jobOrder {
 		j := c.jobs[id]
@@ -213,6 +215,14 @@ func (c *Controller) scheduleLocked(now time.Time) {
 			default:
 				j.Reason = ReasonResources
 				blockedOnResources = true
+			}
+			// Capacity starvation wakes powered-down nodes that could host
+			// the blocked job (cloud scheduling's ResumeProgram trigger);
+			// each blocked job wakes at most its own node count, so the
+			// whole backlog brings up enough capacity in one pass. Jobs
+			// start once the nodes finish booting.
+			if j.Reason == ReasonResources || j.Reason == ReasonPriority {
+				c.autoWakeLocked(j, part, now)
 			}
 			continue
 		}

@@ -81,6 +81,11 @@ const (
 	NodeDraining  NodeState = "DRAINING"
 	NodeDrained   NodeState = "DRAINED"
 	NodeMaint     NodeState = "MAINT"
+	// Power states (see power.go): sinfo renders these with ~/#/% suffixes;
+	// the simulator uses explicit state names so dashboards can show them.
+	NodePoweredDown NodeState = "POWERED_DOWN"
+	NodePoweringUp  NodeState = "POWERING_UP"
+	NodeReboot      NodeState = "REBOOT"
 )
 
 // Schedulable reports whether new work may be placed on a node in state s.

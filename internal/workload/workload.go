@@ -422,7 +422,18 @@ func (e *Env) NewServerPush(newsBaseURL string, pushCfg core.PushConfig) (*core.
 // NewServerTraced is NewServerPush with an explicit span-tracing
 // configuration (cmd/dashboard threads its -trace-* flags through here).
 func (e *Env) NewServerTraced(newsBaseURL string, pushCfg core.PushConfig, traceCfg core.TraceConfig) (*core.Server, error) {
-	return core.NewServer(core.Config{ClusterName: e.Cluster.Name, Push: pushCfg, Trace: traceCfg}, core.Deps{
+	return e.NewServerConfig(newsBaseURL, core.Config{Push: pushCfg, Trace: traceCfg})
+}
+
+// NewServerConfig builds a dashboard server over the environment with full
+// control of the core configuration (the chaos harness tunes resilience
+// knobs like the fill-admission cap). An empty ClusterName takes the
+// environment's; the environment's services and shared clock always win.
+func (e *Env) NewServerConfig(newsBaseURL string, cfg core.Config) (*core.Server, error) {
+	if cfg.ClusterName == "" {
+		cfg.ClusterName = e.Cluster.Name
+	}
+	return core.NewServer(cfg, core.Deps{
 		Runner:  e.Runner,
 		News:    &newsfeed.Client{BaseURL: newsBaseURL},
 		Storage: e.Storage,
