@@ -1,8 +1,8 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: check test vet test-race race bench bench-go bench-push bench-hotpath bench-chaos drills harness run verify
+.PHONY: check test vet test-race race bench bench-go bench-push bench-hotpath bench-chaos bench-rest drills harness run verify
 
-check: test vet test-race vet-push vet-trace drills  ## the default CI gate: build + tests + vet + race detector + chaos drills
+check: test vet test-race vet-push vet-trace vet-rest drills  ## the default CI gate: build + tests + vet + race detector + chaos drills
 
 drills:          ## fast chaos-drill smoke: every catalog scenario + unit drills under -race
 	go test -race -run Drill -count=1 ./internal/slurm/ ./internal/core/ ./internal/chaos/
@@ -16,6 +16,11 @@ vet-push:        ## focused gate on the push subsystem (vet + race over its pack
 vet-trace:       ## focused gate on span tracing (vet + race over the instrumented layers)
 	go vet ./internal/trace/ ./internal/cache/ ./internal/resilience/ ./internal/slurmcli/
 	go test -race ./internal/trace/
+
+.PHONY: vet-rest
+vet-rest:        ## focused gate on the REST backend (vet + race over its packages)
+	go vet ./internal/slurmrest/ ./cmd/dashboard/
+	go test -race ./internal/slurmrest/
 
 test:            ## full test suite
 	go build ./... && go test ./...
@@ -46,6 +51,10 @@ bench-hotpath: check  ## encode-once vs re-encode hit path -> BENCH_hotpath.json
 bench-chaos: drills  ## full chaos catalog under open-loop load, SLO-gated -> BENCH_chaos.json
 	go run ./cmd/loadgen -chaos all -arrival-rate 400 -seed 7 \
 		-chaos-wall 250ms -fill-cap 24 -bench-out BENCH_chaos.json
+
+bench-rest: vet-rest  ## CLI vs REST backend A/B + token-scope probes -> BENCH_rest.json (gated)
+	go run ./cmd/loadgen -backend-ab -ab-requests 300 \
+		-max-rest-p95-ratio 1.5 -bench-out BENCH_rest.json
 
 harness:         ## regenerate every paper artifact (EXPERIMENTS.md numbers)
 	go run ./cmd/benchharness

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	dashboard [-addr :8080] [-small] [-seed 42] [-warp 60]
+//	          [-backend cli|rest|slurmctld=rest,slurmdbd=cli]
 //	          [-no-push] [-push-interval 1s] [-push-heartbeat 15s]
 //	          [-trace-sample 1] [-trace-slow-ms 500] [-trace-store-max 256]
 //	          [-fault-cmd squeue] [-fault-rate 0.2] [-fault-outage]
@@ -17,6 +18,11 @@
 // /api/. The -warp factor compresses simulated time: with -warp 60, one
 // wall-clock second advances the cluster by a minute, so job churn is
 // visible while you watch.
+//
+// -backend selects the Slurm data path per source daemon: "cli" (default)
+// shells out through the simulated command runner; "rest" goes through the
+// in-process slurmrestd-style JSON API with a scoped staff token. A mixed
+// spelling like "slurmctld=rest,slurmdbd=cli" migrates one source at a time.
 //
 // The -fault-* flags arm the fault-injection layer for live failure drills:
 // -fault-cmd picks the Slurm command to sabotage ("*" for all), and the
@@ -45,6 +51,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,6 +61,36 @@ import (
 	"ooddash/internal/workload"
 )
 
+// parseBackend turns the -backend flag into a per-source BackendConfig.
+// Accepts a bare mode ("cli", "rest") applied to both daemons, or a
+// comma-separated list of source=mode pairs ("slurmctld=rest,slurmdbd=cli").
+func parseBackend(s string) (core.BackendConfig, error) {
+	var bc core.BackendConfig
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return bc, nil
+	}
+	if !strings.Contains(s, "=") {
+		bc.Slurmctld, bc.Slurmdbd = s, s
+		return bc, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		source, mode, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return bc, fmt.Errorf("malformed %q (want source=mode)", part)
+		}
+		switch source {
+		case "slurmctld":
+			bc.Slurmctld = mode
+		case "slurmdbd":
+			bc.Slurmdbd = mode
+		default:
+			return bc, fmt.Errorf("unknown source %q (want slurmctld or slurmdbd)", source)
+		}
+	}
+	return bc, nil
+}
+
 func main() {
 	var (
 		addr      = flag.String("addr", ":8080", "dashboard listen address")
@@ -62,6 +99,9 @@ func main() {
 		small     = flag.Bool("small", false, "use the small workload (fast startup)")
 		seed      = flag.Int64("seed", 42, "workload generator seed")
 		warp      = flag.Duration("warp", time.Minute, "simulated time advanced per wall-clock second")
+
+		backendMode = flag.String("backend", "cli",
+			`Slurm data path: "cli", "rest", or per source like "slurmctld=rest,slurmdbd=cli"`)
 
 		noPush        = flag.Bool("no-push", false, "disable the live-update push subsystem (/api/events serves only the legacy delta poll)")
 		pushInterval  = flag.Duration("push-interval", time.Second, "wall-clock cadence of the background refresh scheduler")
@@ -164,9 +204,21 @@ func main() {
 	if *traceSlowMS <= 0 {
 		traceCfg.Slow = -1
 	}
-	server, err := env.NewServerTraced(newsURL, core.PushConfig{Disabled: *noPush, Heartbeat: hb}, traceCfg)
+	backendCfg, err := parseBackend(*backendMode)
+	if err != nil {
+		log.Fatalf("-backend: %v", err)
+	}
+	server, err := env.NewServerConfig(newsURL, core.Config{
+		Push:    core.PushConfig{Disabled: *noPush, Heartbeat: hb},
+		Trace:   traceCfg,
+		Backend: backendCfg,
+	})
 	if err != nil {
 		log.Fatalf("server: %v", err)
+	}
+	if backendCfg.Slurmctld == core.BackendREST || backendCfg.Slurmdbd == core.BackendREST {
+		log.Printf("REST backend on (slurmctld=%s slurmdbd=%s): in-process slurmrestd with scoped tokens",
+			backendCfg.Slurmctld, backendCfg.Slurmdbd)
 	}
 	if *accessLog {
 		server.SetAccessLog(func(line string) { log.Print(line) })

@@ -17,6 +17,14 @@
 //	        [-max-sse-rpc-ratio 2]
 //	loadgen -chaos all [-arrival-rate 400] [-seed 7] [-chaos-wall 250ms]
 //	        [-fill-cap 24] [-bench-out BENCH_chaos.json]
+//	loadgen -backend-ab [-ab-requests 300] [-max-rest-p95-ratio 1.5]
+//	        [-bench-out BENCH_rest.json]
+//
+// With -backend-ab, loadgen times the same Slurm query mix through both
+// dashboard backends — the CLI parse-text path and the slurmrestd-style
+// decode-JSON path — after verifying they return identical rows, and probes
+// the REST token-scope matrix (redaction, 403s, 401) with real provisioned
+// tokens. Scope violations always fail the run.
 //
 // With -chaos, loadgen replays the internal/chaos scenario catalog
 // (maintenance drain, node-failure storm, power cycle, job-array storm,
@@ -281,6 +289,11 @@ func main() {
 		minHotAllocRatio = flag.Float64("min-hotpath-alloc-ratio", -1, "exit 1 if encode-once allocs/op are not at least this many times below the re-encode baseline (negative disables)")
 		maxTraceAllocs   = flag.Float64("max-trace-allocs", 3, "exit 1 if sampled-out tracing adds more than this many allocs/op over the untraced encode-once hit path (negative disables)")
 
+		backendAB    = flag.Bool("backend-ab", false, "A/B benchmark: CLI parse-text vs REST decode-JSON fill path over one in-process cluster, plus token-scope probes (see -ab-requests)")
+		abRequests   = flag.Int("ab-requests", 300, "rounds per op per backend in -backend-ab mode")
+		maxRESTRatio = flag.Float64("max-rest-p95-ratio", -1, "exit 1 if the revalidating REST side's pooled p95 exceeds this multiple of the CLI side's (negative disables; scope violations always fail)")
+		maxColdRatio = flag.Float64("max-rest-cold-p95-ratio", -1, "exit 1 if the cold (non-revalidating) REST side's pooled p95 exceeds this multiple of the CLI side's (negative disables)")
+
 		chaosName   = flag.String("chaos", "", "chaos mode: run this internal/chaos scenario (or \"all\") under open-loop load with per-scenario SLO gates")
 		arrivalRate = flag.Float64("arrival-rate", 400, "chaos mode: open-loop Poisson arrival rate, requests/second (latency measured from intended arrival)")
 		seed        = flag.Int64("seed", 7, "chaos mode: seed for the workload, fault injector, and arrival schedule (recorded in BENCH_chaos.json)")
@@ -303,6 +316,10 @@ func main() {
 	}
 	if *hotpath {
 		runHotpathBench(*hotpathRequests, *benchOut, *minHotAllocRatio, *maxTraceAllocs)
+		return
+	}
+	if *backendAB {
+		runRESTBench(*abRequests, *benchOut, *maxRESTRatio, *maxColdRatio)
 		return
 	}
 

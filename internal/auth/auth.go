@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -91,11 +92,26 @@ var ErrUnauthenticated = fmt.Errorf("auth: request is not authenticated")
 // ErrUnknownUser is returned when the authenticated name has no record.
 var ErrUnknownUser = fmt.Errorf("auth: unknown user")
 
+// ErrMalformedUser is returned when the identity header contains control
+// characters — never a legitimate username, and a smuggling vector if it
+// were echoed into downstream headers or logs.
+var ErrMalformedUser = fmt.Errorf("auth: malformed user header")
+
 // FromRequest resolves the authenticated user from the request headers.
+// Fronting proxies (mod_auth_openidc and friends) are sloppy about header
+// values, so surrounding whitespace is trimmed before lookup; embedded
+// control characters are rejected outright. Case is preserved — usernames
+// are case-sensitive and folding "Alice" onto "alice" would conflate two
+// distinct principals.
 func (d *Directory) FromRequest(r *http.Request) (*User, error) {
-	name := r.Header.Get(UserHeader)
+	name := strings.TrimSpace(r.Header.Get(UserHeader))
 	if name == "" {
 		return nil, ErrUnauthenticated
+	}
+	for i := 0; i < len(name); i++ {
+		if name[i] < 0x20 || name[i] == 0x7f {
+			return nil, fmt.Errorf("%w: control character at byte %d", ErrMalformedUser, i)
+		}
 	}
 	u, ok := d.Lookup(name)
 	if !ok {

@@ -60,6 +60,47 @@ func TestFromRequest(t *testing.T) {
 	}
 }
 
+// TestFromRequestHeaderHygiene covers proxy-mangled identity headers:
+// surrounding whitespace is trimmed before lookup, control characters are
+// rejected as malformed, and case is never folded.
+func TestFromRequestHeaderHygiene(t *testing.T) {
+	d := testDirectory()
+	cases := []struct {
+		name    string
+		header  string
+		wantErr error
+		want    string // resolved username when wantErr == nil
+	}{
+		{"plain", "alice", nil, "alice"},
+		{"trailing space", "alice ", nil, "alice"},
+		{"leading space", "  alice", nil, "alice"},
+		{"surrounding tabs", "\talice\t", nil, "alice"},
+		{"whitespace only", "   ", ErrUnauthenticated, ""},
+		{"tab only", "\t", ErrUnauthenticated, ""},
+		{"embedded NUL", "ali\x00ce", ErrMalformedUser, ""},
+		{"embedded newline", "alice\nX-Admin: 1", ErrMalformedUser, ""},
+		{"embedded CR", "alice\rbob", ErrMalformedUser, ""},
+		{"DEL byte", "alice\x7f", ErrMalformedUser, ""},
+		{"interior space is part of the name", "ali ce", ErrUnknownUser, ""},
+		{"case is not folded", "Alice", ErrUnknownUser, ""},
+		{"unknown after trim", " mallory ", ErrUnknownUser, ""},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest("GET", "/api/recent_jobs", nil)
+		r.Header[UserHeader] = []string{c.header}
+		u, err := d.FromRequest(r)
+		if c.wantErr != nil {
+			if !errors.Is(err, c.wantErr) {
+				t.Errorf("%s: err = %v, want %v", c.name, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil || u == nil || u.Name != c.want {
+			t.Errorf("%s: FromRequest = %+v, %v; want user %q", c.name, u, err, c.want)
+		}
+	}
+}
+
 func TestCanViewJob(t *testing.T) {
 	d := testDirectory()
 	alice, _ := d.Lookup("alice")

@@ -58,6 +58,28 @@ type ResilienceConfig struct {
 	MaxConcurrentFills int
 }
 
+// Backend mode names for BackendConfig fields.
+const (
+	// BackendCLI queries Slurm through the command-line emulation (shell
+	// out, parse text) — the data path the paper's dashboard uses.
+	BackendCLI = "cli"
+	// BackendREST queries Slurm through the slurmrestd-style JSON API
+	// (internal/slurmrest) — the Palmetto API direction.
+	BackendREST = "rest"
+)
+
+// BackendConfig selects, per Slurm daemon, which data path the widget
+// routes use. Sources are independent so a deployment can migrate squeue
+// traffic to REST while sacct stays on the CLI (or vice versa). Empty
+// fields mean BackendCLI. Selecting BackendREST for either source requires
+// Deps.REST.
+type BackendConfig struct {
+	// Slurmctld covers squeue, sinfo, scontrol show node/job, and sdiag.
+	Slurmctld string
+	// Slurmdbd covers sacct.
+	Slurmdbd string
+}
+
 // PushConfig tunes the live-update push subsystem: the background refresh
 // scheduler and the SSE fan-out on /api/events.
 type PushConfig struct {
@@ -128,6 +150,8 @@ type Config struct {
 	AnnouncementsLimit int
 	// UserGuideURL is linked from the Accounts widget header.
 	UserGuideURL string
+	// Backend selects, per Slurm daemon, the CLI or REST data path.
+	Backend BackendConfig
 	// Resilience tunes timeouts, retries, circuit breaking, and degraded
 	// (stale-while-error) serving.
 	Resilience ResilienceConfig
@@ -174,6 +198,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TTLs.JobDetail == 0 {
 		c.TTLs.JobDetail = def.JobDetail
+	}
+	if c.Backend.Slurmctld == "" {
+		c.Backend.Slurmctld = BackendCLI
+	}
+	if c.Backend.Slurmdbd == "" {
+		c.Backend.Slurmdbd = BackendCLI
 	}
 	if c.RecentJobsLimit == 0 {
 		c.RecentJobsLimit = 8

@@ -2,7 +2,9 @@ package core
 
 import (
 	"net/http"
-	"strings"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/etag"
 )
 
 // Widget routes answer conditional polling requests with 304 Not Modified:
@@ -11,8 +13,10 @@ import (
 // payload costs headers instead of a body. Degraded responses carry no
 // ETag — their age_seconds annotation changes every second, and a client
 // should not cache a stale fallback as if it were current.
-
-const hexDigits = "0123456789abcdef"
+//
+// The tag construction and If-None-Match matching live in internal/etag
+// so the Slurm REST surface (internal/slurmrest) shares the exact same
+// semantics; the wrappers here keep core's call sites unchanged.
 
 // etagHeaderKey is the ETag header name in the pre-canonicalized MIME form
 // net/textproto produces. Setting it by direct map assignment skips the
@@ -25,48 +29,49 @@ func setETag(h http.Header, tag string) {
 	h[etagHeaderKey] = []string{tag}
 }
 
-// etagFor returns the strong entity tag for a response body: an FNV-64a
-// content hash as 16 zero-padded hex digits in quotes. The hash loop is
-// inlined and the tag built directly into a fixed buffer — the previous
-// fmt.Sprintf("%q", fmt.Sprintf("%016x", ...)) pair allocated three strings
-// per tag on a path that runs for every fresh 200; this allocates one.
-func etagFor(body []byte) string {
-	h := uint64(14695981039346656037)
-	for _, b := range body {
-		h = (h ^ uint64(b)) * 1099511628211
-	}
-	var buf [18]byte
-	buf[0], buf[17] = '"', '"'
-	for i := 16; i >= 1; i-- {
-		buf[i] = hexDigits[h&0xf]
-		h >>= 4
-	}
-	return string(buf[:])
+// Per-user responses carry strong ETags, so without cache-scoping headers
+// a shared intermediary cache (a fronting proxy keyed only on the URL)
+// could store user A's body — or validate A's ETag with a 304 — and hand
+// it to user B, violating the §2.4 privacy model. Every identity-variant
+// response therefore declares:
+//
+//   - Vary: X-Remote-User — the response depends on the identity header,
+//     so a cache that stores it must key on that header too;
+//   - Cache-Control: private — only the end client's own cache may store
+//     it at all, for caches that don't implement Vary faithfully.
+//
+// "private" rather than "no-store" deliberately: the browser keeping its
+// own copy is exactly what makes the If-None-Match/304 hot path work, and
+// no-store would disable client revalidation for zero privacy gain (the
+// client is the user the payload belongs to).
+//
+// "Vary" and "Cache-Control" are already in canonical MIME form, and the
+// values are shared package-level slices, so the direct map assignments
+// below add zero allocations to the rendered hit path (net/http only
+// reads the slices).
+const (
+	varyHeaderKey         = "Vary"
+	cacheControlHeaderKey = "Cache-Control"
+)
+
+var (
+	varyUserValue     = []string{auth.UserHeader}
+	cachePrivateValue = []string{"private"}
+)
+
+// setPrivateCache marks a response as per-identity for any cache in front
+// of the dashboard.
+func setPrivateCache(h http.Header) {
+	h[varyHeaderKey] = varyUserValue
+	h[cacheControlHeaderKey] = cachePrivateValue
 }
 
-// etagMatch implements If-None-Match: a comma-separated candidate list or
-// "*", with weak-comparison semantics (a W/ prefix is ignored, per RFC
-// 9110 §13.1.2 — If-None-Match uses weak comparison).
+// etagFor returns the strong entity tag for a response body.
+func etagFor(body []byte) string {
+	return etag.For(body)
+}
+
+// etagMatch implements If-None-Match against a single strong tag.
 func etagMatch(header, tag string) bool {
-	if header == "" {
-		return false
-	}
-	if strings.TrimSpace(header) == "*" {
-		return true
-	}
-	// Walk the candidate list in place; Split would allocate the slice on
-	// every revalidation (the single-tag common case included).
-	for len(header) > 0 {
-		cand := header
-		if i := strings.IndexByte(header, ','); i >= 0 {
-			cand, header = header[:i], header[i+1:]
-		} else {
-			header = ""
-		}
-		cand = strings.TrimPrefix(strings.TrimSpace(cand), "W/")
-		if cand == tag {
-			return true
-		}
-	}
-	return false
+	return etag.Match(header, tag)
 }

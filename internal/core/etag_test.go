@@ -12,22 +12,40 @@ import (
 	"ooddash/internal/slurm"
 )
 
+// TestETagMatch locks in the RFC 9110 §13.1.2 weak-comparison semantics
+// of If-None-Match evaluation (shared with internal/slurmrest via
+// internal/etag): W/ prefixes are ignored, candidate lists may carry odd
+// whitespace, "*" matches anything, and comparison is whole-tag — a
+// candidate that is a mere prefix of the tag must not match.
 func TestETagMatch(t *testing.T) {
 	tag := `"00000000deadbeef"`
 	cases := []struct {
+		name   string
 		header string
 		want   bool
 	}{
-		{"", false},
-		{tag, true},
-		{"*", true},
-		{` W/` + tag + ` `, true},
-		{`"other", ` + tag, true},
-		{`"other"`, false},
+		{"empty header", "", false},
+		{"exact strong match", tag, true},
+		{"wildcard", "*", true},
+		{"wildcard with whitespace", "  *  ", true},
+		{"weak candidate matches strong tag", `W/` + tag, true},
+		{"weak candidate with surrounding space", ` W/` + tag + ` `, true},
+		{"second candidate matches", `"other", ` + tag, true},
+		{"first candidate matches", tag + `, "other"`, true},
+		{"middle candidate, odd whitespace", `"a" ,   W/` + tag + `  ,"b"`, true},
+		{"tab-separated candidates", "\"a\",\t" + tag, true},
+		{"no candidate matches", `"other"`, false},
+		{"multiple non-matching candidates", `"a", W/"b", "c"`, false},
+		{"candidate is a prefix of the tag", `"00000000deadbee`, false},
+		{"candidate is the tag minus quotes", `00000000deadbeef`, false},
+		{"tag is a prefix of the candidate", tag[:len(tag)-1] + `ff"`, false},
+		{"empty list elements around a match", `, ` + tag + ` ,`, true},
+		{"weak marker alone", `W/`, false},
+		{"weak marker inside quotes is literal", `"W/00000000deadbeef"`, false},
 	}
 	for _, c := range cases {
 		if got := etagMatch(c.header, tag); got != c.want {
-			t.Errorf("etagMatch(%q) = %v, want %v", c.header, got, c.want)
+			t.Errorf("%s: etagMatch(%q) = %v, want %v", c.name, c.header, got, c.want)
 		}
 	}
 }

@@ -281,7 +281,7 @@ func newServerObs(s *Server) *serverObs {
 	// else and the family simply renders no samples.
 	reg.CollectorFunc("ooddash_slurm_rpcs_total", obs.KindCounter,
 		"Slurm RPCs served, by daemon and message type (sdiag).", func() []obs.Sample {
-			ctld, dbd, err := slurmcli.Sdiag(s.runner)
+			ctld, dbd, err := s.ctldBk.Sdiag(context.Background())
 			if err != nil {
 				return nil
 			}

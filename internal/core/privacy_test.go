@@ -1,0 +1,151 @@
+package core
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+
+	"ooddash/internal/auth"
+)
+
+// TestPerUserCacheScopingHeaders asserts that identity-variant responses
+// declare Vary: X-Remote-User + Cache-Control: private so a shared cache
+// in front of the dashboard can never mix users — and that global widgets
+// stay cacheable (no such headers), on both the first build and the
+// materialized hit path.
+func TestPerUserCacheScopingHeaders(t *testing.T) {
+	e := newEnv(t)
+	defer e.server.Close()
+	seedMixedHistory(e)
+
+	assertPrivate := func(path string) {
+		t.Helper()
+		for pass := 0; pass < 2; pass++ { // miss then rendered hit
+			status, h, _ := e.getFull("alice", path)
+			if status != http.StatusOK {
+				t.Fatalf("%s pass %d: status %d", path, pass, status)
+			}
+			if got := h.Get("Vary"); got != auth.UserHeader {
+				t.Errorf("%s pass %d: Vary = %q, want %q", path, pass, got, auth.UserHeader)
+			}
+			if got := h.Get("Cache-Control"); got != "private" {
+				t.Errorf("%s pass %d: Cache-Control = %q, want private", path, pass, got)
+			}
+		}
+	}
+	assertShared := func(path string) {
+		t.Helper()
+		status, h, _ := e.getFull("alice", path)
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", path, status)
+		}
+		if got := h.Get("Vary"); strings.Contains(got, auth.UserHeader) {
+			t.Errorf("%s: global widget declares Vary = %q", path, got)
+		}
+		if got := h.Get("Cache-Control"); got != "" {
+			t.Errorf("%s: global widget declares Cache-Control = %q", path, got)
+		}
+	}
+
+	// Per-user JSON variants (rendered-cache routes).
+	assertPrivate("/api/myjobs?range=24h")
+	assertPrivate("/api/myjobs/charts?range=24h")
+	assertPrivate("/api/jobperf?range=24h")
+	assertPrivate("/api/recent_jobs")
+	// Per-user non-JSON exports.
+	assertPrivate("/api/myjobs/export.csv?range=24h")
+	// Global, identity-independent widgets must stay shared-cacheable.
+	assertShared("/api/system_status")
+	assertShared("/api/cluster_status")
+	assertShared("/api/announcements")
+}
+
+// varyAwareCache is a minimal correct shared HTTP cache: it stores one
+// response per (URL, values of the headers the response named in Vary) and
+// only serves or revalidates within the same key. The test drives it with
+// two identities to prove the dashboard's headers are sufficient for such
+// a cache to never cross user boundaries — and that even a Vary-blind
+// cache cannot get a cross-user 304 out of the origin.
+type varyAwareCache struct {
+	entries map[string]varyEntry
+}
+
+type varyEntry struct {
+	etag string
+	body string
+}
+
+func (c *varyAwareCache) key(path string, vary string, r http.Header) string {
+	k := path
+	for _, h := range strings.Split(vary, ",") {
+		h = strings.TrimSpace(h)
+		if h != "" {
+			k += "\x00" + h + "=" + r.Get(h)
+		}
+	}
+	return k
+}
+
+// TestUsersNeverShareCachedBodyOr304 is the regression test for the
+// shared-cache privacy bug: with two different X-Remote-User values, no
+// cached body is ever reused across users and no 304 validates one user's
+// ETag for the other on a per-user route.
+func TestUsersNeverShareCachedBodyOr304(t *testing.T) {
+	e := newEnv(t)
+	defer e.server.Close()
+	seedMixedHistory(e) // alice and bob have different My Jobs tables
+
+	const path = "/api/myjobs?range=24h"
+	aStatus, aHdr, aBody := e.getFull("alice", path)
+	bStatus, bHdr, bBody := e.getFull("bob", path)
+	if aStatus != http.StatusOK || bStatus != http.StatusOK {
+		t.Fatalf("status alice=%d bob=%d", aStatus, bStatus)
+	}
+	aTag, bTag := aHdr.Get("ETag"), bHdr.Get("ETag")
+	if aTag == "" || bTag == "" {
+		t.Fatal("missing ETags on per-user route")
+	}
+	if string(aBody) == string(bBody) || aTag == bTag {
+		t.Fatal("test premise broken: alice and bob see identical payloads")
+	}
+
+	// A Vary-blind cache's worst move: revalidate alice's stored ETag on
+	// behalf of bob. The origin must serve bob's own 200 body, never a 304
+	// that would freshen alice's entry for bob.
+	req, _ := http.NewRequest("GET", e.web.URL+path, nil)
+	req.Header.Set(auth.UserHeader, "bob")
+	req.Header.Set("If-None-Match", aTag)
+	resp, err := e.web.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		t.Fatal("origin validated alice's ETag for bob (cross-user 304)")
+	}
+	if got := resp.Header.Get("ETag"); got != bTag {
+		t.Fatalf("bob's revalidation got ETag %q, want bob's own %q", got, bTag)
+	}
+
+	// A correct Vary-honoring shared cache stores the two identities under
+	// different keys, so bob can never hit alice's entry at all.
+	cache := &varyAwareCache{entries: make(map[string]varyEntry)}
+	aReq := http.Header{}
+	aReq.Set(auth.UserHeader, "alice")
+	bReq := http.Header{}
+	bReq.Set(auth.UserHeader, "bob")
+	aKey := cache.key(path, aHdr.Get("Vary"), aReq)
+	cache.entries[aKey] = varyEntry{etag: aTag, body: string(aBody)}
+	bKey := cache.key(path, bHdr.Get("Vary"), bReq)
+	if bKey == aKey {
+		t.Fatalf("Vary headers insufficient: both users map to cache key %q", aKey)
+	}
+	if _, hit := cache.entries[bKey]; hit {
+		t.Fatal("bob hit alice's cache entry")
+	}
+	// And Cache-Control: private forbids the shared cache from storing the
+	// response in the first place.
+	if cc := aHdr.Get("Cache-Control"); !strings.Contains(cc, "private") {
+		t.Fatalf("Cache-Control = %q, want private", cc)
+	}
+}

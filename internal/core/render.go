@@ -94,6 +94,12 @@ func renderKey(widget, variant, uri string) string {
 // toggled off — build and encode per request via writeWidgetJSON, exactly as
 // before this layer existed.
 func (s *Server) serveRendered(w http.ResponseWriter, r *http.Request, meta fetchMeta, variant string, build func() (any, error)) {
+	if variant != "" {
+		// Identity-variant payload: scope any fronting cache to the user
+		// before either serving path (materialized bytes, 304, or the
+		// per-request fallback) writes headers. See setPrivateCache.
+		setPrivateCache(w.Header())
+	}
 	if meta.Degraded || meta.rev == 0 || meta.ttl <= 0 || s.renderOff.Load() {
 		v, err := build()
 		if err != nil {

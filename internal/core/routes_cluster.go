@@ -65,7 +65,7 @@ type ClusterStatusResponse struct {
 // fetchAllNodes loads and caches the full node table.
 func (s *Server) fetchAllNodes(r *http.Request) ([]*slurmcli.NodeDetail, fetchMeta, error) {
 	v, meta, err := s.fetchVia(r, srcCtld, "cluster_nodes", s.cfg.TTLs.ClusterNodes, func(ctx context.Context) (any, error) {
-		return slurmcli.ShowAllNodes(s.runnerCtx(ctx))
+		return s.ctldBk.ShowAllNodes(ctx)
 	})
 	if err != nil {
 		return nil, fetchMeta{}, err
@@ -232,7 +232,7 @@ func (s *Server) handleNodeOverview(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	key := "node:" + name
 	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.NodeDetail, func(ctx context.Context) (any, error) {
-		return slurmcli.ShowNode(s.runnerCtx(ctx), name)
+		return s.ctldBk.ShowNode(ctx, name)
 	})
 	if err != nil {
 		// An unreachable controller is a 503; only a healthy "no such
@@ -306,7 +306,7 @@ func (s *Server) handleNodeJobs(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	// One shared squeue snapshot serves every node's running-jobs tab.
 	v, meta, err := s.fetchVia(r, srcCtld, "running_jobs_all", s.cfg.TTLs.NodeDetail, func(ctx context.Context) (any, error) {
-		return slurmcli.Squeue(s.runnerCtx(ctx), slurmcli.SqueueOptions{
+		return s.ctldBk.Squeue(ctx, slurmcli.SqueueOptions{
 			States: []slurm.JobState{slurm.StateRunning},
 		})
 	})

@@ -126,7 +126,7 @@ func (s *Server) handleInsights(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("insights:%s:%d:%d", user.Name, start.Unix(), end.Unix())
 	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
-		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
+		rows, err := s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
 		if err != nil {
@@ -188,7 +188,7 @@ func (s *Server) handleAdminOverview(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("admin_overview:%d:%d", start.Unix(), end.Unix())
 	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
-		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
+		rows, err := s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
 			AllUsers: true, Start: start, End: end,
 		})
 		if err != nil {

@@ -105,7 +105,7 @@ func (s *Server) handleRecentJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	key := "recent_jobs:" + user.Name
 	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.RecentJobs, func(ctx context.Context) (any, error) {
-		return slurmcli.Squeue(s.runnerCtx(ctx), slurmcli.SqueueOptions{
+		return s.ctldBk.Squeue(ctx, slurmcli.SqueueOptions{
 			User: user.Name, AllStates: true, Limit: s.cfg.RecentJobsLimit,
 		})
 	})
@@ -227,7 +227,7 @@ func (s *Server) handleSystemStatus(w http.ResponseWriter, r *http.Request) {
 		Reservations []slurmcli.ReservationDetail
 	}
 	v, meta, err := s.fetchVia(r, srcCtld, "system_status", s.cfg.TTLs.SystemStatus, func(ctx context.Context) (any, error) {
-		parts, err := slurmcli.Sinfo(s.runnerCtx(ctx))
+		parts, err := s.ctldBk.Sinfo(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -327,7 +327,7 @@ func (s *Server) fetchAccountUsage(r *http.Request, account string) (*accountUsa
 		if err != nil {
 			return nil, err
 		}
-		queue, err := slurmcli.Squeue(s.runnerCtx(ctx), slurmcli.SqueueOptions{Account: account})
+		queue, err := s.ctldBk.Squeue(ctx, slurmcli.SqueueOptions{Account: account})
 		if err != nil {
 			return nil, err
 		}
@@ -453,6 +453,9 @@ func (s *Server) resolveAccountExport(w http.ResponseWriter, r *http.Request) (*
 	}
 	// Exports are not JSON, so stale data is flagged via the header alone.
 	setDegradedHeader(w, meta)
+	// Account membership gates the export, so the response is per-identity
+	// as far as any fronting cache is concerned.
+	setPrivateCache(w.Header())
 	return u, true
 }
 

@@ -109,7 +109,7 @@ func parseJobID(raw string) (slurm.JobID, error) {
 func (s *Server) fetchJobDetail(r *http.Request, id slurm.JobID) (*slurmcli.JobDetail, fetchMeta, error) {
 	key := fmt.Sprintf("job:%d", id)
 	v, meta, err := s.fetchVia(r, srcCtld, key, s.cfg.TTLs.JobDetail, func(ctx context.Context) (any, error) {
-		return slurmcli.ShowJob(s.runnerCtx(ctx), id)
+		return s.ctldBk.ShowJob(ctx, id)
 	})
 	if err != nil {
 		return nil, fetchMeta{}, err
@@ -122,7 +122,7 @@ func (s *Server) fetchJobDetail(r *http.Request, id slurm.JobID) (*slurmcli.JobD
 func (s *Server) fetchJobAccounting(r *http.Request, id slurm.JobID) (*slurmcli.SacctRow, fetchMeta, error) {
 	key := fmt.Sprintf("job_acct:%d", id)
 	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobDetail, func(ctx context.Context) (any, error) {
-		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
+		rows, err := s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
 			JobIDs: []slurm.JobID{id}, AllUsers: true,
 		})
 		if err != nil {
@@ -308,11 +308,13 @@ func (s *Server) handleJobLogs(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	// Logs inherit filesystem permissions: owner only (§7).
+	// Logs inherit filesystem permissions: owner only (§7) — and therefore
+	// strictly per-identity for any cache in front.
 	if !auth.CanViewLogs(user, d.User) {
 		writeError(w, fmt.Errorf("%w: logs of job %d are not readable by %s", errForbidden, id, user.Name))
 		return
 	}
+	setPrivateCache(w.Header())
 	stream := r.URL.Query().Get("stream")
 	var path string
 	switch stream {
@@ -381,7 +383,7 @@ func (s *Server) handleJobArray(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("job_array:%d", id)
 	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
-		return slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
+		return s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
 			ArrayJob: strconv.FormatInt(int64(id), 10), AllUsers: true,
 		})
 	})
@@ -399,7 +401,10 @@ func (s *Server) handleJobArray(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// The payload is the same for every authorized viewer (authz already
-	// ran above), so the rendered variant is shared.
+	// ran above), so the rendered variant is shared — but whether a viewer
+	// is authorized varies per identity, so a fronting cache must not hand
+	// this 200 to a user who would have gotten the 403 above.
+	setPrivateCache(w.Header())
 	s.serveRendered(w, r, meta, "", func() (any, error) {
 		resp := JobArrayResponse{
 			ArrayJobID:  rawID,

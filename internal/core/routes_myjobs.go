@@ -202,7 +202,7 @@ func (s *Server) fetchUserJobs(r *http.Request, userName string, accounts []stri
 	key := "myjobs:" + userName + ":" +
 		strconv.FormatInt(start.Unix(), 10) + ":" + strconv.FormatInt(end.Unix(), 10)
 	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
-		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
+		rows, err := s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
 			Accounts: accounts, AllUsers: true,
 			Start: start, End: end,
 		})
@@ -324,6 +324,7 @@ func (s *Server) handleMyJobsExport(w http.ResponseWriter, r *http.Request) {
 	onlyMine := q.Get("mine") == "1"
 
 	setDegradedHeader(w, meta)
+	setPrivateCache(w.Header())
 	w.Header().Set("Content-Type", "text/csv")
 	w.Header().Set("Content-Disposition",
 		fmt.Sprintf("attachment; filename=%s-jobs-%s.csv", s.cfg.ClusterName, user.Name))
@@ -486,7 +487,7 @@ func (s *Server) handleJobPerf(w http.ResponseWriter, r *http.Request) {
 	// Job Performance Metrics covers the user's own jobs only.
 	key := fmt.Sprintf("jobperf:%s:%d:%d", user.Name, start.Unix(), end.Unix())
 	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
-		return slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
+		return s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
 	})

@@ -61,7 +61,7 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 		// "all" range: anchor at the earliest record rather than the epoch.
 		// Uncached, so the call still goes through the slurmdbd policy.
 		v, err := s.runResilient(r, srcDBD, func(ctx context.Context) (any, error) {
-			return slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{User: user.Name, Limit: 0})
+			return s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{User: user.Name, Limit: 0})
 		})
 		if err != nil {
 			writeFetchError(w, err)
@@ -79,7 +79,7 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 
 	key := fmt.Sprintf("jobperf_ts:%s:%d:%d:%d", user.Name, start.Unix(), end.Unix(), bucket/time.Second)
 	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
-		rows, err := slurmcli.Sacct(s.runnerCtx(ctx), slurmcli.SacctOptions{
+		rows, err := s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
 			User: user.Name, Start: start, End: end,
 		})
 		if err != nil {
@@ -220,7 +220,7 @@ func (s *Server) handleAdminHealth(w http.ResponseWriter, r *http.Request) {
 	// Daemon counters come through the command surface (sdiag), so the
 	// health view works against a real cluster too. During an outage sdiag
 	// fails like everything else; the health view must still render.
-	if ctld, dbd, err := slurmcli.Sdiag(s.runner); err == nil {
+	if ctld, dbd, err := s.ctldBk.Sdiag(context.Background()); err == nil {
 		resp.CtldRPCs = ctld.RPCCounts
 		resp.DBDRPCs = dbd.RPCCounts
 	}

@@ -17,6 +17,7 @@ import (
 	"ooddash/internal/push"
 	"ooddash/internal/resilience"
 	"ooddash/internal/slurmcli"
+	"ooddash/internal/slurmrest"
 	"ooddash/internal/storagedb"
 	"ooddash/internal/trace"
 )
@@ -42,6 +43,14 @@ type Deps struct {
 	Users   *auth.Directory
 	Logs    LogStore
 	Clock   Clock
+	// REST is the slurmrestd-style client; required when Config.Backend
+	// selects BackendREST for either source. The dashboard's token should
+	// carry staff scope — per-user visibility is enforced by the
+	// dashboard's own route ACLs, as in the CLI path.
+	REST *slurmrest.Client
+	// RESTServer, when the REST daemon runs in-process, lets the dashboard
+	// bridge its scope-denial and redaction counters onto /metrics.
+	RESTServer *slurmrest.Server
 	// Events enables the real-time monitoring feed (§9 extension); nil
 	// disables the /api/events route's data source.
 	Events EventSource
@@ -55,8 +64,12 @@ type Deps struct {
 // widget), HTML page handlers, and the server-side cache in front of every
 // data source.
 type Server struct {
-	cfg     Config
-	runner  slurmcli.Runner
+	cfg    Config
+	runner slurmcli.Runner
+	// ctldBk/dbdBk are the per-daemon data paths the routes read through:
+	// CLI shell-out or the REST client, per Config.Backend (backend.go).
+	ctldBk  slurmBackend
+	dbdBk   slurmBackend
 	news    *newsfeed.Client
 	storage *storagedb.Database
 	users   *auth.Directory
@@ -80,8 +93,8 @@ type Server struct {
 
 	// Periodic purge of both caches (see purge.go): entries past their stale
 	// grace window are dropped so a long-running server's memory is bounded.
-	purgeMu    sync.Mutex
-	lastPurge  time.Time
+	purgeMu     sync.Mutex
+	lastPurge   time.Time
 	purgedTotal atomic.Int64
 
 	// obsm holds the metrics registry and every metric family; accessLog,
@@ -190,9 +203,22 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 		},
 	})
 	s.obsm = newServerObs(s)
+	if deps.RESTServer != nil {
+		deps.RESTServer.RegisterMetrics(s.obsm.reg)
+	}
 	// Every Slurm command the routes issue goes through the metered wrapper,
 	// so /metrics attributes dashboard-side RPC cost per command and daemon.
 	s.runner = slurmcli.NewMeteredRunner(deps.Runner, s.observeCommand)
+	if err := s.buildBackends(deps.REST); err != nil {
+		return nil, err
+	}
+	// REST calls feed the same per-command metrics as CLI commands, labelled
+	// "rest:<endpoint>", so /metrics compares the two paths directly.
+	if deps.REST != nil && deps.REST.Observe == nil {
+		deps.REST.Observe = func(endpoint, daemon string, d time.Duration, err error) {
+			s.observeCommand("rest:"+endpoint, daemon, d, err)
+		}
+	}
 	// The Slurm sources get the availability classifier so semantic errors
 	// (unknown job, bad flags) neither retry nor trip the breaker; for the
 	// news API and storage database every error counts.

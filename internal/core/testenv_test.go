@@ -42,6 +42,14 @@ func newEnv(t testing.TB) *env {
 // simulator's command runner (e.g. in a FaultRunner for failure drills).
 func newEnvWith(t testing.TB, mutate func(*Config), wrapRunner func(slurmcli.Runner) slurmcli.Runner) *env {
 	t.Helper()
+	return newEnvDeps(t, mutate, wrapRunner, nil)
+}
+
+// newEnvDeps is newEnvWith plus a dependency hook: mutateDeps runs just
+// before NewServer with the assembled Deps and the simulated cluster, so a
+// test can attach extra backends (the REST client/server pair).
+func newEnvDeps(t testing.TB, mutate func(*Config), wrapRunner func(slurmcli.Runner) slurmcli.Runner, mutateDeps func(*Deps, *slurm.Cluster)) *env {
+	t.Helper()
 	clock := slurm.NewSimClock(time.Date(2026, 7, 1, 8, 0, 0, 0, time.UTC))
 	cfg := slurm.ClusterConfig{
 		Name: "testcluster",
@@ -95,7 +103,7 @@ func newEnvWith(t testing.TB, mutate func(*Config), wrapRunner func(slurmcli.Run
 	if wrapRunner != nil {
 		runner = wrapRunner(runner)
 	}
-	server, err := NewServer(scfg, Deps{
+	deps := Deps{
 		Runner:  runner,
 		News:    &newsfeed.Client{BaseURL: feedSrv.URL, HTTPClient: feedSrv.Client()},
 		Storage: storage,
@@ -103,7 +111,11 @@ func newEnvWith(t testing.TB, mutate func(*Config), wrapRunner func(slurmcli.Run
 		Logs:    logs,
 		Clock:   clock,
 		Events:  cluster.Ctl,
-	})
+	}
+	if mutateDeps != nil {
+		mutateDeps(&deps, cluster)
+	}
+	server, err := NewServer(scfg, deps)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,9 +48,11 @@ type SchedulerOptions struct {
 	// resilience breaker handles rapid-fire failures; this handles the
 	// steady state of a long outage).
 	SkipWhenDegraded bool
-	// OnRefresh observes every attempted refresh with its wall-clock
-	// duration; nil disables. published reports whether the hub minted a
-	// new version.
+	// OnRefresh observes every attempted refresh with its duration measured
+	// on Clock — the same (possibly simulated) clock that drives due times,
+	// so chaos drills on a warped clock record the latencies the fetch path
+	// actually modeled, not near-zero wall time. nil disables. published
+	// reports whether the hub minted a new version.
 	OnRefresh func(widget string, d time.Duration, published bool, err error)
 }
 
@@ -198,9 +200,12 @@ func (s *Scheduler) Tick() int {
 	return ran
 }
 
-// refreshOne fetches one source and publishes the result.
+// refreshOne fetches one source and publishes the result. Duration is
+// measured on opts.Clock: the fetch path (cache fills, fault injection,
+// upstream latency) models time on that clock, and time.Since would read
+// ~0 whenever it is simulated.
 func (s *Scheduler) refreshOne(ctx context.Context, src Source) (Snapshot, error) {
-	start := time.Now()
+	start := s.opts.Clock.Now()
 	payload, degraded, err := src.Fetch(ctx)
 	published := false
 	var snap Snapshot
@@ -224,7 +229,7 @@ func (s *Scheduler) refreshOne(ctx context.Context, src Source) (Snapshot, error
 	}
 	s.mu.Unlock()
 	if s.opts.OnRefresh != nil {
-		s.opts.OnRefresh(src.Widget, time.Since(start), published, err)
+		s.opts.OnRefresh(src.Widget, s.opts.Clock.Now().Sub(start), published, err)
 	}
 	return snap, err
 }

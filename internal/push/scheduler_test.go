@@ -60,6 +60,40 @@ func TestSchedulerTTLCadence(t *testing.T) {
 	}
 }
 
+// TestSchedulerRefreshDurationOnSimClock pins OnRefresh durations to the
+// scheduler's clock: a fetch that advances the simulated clock by 2s (as
+// fault-injected fills do in chaos drills) must report ~2s, not the ~0
+// wall time the fetch actually took.
+func TestSchedulerRefreshDurationOnSimClock(t *testing.T) {
+	clock := testClock()
+	hub := NewHub(clock)
+	const simLatency = 2 * time.Second
+	var reported atomic.Int64
+	sched := NewScheduler(SchedulerOptions{
+		Clock: clock, Hub: hub,
+		OnRefresh: func(widget string, d time.Duration, published bool, err error) {
+			reported.Store(int64(d))
+		},
+	})
+	defer sched.Close()
+	src := Source{
+		Widget: "w", Key: "w", TTL: 30 * time.Second,
+		Fetch: func(context.Context) ([]byte, bool, error) {
+			clock.Advance(simLatency) // the modeled upstream latency
+			return []byte(`{"n":1}`), false, nil
+		},
+	}
+	if ok, err := sched.Register(src); !ok || err != nil {
+		t.Fatalf("Register: ok=%v err=%v", ok, err)
+	}
+	if _, err := sched.Refresh(context.Background(), "w"); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Duration(reported.Load()); got != simLatency {
+		t.Fatalf("OnRefresh duration = %v, want %v (simulated clock)", got, simLatency)
+	}
+}
+
 func TestSchedulerJitterStaggersSources(t *testing.T) {
 	clock := testClock()
 	hub := NewHub(clock)

@@ -1,0 +1,65 @@
+// Package-level A/B microbenchmarks behind `make bench-go`: the CLI
+// parse-text path vs the REST decode-JSON path over the same accounting
+// query, plus the revalidating steady state. cmd/loadgen -backend-ab is the
+// gated harness; these give `go test -bench` visibility into the same
+// comparison.
+package slurmrest_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ooddash/internal/slurmcli"
+	"ooddash/internal/slurmrest"
+	"ooddash/internal/workload"
+)
+
+func benchStack(b *testing.B) (*workload.Env, *slurmrest.Client, slurmcli.SacctOptions) {
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := env.ProvisionREST(slurmrest.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	now := env.Clock.Now()
+	return env, slurmrest.NewClient(env.REST, env.RESTTokens.Dashboard),
+		slurmcli.SacctOptions{AllUsers: true, Start: now.Add(-24 * time.Hour), End: now}
+}
+
+func BenchmarkSacctCLI(b *testing.B) {
+	env, _, opts := benchStack(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := slurmcli.Sacct(env.Runner, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSacctRESTCold decodes the full body every iteration.
+func BenchmarkSacctRESTCold(b *testing.B) {
+	_, client, opts := benchStack(b)
+	client.NoConditional = true
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Sacct(ctx, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSacctREST revalidates: after the first fill every iteration is a
+// 304 reusing the decoded envelope.
+func BenchmarkSacctREST(b *testing.B) {
+	_, client, opts := benchStack(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Sacct(ctx, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

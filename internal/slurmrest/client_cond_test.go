@@ -1,0 +1,106 @@
+package slurmrest
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// TestClientRevalidation pins the decode-once contract: a repeated query is
+// served as a 304 and reuses the decoded envelope, callers own the rows
+// they get back, and a data change invalidates the reuse.
+func TestClientRevalidation(t *testing.T) {
+	e := newRestEnv(t, Options{})
+	e.seedJobs(t)
+	c := NewClient(e.server, tokStaff)
+	ctx := context.Background()
+	opts := slurmcli.SqueueOptions{AllStates: true}
+
+	first, err := c.Squeue(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Squeue(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("revalidated rows differ from fresh rows")
+	}
+	st := e.server.Stats()
+	if got := st.Requests[[2]string{"jobs", "200"}]; got != 1 {
+		t.Errorf("jobs 200 count = %d, want 1 (second fetch should revalidate)", got)
+	}
+	if got := st.Requests[[2]string{"jobs", "304"}]; got != 1 {
+		t.Errorf("jobs 304 count = %d, want 1", got)
+	}
+
+	// Callers own their rows: mutating one reload must not bleed into the
+	// next one served from the cached envelope.
+	second[0].Name = "mutated-by-caller"
+	third, err := c.Squeue(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, third) {
+		t.Errorf("rows after caller mutation differ from original")
+	}
+
+	// Same for maps inside partition rows.
+	parts, err := c.Sinfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := parts[0].NodeStates["IDLE"]
+	parts[0].NodeStates["IDLE"] = before + 100
+	parts2, err := c.Sinfo(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := parts2[0].NodeStates["IDLE"]; got != before {
+		t.Errorf("NodeStates[IDLE] = %d after caller mutation, want %d", got, before)
+	}
+
+	// New data changes the ETag: the next fetch is a full 200 with the new
+	// row present.
+	if _, err := e.cluster.Ctl.Submit(slurm.SubmitRequest{
+		Name: "fresh", User: "alice", Account: "lab-a", Partition: "cpu", QOS: "normal",
+		TimeLimit: time.Hour, ReqTRES: slurm.TRES{Nodes: 1, CPUs: 1, MemMB: 1024},
+		Profile: slurm.UsageProfile{CPUUtilization: 0.5, MemUtilization: 0.5},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.cluster.Ctl.Tick()
+	fourth, err := c.Squeue(ctx, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fourth) != len(first)+1 {
+		t.Errorf("after submit: %d rows, want %d", len(fourth), len(first)+1)
+	}
+	st = e.server.Stats()
+	if got := st.Requests[[2]string{"jobs", "200"}]; got != 2 {
+		t.Errorf("jobs 200 count = %d, want 2 after data change", got)
+	}
+
+	// NoConditional turns the behavior off entirely: every request is a
+	// full 200 (the A/B bench's cold side).
+	cold := NewClient(e.server, tokStaff)
+	cold.NoConditional = true
+	for i := 0; i < 2; i++ {
+		if _, err := cold.Squeue(ctx, opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2 := e.server.Stats()
+	if got := st2.Requests[[2]string{"jobs", "200"}] - st.Requests[[2]string{"jobs", "200"}]; got != 2 {
+		t.Errorf("cold client 200s = %d, want 2", got)
+	}
+	if got := st2.Requests[[2]string{"jobs", "304"}]; got != st.Requests[[2]string{"jobs", "304"}] {
+		t.Errorf("cold client produced 304s")
+	}
+}

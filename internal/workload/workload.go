@@ -18,6 +18,7 @@ import (
 	"ooddash/internal/newsfeed"
 	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
+	"ooddash/internal/slurmrest"
 	"ooddash/internal/storagedb"
 )
 
@@ -93,6 +94,23 @@ type Env struct {
 	// UserNames and GroupNames list the generated population in order.
 	UserNames  []string
 	GroupNames []string
+
+	// REST is the in-process slurmrestd-style daemon, set by ProvisionREST
+	// (or lazily by NewServerConfig when the config selects the REST
+	// backend). RESTTokens holds the bearer tokens it issued.
+	REST       *slurmrest.Server
+	RESTTokens RESTTokens
+}
+
+// RESTTokens are the bearer tokens ProvisionREST issues.
+type RESTTokens struct {
+	// Dashboard is the staff-scope token the dashboard's REST client uses
+	// (per-user visibility stays enforced by the dashboard's own ACLs).
+	Dashboard string
+	// Service is a read-only infrastructure token (nodes/partitions/diag).
+	Service string
+	// ByUser maps each generated username to a user-scope token.
+	ByUser map[string]string
 }
 
 // Build constructs and replays the environment. The result is
@@ -433,7 +451,7 @@ func (e *Env) NewServerConfig(newsBaseURL string, cfg core.Config) (*core.Server
 	if cfg.ClusterName == "" {
 		cfg.ClusterName = e.Cluster.Name
 	}
-	return core.NewServer(cfg, core.Deps{
+	deps := core.Deps{
 		Runner:  e.Runner,
 		News:    &newsfeed.Client{BaseURL: newsBaseURL},
 		Storage: e.Storage,
@@ -441,5 +459,44 @@ func (e *Env) NewServerConfig(newsBaseURL string, cfg core.Config) (*core.Server
 		Logs:    e.Logs,
 		Clock:   e.Clock,
 		Events:  e.Cluster.Ctl,
-	})
+	}
+	if cfg.Backend.Slurmctld == core.BackendREST || cfg.Backend.Slurmdbd == core.BackendREST {
+		if e.REST == nil {
+			if err := e.ProvisionREST(slurmrest.Options{}); err != nil {
+				return nil, err
+			}
+		}
+		deps.REST = slurmrest.NewClient(e.REST, e.RESTTokens.Dashboard)
+		deps.RESTServer = e.REST
+	}
+	return core.NewServer(cfg, deps)
+}
+
+// ProvisionREST starts the in-process slurmrestd-style daemon over the
+// cluster and issues its tokens: a staff-scope token for the dashboard's
+// client, a read-only service token, and one user-scope token per
+// generated user (loadgen's scope probes authenticate with these).
+func (e *Env) ProvisionREST(opts slurmrest.Options) error {
+	ts := slurmrest.NewTokenStore(e.Users)
+	tokens := RESTTokens{
+		Dashboard: "wl-dashboard-token",
+		Service:   "wl-service-token",
+		ByUser:    make(map[string]string, len(e.UserNames)),
+	}
+	if err := ts.IssueStaff(tokens.Dashboard, "ood-dashboard"); err != nil {
+		return err
+	}
+	if err := ts.IssueService(tokens.Service, "monitoring"); err != nil {
+		return err
+	}
+	for _, u := range e.UserNames {
+		tok := "wl-user-" + u
+		if err := ts.IssueUser(tok, u); err != nil {
+			return err
+		}
+		tokens.ByUser[u] = tok
+	}
+	e.REST = slurmrest.NewServer(e.Cluster, ts, opts)
+	e.RESTTokens = tokens
+	return nil
 }
