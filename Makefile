@@ -1,11 +1,11 @@
 # Convenience targets; everything is plain `go` underneath (stdlib only).
 
-.PHONY: check test vet test-race race bench bench-go bench-push bench-hotpath bench-chaos bench-rest drills harness run verify
+.PHONY: check test vet test-race race bench bench-go bench-push bench-hotpath bench-chaos bench-rest bench-fleet drills harness run verify
 
-check: test vet test-race vet-push vet-trace vet-rest drills  ## the default CI gate: build + tests + vet + race detector + chaos drills
+check: test vet test-race vet-push vet-trace vet-rest vet-fleet drills  ## the default CI gate: build + tests + vet + race detector + chaos drills
 
 drills:          ## fast chaos-drill smoke: every catalog scenario + unit drills under -race
-	go test -race -run Drill -count=1 ./internal/slurm/ ./internal/core/ ./internal/chaos/
+	go test -race -run Drill -count=1 ./internal/slurm/ ./internal/core/ ./internal/chaos/ ./internal/fleet/
 
 .PHONY: vet-push
 vet-push:        ## focused gate on the push subsystem (vet + race over its packages)
@@ -21,6 +21,11 @@ vet-trace:       ## focused gate on span tracing (vet + race over the instrument
 vet-rest:        ## focused gate on the REST backend (vet + race over its packages)
 	go vet ./internal/slurmrest/ ./cmd/dashboard/
 	go test -race ./internal/slurmrest/
+
+.PHONY: vet-fleet
+vet-fleet:       ## focused gate on the scale-out tier (vet + race over its packages)
+	go vet ./internal/fleet/ ./cmd/dashboard/ ./cmd/loadgen/
+	go test -race ./internal/fleet/
 
 test:            ## full test suite
 	go build ./... && go test ./...
@@ -55,6 +60,10 @@ bench-chaos: drills  ## full chaos catalog under open-loop load, SLO-gated -> BE
 bench-rest: vet-rest  ## CLI vs REST backend A/B + token-scope probes -> BENCH_rest.json (gated)
 	go run ./cmd/loadgen -backend-ab -ab-requests 300 \
 		-max-rest-p95-ratio 1.5 -bench-out BENCH_rest.json
+
+bench-fleet: vet-fleet  ## 1->4 replica scale-out: RPC flatness + kill drill -> BENCH_fleet.json (gated)
+	go run ./cmd/loadgen -fleet -users 50 -fleet-replicas 4 -rounds 6 \
+		-interval 75s -max-fleet-rpc-ratio 1.3 -bench-out BENCH_fleet.json
 
 harness:         ## regenerate every paper artifact (EXPERIMENTS.md numbers)
 	go run ./cmd/benchharness

@@ -6,6 +6,7 @@
 //
 //	dashboard [-addr :8080] [-small] [-seed 42] [-warp 60]
 //	          [-backend cli|rest|slurmctld=rest,slurmdbd=cli]
+//	          [-replicas 3] [-lb-policy round_robin|least_conn|sticky]
 //	          [-no-push] [-push-interval 1s] [-push-heartbeat 15s]
 //	          [-trace-sample 1] [-trace-slow-ms 500] [-trace-store-max 256]
 //	          [-fault-cmd squeue] [-fault-rate 0.2] [-fault-outage]
@@ -23,6 +24,13 @@
 // shells out through the simulated command runner; "rest" goes through the
 // in-process slurmrestd-style JSON API with a scoped staff token. A mixed
 // spelling like "slurmctld=rest,slurmdbd=cli" migrates one source at a time.
+//
+// -replicas N (N > 1) turns on the scale-out fleet tier: N in-process
+// dashboard replicas behind a simulated load balancer (-lb-policy), with
+// widget-refresh ownership partitioned across replicas by consistent hash
+// and rendered snapshots propagated replica to replica, so upstream Slurm
+// load stays O(sources) instead of O(sources × replicas). With -ops-addr
+// set, the fleet's own metrics are exposed at /metrics/fleet there.
 //
 // The -fault-* flags arm the fault-injection layer for live failure drills:
 // -fault-cmd picks the Slurm command to sabotage ("*" for all), and the
@@ -57,6 +65,7 @@ import (
 
 	"ooddash/internal/auth"
 	"ooddash/internal/core"
+	"ooddash/internal/fleet"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/workload"
 )
@@ -106,6 +115,9 @@ func main() {
 		noPush        = flag.Bool("no-push", false, "disable the live-update push subsystem (/api/events serves only the legacy delta poll)")
 		pushInterval  = flag.Duration("push-interval", time.Second, "wall-clock cadence of the background refresh scheduler")
 		pushHeartbeat = flag.Duration("push-heartbeat", 15*time.Second, "SSE keep-alive comment interval (0 disables heartbeats)")
+
+		replicas = flag.Int("replicas", 1, "dashboard replicas behind the simulated load balancer (>1 enables the fleet tier)")
+		lbPolicy = flag.String("lb-policy", "round_robin", "fleet load-balancing policy: round_robin, least_conn, or sticky")
 
 		traceSample   = flag.Float64("trace-sample", 1, "head-sampling probability for span tracing (0 disables tracing)")
 		traceSlowMS   = flag.Int("trace-slow-ms", 500, "slow-request threshold in milliseconds: slower traces are always retained and logged (0 disables the slow class)")
@@ -208,28 +220,77 @@ func main() {
 	if err != nil {
 		log.Fatalf("-backend: %v", err)
 	}
-	server, err := env.NewServerConfig(newsURL, core.Config{
+	cfg := core.Config{
 		Push:    core.PushConfig{Disabled: *noPush, Heartbeat: hb},
 		Trace:   traceCfg,
 		Backend: backendCfg,
-	})
-	if err != nil {
-		log.Fatalf("server: %v", err)
+	}
+
+	// handler is what the main listener serves: a single server, or the
+	// fleet's load balancer in front of *replicas of them. shutdown closes
+	// whichever was built (push subsystem first, so SSE streams get their
+	// final "shutdown" event and end before http.Server.Shutdown waits).
+	var handler http.Handler
+	var shutdown func()
+	var fl *fleet.Fleet
+	if *replicas > 1 {
+		if *noPush {
+			log.Fatal("-no-push is incompatible with -replicas > 1: the fleet's cache coherence runs on the push scheduler")
+		}
+		policy, err := fleet.ParsePolicy(*lbPolicy)
+		if err != nil {
+			log.Fatalf("-lb-policy: %v", err)
+		}
+		// Replicas must not pause idle sources: with clients spread over
+		// the fleet, a source's subscribers may all sit on peer replicas.
+		// The fleet's own idle reaper handles abandonment instead.
+		fleetCfg := cfg
+		fleetCfg.Push.DisableIdlePause = true
+		fl, err = fleet.New(fleet.Options{
+			Replicas: *replicas,
+			Policy:   policy,
+			Clock:    env.Clock,
+			Runner:   env.Runner,
+			Build: func(id string, r slurmcli.Runner) (*core.Server, error) {
+				return env.NewServerRunner(newsURL, fleetCfg, r)
+			},
+		})
+		if err != nil {
+			log.Fatalf("fleet: %v", err)
+		}
+		if *accessLog {
+			for _, id := range fl.Replicas() {
+				rid := id
+				fl.Server(rid).SetAccessLog(func(line string) { log.Printf("[%s] %s", rid, line) })
+			}
+		}
+		fl.Run(*pushInterval)
+		handler, shutdown = fl, fl.Close
+		log.Printf("fleet tier on: %d replicas, %s balancing, refresh ownership partitioned per source", *replicas, policy)
+	} else {
+		server, err := env.NewServerConfig(newsURL, cfg)
+		if err != nil {
+			log.Fatalf("server: %v", err)
+		}
+		if *accessLog {
+			server.SetAccessLog(func(line string) { log.Print(line) })
+		}
+		if !*noPush {
+			server.StartPush(*pushInterval)
+			log.Printf("push subsystem on: SSE at /api/events, refresh scheduler every %v", *pushInterval)
+		}
+		handler, shutdown = server, server.Close
 	}
 	if backendCfg.Slurmctld == core.BackendREST || backendCfg.Slurmdbd == core.BackendREST {
 		log.Printf("REST backend on (slurmctld=%s slurmdbd=%s): in-process slurmrestd with scoped tokens",
 			backendCfg.Slurmctld, backendCfg.Slurmdbd)
 	}
-	if *accessLog {
-		server.SetAccessLog(func(line string) { log.Print(line) })
-	}
-	if !*noPush {
-		server.StartPush(*pushInterval)
-		log.Printf("push subsystem on: SSE at /api/events, refresh scheduler every %v", *pushInterval)
-	}
 
 	// Profiling on a dedicated ops mux, never on the user-facing listener:
 	// the default mux would expose /debug/pprof to anyone the proxy lets in.
+	// The listener is a real http.Server so the drain path can Shutdown it
+	// instead of leaving it to die with the process mid-scrape.
+	var opsSrv *http.Server
 	if *opsAddr != "" {
 		opsMux := http.NewServeMux()
 		opsMux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -237,9 +298,23 @@ func main() {
 		opsMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		opsMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		opsMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		if fl != nil {
+			opsMux.HandleFunc("/metrics/fleet", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+				_ = fl.Metrics().WritePrometheus(w)
+			})
+		}
+		opsSrv = &http.Server{
+			Addr:              *opsAddr,
+			Handler:           opsMux,
+			ReadHeaderTimeout: 5 * time.Second,
+			// No blanket ReadTimeout: pprof profile/trace captures hold the
+			// response open for their whole -seconds window.
+			IdleTimeout: 2 * time.Minute,
+		}
 		go func() {
 			log.Printf("ops (pprof) listening on %s", *opsAddr)
-			if err := http.ListenAndServe(*opsAddr, opsMux); err != nil {
+			if err := opsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("ops server: %v", err)
 			}
 		}()
@@ -261,7 +336,16 @@ func main() {
 
 	log.Printf("dashboard listening on %s (users %s..%s; send X-Remote-User)",
 		*addr, env.UserNames[0], env.UserNames[len(env.UserNames)-1])
-	srv := &http.Server{Addr: *addr, Handler: server}
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: handler,
+		// Slow-loris protection on the header phase and idle keep-alive
+		// reaping only: no ReadTimeout or WriteTimeout, because /api/events
+		// holds SSE responses open indefinitely and either blanket deadline
+		// would sever healthy streams.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -272,9 +356,12 @@ func main() {
 		// Close the push subsystem first: streams get a final "shutdown"
 		// event and end, so Shutdown is not left waiting on open SSE
 		// connections until its deadline.
-		server.Close()
+		shutdown()
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
+		if opsSrv != nil {
+			_ = opsSrv.Shutdown(ctx)
+		}
 		_ = srv.Shutdown(ctx)
 	}()
 	// ListenAndServe returns the moment Shutdown begins; wait for the drain

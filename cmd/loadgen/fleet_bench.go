@@ -1,0 +1,375 @@
+// Fleet benchmark (-fleet): the quantitative case for the scale-out tier.
+// Scaling a dashboard from 1 replica × 50 clients to 4 replicas × 500
+// clients must NOT scale the upstream Slurm load: partitioned refresh
+// ownership keeps it O(sources), and snapshot propagation lets every replica
+// serve owner-rendered bytes. Four phases, each over a freshly built
+// simulated stack (same seed, so upstream source sets are identical); in
+// every phase round 0 is warm-up — upstream RPCs are counted from round 1,
+// so the gate measures steady-state refresh load, not the one-time
+// cold-start fill burst:
+//
+//  1. baseline:      1 replica,  N clients, coherence on;
+//  2. scaled:        R replicas, 10N clients, coherence on — the gate
+//     compares its upstream RPC total to baseline (-max-fleet-rpc-ratio);
+//  3. no_coherence:  R replicas, 10N clients, coherence OFF — the ablation:
+//     every replica refreshes everything, showing the ~R× blowup the
+//     fleet tier exists to avoid;
+//  4. kill:          R replicas, N clients, the chaos arm: the replica
+//     owning system_status is killed mid-traffic. Gates: zero page-level
+//     5xx, zero failed widget fetches, re-election within one round, and
+//     no source polled by two replicas in the same round.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ooddash/internal/browser"
+	"ooddash/internal/core"
+	"ooddash/internal/fleet"
+	"ooddash/internal/slurmcli"
+	"ooddash/internal/workload"
+)
+
+// fleetStack is one phase's isolated stack: fresh workload, a fleet of
+// replicas over it, and an HTTP listener wrapping the LB that counts
+// page-level 5xx responses.
+type fleetStack struct {
+	env     *workload.Env
+	fl      *fleet.Fleet
+	baseURL string
+	c5xx    atomic.Int64
+	close   func()
+}
+
+func buildFleetStack(replicas int, policy fleet.Policy, interval time.Duration, noCoherence bool) (*fleetStack, error) {
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	newsLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("news listener: %w", err)
+	}
+	go func() { _ = http.Serve(newsLn, env.Feed) }()
+	newsURL := fmt.Sprintf("http://%s/", newsLn.Addr())
+
+	fl, err := fleet.New(fleet.Options{
+		Replicas:         replicas,
+		Policy:           policy,
+		Clock:            env.Clock,
+		Runner:           env.Runner,
+		NoCoherence:      noCoherence,
+		HeartbeatTimeout: interval / 2,
+		Build: func(id string, r slurmcli.Runner) (*core.Server, error) {
+			return env.NewServerRunner(newsURL, core.Config{
+				Push: core.PushConfig{DisableIdlePause: true, Jitter: -1},
+			}, r)
+		},
+	})
+	if err != nil {
+		newsLn.Close()
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	st := &fleetStack{env: env, fl: fl}
+	mux := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &fleetStatusWriter{ResponseWriter: w, code: http.StatusOK}
+		fl.ServeHTTP(sw, r)
+		if sw.code >= 500 {
+			st.c5xx.Add(1)
+		}
+	})
+	dashLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fl.Close()
+		newsLn.Close()
+		return nil, fmt.Errorf("dashboard listener: %w", err)
+	}
+	go func() { _ = http.Serve(dashLn, mux) }()
+	st.baseURL = fmt.Sprintf("http://%s", dashLn.Addr())
+	st.close = func() {
+		fl.Close()
+		dashLn.Close()
+		newsLn.Close()
+	}
+	return st, nil
+}
+
+type fleetStatusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *fleetStatusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// fleetPhase is one phase's row in BENCH_fleet.json.
+type fleetPhase struct {
+	Name           string           `json:"name"`
+	Replicas       int              `json:"replicas"`
+	Clients        int              `json:"clients"`
+	PageLoads      int              `json:"page_loads"`
+	InstantRate    float64          `json:"instant_paint_rate"`
+	UpstreamRPCs   map[string]int64 `json:"upstream_rpcs"` // by daemon: calls reaching the daemons, after memo collapsing
+	RPCTotal       int64            `json:"upstream_rpc_total"`
+	DegradedPaints int              `json:"degraded_paints"`
+	FailedWidgets  int              `json:"failed_widgets"`
+	Page5xx        int64            `json:"page_5xx"`
+	DupPolls       int              `json:"duplicate_polls"` // keys polled by >1 replica in one round
+	OwnerChanges   int64            `json:"owner_changes"`
+	// ReelectionRounds is how many rounds after the kill the dead replica
+	// still owned system_status (kill phase only; gate requires <= 1).
+	ReelectionRounds int `json:"reelection_rounds,omitempty"`
+}
+
+// fleetReport is the BENCH_fleet.json snapshot.
+type fleetReport struct {
+	Kind        string     `json:"kind"` // "fleet"
+	Scenario    string     `json:"scenario"`
+	GeneratedAt time.Time  `json:"generated_at"`
+	Rounds      int        `json:"rounds"`
+	Interval    string     `json:"interval"`
+	Policy      string     `json:"policy"`
+	Baseline    fleetPhase `json:"baseline_1_replica"`
+	Scaled      fleetPhase `json:"scaled_coherent"`
+	NoCoherence fleetPhase `json:"scaled_no_coherence"`
+	Kill        fleetPhase `json:"replica_kill"`
+	// RPCRatio is scaled/baseline upstream RPCs: the scale-out promise is
+	// that 4× replicas and 10× clients leave upstream load ~flat.
+	RPCRatio float64 `json:"scaled_rpcs_vs_baseline"`
+	// NoCoherenceRatio is the ablation's blowup over baseline.
+	NoCoherenceRatio float64 `json:"no_coherence_rpcs_vs_baseline"`
+}
+
+// dupPollsSince compares two SourceRefreshes snapshots and counts keys whose
+// count rose on more than one replica — the single-poller invariant.
+func dupPollsSince(prev, cur map[string]map[string]int64) int {
+	polled := map[string]int{}
+	for id, counts := range cur {
+		for key, n := range counts {
+			if n > prev[id][key] {
+				polled[key]++
+			}
+		}
+	}
+	dups := 0
+	for _, n := range polled {
+		if n > 1 {
+			dups++
+		}
+	}
+	return dups
+}
+
+// runFleetPhase drives one phase. killRound >= 0 kills the owner of
+// system_status immediately before that round's page loads.
+func runFleetPhase(name string, replicas, clients, rounds int, interval time.Duration, policy fleet.Policy, noCoherence bool, killRound int) (fleetPhase, error) {
+	st, err := buildFleetStack(replicas, policy, interval, noCoherence)
+	if err != nil {
+		return fleetPhase{}, err
+	}
+	defer st.close()
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	browsers := make([]*browser.Browser, clients)
+	for i := range browsers {
+		user := st.env.UserNames[i%len(st.env.UserNames)]
+		browsers[i] = browser.New(user, st.baseURL, httpc, st.env.Clock)
+	}
+
+	col := newCollector()
+	rng := rand.New(rand.NewSource(benchChurnSeed))
+	prevRefreshes := st.fl.SourceRefreshes()
+	dupPolls := 0
+	victim, reelected := "", -1
+	var rpcBase map[string]int64
+	for round := 0; round < rounds; round++ {
+		if round == killRound {
+			victim = st.fl.Owner("system_status")
+			if victim == "" {
+				return fleetPhase{}, fmt.Errorf("kill round %d: system_status has no owner yet", round)
+			}
+			if err := st.fl.Kill(victim); err != nil {
+				return fleetPhase{}, err
+			}
+		}
+		var wg sync.WaitGroup
+		for _, b := range browsers {
+			wg.Add(1)
+			go func(b *browser.Browser) {
+				defer wg.Done()
+				col.record(b.LoadHomepage())
+			}(b)
+		}
+		wg.Wait()
+		st.env.SubmitRandom(rng, benchChurnJobs)
+		st.env.Clock.Advance(interval)
+		st.env.Cluster.Ctl.Tick()
+		st.fl.Tick()
+		cur := st.fl.SourceRefreshes()
+		dupPolls += dupPollsSince(prevRefreshes, cur)
+		prevRefreshes = cur
+		if victim != "" && reelected < 0 && st.fl.Owner("system_status") != victim {
+			reelected = round - killRound
+		}
+		if round == 0 {
+			// Round 0 is warm-up: its cost is the cold-start fill burst
+			// (bounded by the per-source fill cap, and amplified by raw
+			// client concurrency in every phase alike), not the steady-state
+			// refresh load the flatness gate is about. RPCs are measured
+			// from here on.
+			rpcBase = st.fl.UpstreamCalls()
+		}
+	}
+
+	delta := rpcDelta(st.fl.UpstreamCalls(), rpcBase)
+	var total int64
+	for _, n := range delta {
+		total += n
+	}
+	col.mu.Lock()
+	var instant, painted, degraded, failed int
+	for _, s := range col.samples {
+		instant += s.instant
+		painted += s.instant + s.fetches
+		degraded += s.degraded
+		failed += s.failed
+	}
+	loads := len(col.samples)
+	col.mu.Unlock()
+	p := fleetPhase{
+		Name:           name,
+		Replicas:       replicas,
+		Clients:        clients,
+		PageLoads:      loads,
+		UpstreamRPCs:   delta,
+		RPCTotal:       total,
+		DegradedPaints: degraded,
+		FailedWidgets:  failed,
+		Page5xx:        st.c5xx.Load(),
+		DupPolls:       dupPolls,
+		OwnerChanges:   st.fl.OwnerChanges(),
+	}
+	if painted > 0 {
+		p.InstantRate = float64(instant) / float64(painted)
+	}
+	if killRound >= 0 {
+		if reelected < 0 {
+			return fleetPhase{}, fmt.Errorf("kill phase: system_status never re-elected off %s", victim)
+		}
+		p.ReelectionRounds = reelected
+	}
+	return p, nil
+}
+
+// runFleetBench drives the four phases, writes BENCH_fleet.json, and gates.
+func runFleetBench(users, replicas, rounds int, interval time.Duration, lbPolicy, benchOut string, maxRatio float64) {
+	policy, err := fleet.ParsePolicy(lbPolicy)
+	if err != nil {
+		log.Fatalf("-lb-policy: %v", err)
+	}
+	scaledClients := users * 10
+	log.Printf("fleet bench: %d rounds, %v simulated apart, policy %s", rounds, interval, policy)
+
+	log.Printf("phase 1/4: baseline — 1 replica, %d clients", users)
+	baseline, err := runFleetPhase("baseline", 1, users, rounds, interval, policy, false, -1)
+	if err != nil {
+		log.Fatalf("baseline phase: %v", err)
+	}
+	log.Printf("phase 2/4: scaled — %d replicas, %d clients, coherence on", replicas, scaledClients)
+	scaled, err := runFleetPhase("scaled", replicas, scaledClients, rounds, interval, policy, false, -1)
+	if err != nil {
+		log.Fatalf("scaled phase: %v", err)
+	}
+	log.Printf("phase 3/4: ablation — %d replicas, %d clients, coherence OFF", replicas, scaledClients)
+	noCoh, err := runFleetPhase("no_coherence", replicas, scaledClients, rounds, interval, policy, true, -1)
+	if err != nil {
+		log.Fatalf("no-coherence phase: %v", err)
+	}
+	killRound := rounds / 2
+	log.Printf("phase 4/4: kill drill — %d replicas, %d clients, killing system_status owner at round %d", replicas, users, killRound)
+	kill, err := runFleetPhase("kill", replicas, users, rounds, interval, policy, false, killRound)
+	if err != nil {
+		log.Fatalf("kill phase: %v", err)
+	}
+
+	ratio, ncRatio := 0.0, 0.0
+	if baseline.RPCTotal > 0 {
+		ratio = float64(scaled.RPCTotal) / float64(baseline.RPCTotal)
+		ncRatio = float64(noCoh.RPCTotal) / float64(baseline.RPCTotal)
+	}
+
+	fmt.Printf("\n%-14s %9s %8s %10s %12s %10s %6s %9s\n",
+		"phase", "replicas", "clients", "pageloads", "upstreamRPC", "instant%", "5xx", "dupPolls")
+	for _, p := range []fleetPhase{baseline, scaled, noCoh, kill} {
+		fmt.Printf("%-14s %9d %8d %10d %12d %9.1f%% %6d %9d\n",
+			p.Name, p.Replicas, p.Clients, p.PageLoads, p.RPCTotal,
+			100*p.InstantRate, p.Page5xx, p.DupPolls)
+	}
+	fmt.Printf("\nscaled (%d replicas, %d clients) upstream RPCs vs baseline: %.2fx\n",
+		replicas, scaledClients, ratio)
+	fmt.Printf("no-coherence ablation vs baseline: %.2fx\n", ncRatio)
+	fmt.Printf("kill drill: re-elected after %d round(s), %d owner changes, %d page 5xx, %d failed widgets\n",
+		kill.ReelectionRounds, kill.OwnerChanges, kill.Page5xx, kill.FailedWidgets)
+
+	if benchOut != "" {
+		rep := fleetReport{
+			Kind:             "fleet",
+			Scenario:         "smoke",
+			GeneratedAt:      time.Now().UTC(),
+			Rounds:           rounds,
+			Interval:         interval.String(),
+			Policy:           string(policy),
+			Baseline:         baseline,
+			Scaled:           scaled,
+			NoCoherence:      noCoh,
+			Kill:             kill,
+			RPCRatio:         ratio,
+			NoCoherenceRatio: ncRatio,
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding fleet snapshot: %v", err)
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("writing %s: %v", benchOut, err)
+		}
+		log.Printf("fleet bench snapshot written to %s", benchOut)
+	}
+
+	failed := false
+	if maxRatio >= 0 && ratio > maxRatio {
+		log.Printf("FAIL: scaled/baseline RPC ratio %.2f exceeds -max-fleet-rpc-ratio %.2f", ratio, maxRatio)
+		failed = true
+	}
+	for _, p := range []fleetPhase{baseline, scaled, kill} {
+		if p.Page5xx > 0 {
+			log.Printf("FAIL: phase %s served %d page-level 5xx", p.Name, p.Page5xx)
+			failed = true
+		}
+		if p.DupPolls > 0 {
+			log.Printf("FAIL: phase %s polled %d sources on >1 replica in one round", p.Name, p.DupPolls)
+			failed = true
+		}
+	}
+	if kill.FailedWidgets > 0 {
+		log.Printf("FAIL: kill phase had %d failed widget fetches", kill.FailedWidgets)
+		failed = true
+	}
+	if kill.ReelectionRounds > 1 {
+		log.Printf("FAIL: re-election took %d rounds, want <= 1", kill.ReelectionRounds)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

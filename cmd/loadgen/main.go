@@ -15,6 +15,9 @@
 //	loadgen -smoke [-users 25] [-rounds 8] [-interval 5s] [-bench-out ...]
 //	loadgen -sse [-users 50] [-rounds 6] [-interval 75s] [-bench-out BENCH_push.json]
 //	        [-max-sse-rpc-ratio 2]
+//	loadgen -fleet [-users 50] [-fleet-replicas 4] [-rounds 6] [-interval 75s]
+//	        [-lb-policy round_robin] [-max-fleet-rpc-ratio 1.3]
+//	        [-bench-out BENCH_fleet.json]
 //	loadgen -chaos all [-arrival-rate 400] [-seed 7] [-chaos-wall 250ms]
 //	        [-fill-cap 24] [-bench-out BENCH_chaos.json]
 //	loadgen -backend-ab [-ab-requests 300] [-max-rest-p95-ratio 1.5]
@@ -284,6 +287,11 @@ func main() {
 		sse         = flag.Bool("sse", false, "push benchmark: compare polling vs SSE upstream RPC cost in-process (implies -smoke-style stack; see -rounds/-interval/-users)")
 		maxRPCRatio = flag.Float64("max-sse-rpc-ratio", -1, "exit 1 if the SSE fleet's upstream RPCs exceed this multiple of the single-client polling baseline (negative disables)")
 
+		fleetMode     = flag.Bool("fleet", false, "fleet benchmark: scale replicas×clients 10x with coherent caches and partitioned refresh ownership, plus a no-coherence ablation and a replica-kill drill")
+		fleetReplicas = flag.Int("fleet-replicas", 4, "replica count for the scaled -fleet phases")
+		lbPolicyFlag  = flag.String("lb-policy", "round_robin", "-fleet load-balancing policy: round_robin, least_conn, or sticky")
+		maxFleetRatio = flag.Float64("max-fleet-rpc-ratio", -1, "exit 1 if the scaled fleet's upstream RPCs exceed this multiple of the 1-replica baseline (negative disables)")
+
 		hotpath          = flag.Bool("hotpath", false, "hot-path benchmark: re-encode baseline vs encode-once vs 304 revalidation vs sampled-out tracing against an in-process stack (see -hotpath-requests)")
 		hotpathRequests  = flag.Int("hotpath-requests", 28000, "requests per phase in -hotpath mode (rounded down to the request-mix size)")
 		minHotAllocRatio = flag.Float64("min-hotpath-alloc-ratio", -1, "exit 1 if encode-once allocs/op are not at least this many times below the re-encode baseline (negative disables)")
@@ -312,6 +320,10 @@ func main() {
 	}
 	if *sse {
 		runPushBench(*users, *rounds, *interval, *benchOut, *maxRPCRatio)
+		return
+	}
+	if *fleetMode {
+		runFleetBench(*users, *fleetReplicas, *rounds, *interval, *lbPolicyFlag, *benchOut, *maxFleetRatio)
 		return
 	}
 	if *hotpath {

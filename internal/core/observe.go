@@ -72,6 +72,11 @@ type serverObs struct {
 	// traces the tail sampler drops.
 	traceSpans *obs.HistogramVec // ooddash_trace_span_seconds{layer}
 
+	// fleetPeerServes counts widget polls this replica answered as a
+	// non-owner, by how (fresh propagated copy, synchronous owner ensure,
+	// degraded stale copy, or local fallthrough with no owner reachable).
+	fleetPeerServes *obs.CounterVec // ooddash_fleet_peer_serves_total{widget,mode}
+
 	// fetchOutcome holds the per-source result counters pre-resolved at
 	// construction: fetchVia bumps one on every widget request, and
 	// CounterVec.With allocates its variadic slice and joined key per call —
@@ -123,6 +128,9 @@ func newServerObs(s *Server) *serverObs {
 		traceSpans: reg.HistogramVec("ooddash_trace_span_seconds",
 			"Span durations by layer, extracted from every finished trace (retained or dropped).",
 			nil, "layer"),
+		fleetPeerServes: reg.CounterVec("ooddash_fleet_peer_serves_total",
+			"Widget polls answered from peer-propagated fleet snapshots, by widget and mode (fresh, ensured, stale, local).",
+			"widget", "mode"),
 	}
 	o.fetchOutcome = make(map[string]*fetchOutcomeCounters, 4)
 	for _, src := range []string{srcCtld, srcDBD, srcNews, srcStorage} {

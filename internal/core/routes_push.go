@@ -231,10 +231,25 @@ func (s *Server) handleEventStream(w http.ResponseWriter, r *http.Request) {
 	// source warm this costs no upstream call. A failed refresh (cold
 	// source during an outage) leaves the stream open; events begin when
 	// the source recovers.
+	fd := s.fleetDelegate()
 	keys := make([]string, 0, len(routes))
 	for _, route := range routes {
 		key := route.key(user.Name)
 		keys = append(keys, key)
+		if fd != nil {
+			// In a fleet, the key's owner (which may be another replica)
+			// maintains the source; its snapshots are propagated into this
+			// replica's hub, so the stream below works unchanged. Touch
+			// records interest; Ensure additionally produces the initial
+			// snapshot when the local hub has none yet.
+			src := fleetSource(route, user.Name)
+			if _, ok := s.pushHub.Latest(key); !ok {
+				_, _ = fd.Ensure(r.Context(), src)
+			} else {
+				fd.Touch(src)
+			}
+			continue
+		}
 		if _, err := s.pushSched.Register(push.Source{
 			Widget: route.widget,
 			Key:    key,

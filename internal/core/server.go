@@ -115,6 +115,11 @@ type Server struct {
 	pushRoutes map[string]pushRoute
 	pushDone   chan struct{}
 	closeOnce  sync.Once
+
+	// fleet, when set, is the scale-out tier's delegate (see fleet.go):
+	// push-enabled widget polls consult it for refresh ownership and
+	// peer-propagated snapshots before touching the local fetch path.
+	fleet fleetPtr
 }
 
 // NewServer builds the dashboard from its dependencies.
@@ -392,7 +397,7 @@ func (s *Server) Mount(mux *http.ServeMux, names ...string) error {
 		if len(names) > 0 && !want[w.Name] {
 			continue
 		}
-		mux.HandleFunc(w.Route, s.instrument(w.Name, w.Handler))
+		mux.HandleFunc(w.Route, s.instrument(w.Name, s.fleetIntercept(w.Name, w.Handler)))
 		mounted++
 		delete(want, w.Name)
 	}

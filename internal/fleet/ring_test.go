@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		if i%2 == 0 {
+			keys[i] = fmt.Sprintf("system_status_%d", i)
+		} else {
+			keys[i] = fmt.Sprintf("recent_jobs:user%03d", i)
+		}
+	}
+	return keys
+}
+
+func TestRingDeterministicAndOrderIndependent(t *testing.T) {
+	a := buildRing([]string{"r0", "r1", "r2"}, 64)
+	b := buildRing([]string{"r2", "r0", "r1"}, 64)
+	for _, key := range testKeys(200) {
+		if a.owner(key) != b.owner(key) {
+			t.Fatalf("owner(%q) depends on membership order: %q vs %q", key, a.owner(key), b.owner(key))
+		}
+	}
+	if got := a.members(); !reflect.DeepEqual(got, []string{"r0", "r1", "r2"}) {
+		t.Fatalf("members = %v", got)
+	}
+}
+
+func TestRingMinimalMovementOnRemoval(t *testing.T) {
+	full := buildRing([]string{"r0", "r1", "r2", "r3"}, 64)
+	less := buildRing([]string{"r0", "r1", "r3"}, 64)
+	keys := testKeys(400)
+	moved := 0
+	for _, key := range keys {
+		before, after := full.owner(key), less.owner(key)
+		if before == "r2" {
+			if after == "r2" {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			moved++
+			continue
+		}
+		// Consistency: keys not owned by the removed member must not move.
+		if before != after {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned nothing; test keys too few")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := buildRing([]string{"r0", "r1", "r2", "r3"}, 64)
+	counts := map[string]int{}
+	keys := testKeys(2000)
+	for _, key := range keys {
+		counts[r.owner(key)]++
+	}
+	want := len(keys) / 4
+	for id, n := range counts {
+		if n < want/3 || n > want*3 {
+			t.Fatalf("member %s owns %d of %d keys (ideal %d): ring badly unbalanced", id, n, len(keys), want)
+		}
+	}
+}
+
+func TestRingOwnersForDistinctAndStable(t *testing.T) {
+	r := buildRing([]string{"r0", "r1", "r2"}, 64)
+	order := r.ownersFor("sticky/user001", 3)
+	if len(order) != 3 {
+		t.Fatalf("ownersFor returned %v, want 3 distinct members", order)
+	}
+	seen := map[string]bool{}
+	for _, id := range order {
+		if seen[id] {
+			t.Fatalf("ownersFor repeated %q: %v", id, order)
+		}
+		seen[id] = true
+	}
+	// Failover preference: removing the first choice keeps the rest of the
+	// sequence, so a user's fallback replica is stable across the kill.
+	rest := []string{order[1], order[2]}
+	smaller := buildRing(rest, 64)
+	if got := smaller.ownersFor("sticky/user001", 2); !reflect.DeepEqual(got, rest) {
+		t.Fatalf("failover order changed after removal: %v, want %v", got, rest)
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := buildRing(nil, 64)
+	if got := r.owner("anything"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	if got := r.ownersFor("anything", 2); got != nil {
+		t.Fatalf("empty ring ownersFor = %v, want nil", got)
+	}
+}

@@ -86,6 +86,7 @@ type Hub struct {
 	version int64
 	latest  map[string]Snapshot
 	subs    map[*Subscription]struct{}
+	passive int // subscriptions created by SubscribeAll (taps, not clients)
 	closed  bool
 
 	published  int64
@@ -219,21 +220,47 @@ func (h *Hub) Subscribe(keys []string) *Subscription {
 	return sub
 }
 
-// SubscriberCount returns the number of open subscriptions.
+// SubscribeAll registers a passive subscription that receives every key's
+// new versions — the fleet layer's propagation tap. Passive subscriptions
+// are invisible to SubscriberCount and SubscribersFor, so a tap never makes
+// an idle source look watched (pause-when-idle keeps seeing real clients
+// only). The caller must Close the subscription when done.
+func (h *Hub) SubscribeAll() *Subscription {
+	sub := &Subscription{
+		hub:     h,
+		all:     true,
+		pending: make(map[string]Snapshot, 8),
+		notify:  make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(sub.done)
+		return sub
+	}
+	h.subs[sub] = struct{}{}
+	h.passive++
+	h.mu.Unlock()
+	return sub
+}
+
+// SubscriberCount returns the number of open client subscriptions
+// (passive SubscribeAll taps excluded).
 func (h *Hub) SubscriberCount() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return len(h.subs)
+	return len(h.subs) - h.passive
 }
 
-// SubscribersFor returns how many open subscriptions include key — the
-// scheduler's pause-when-idle signal.
+// SubscribersFor returns how many open client subscriptions include key —
+// the scheduler's pause-when-idle signal. Passive taps do not count.
 func (h *Hub) SubscribersFor(key string) int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	n := 0
 	for sub := range h.subs {
-		if sub.keys[key] {
+		if !sub.all && sub.keys[key] {
 			n++
 		}
 	}
@@ -246,7 +273,7 @@ func (h *Hub) Stats() HubStats {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	st := HubStats{
-		Subscribers: len(h.subs),
+		Subscribers: len(h.subs) - h.passive,
 		Published:   h.published,
 		Suppressed:  h.suppressed,
 		Delivered:   h.deliveredTotal,
@@ -285,6 +312,9 @@ func (h *Hub) unsubscribe(sub *Subscription) {
 	h.mu.Lock()
 	if _, ok := h.subs[sub]; ok {
 		delete(h.subs, sub)
+		if sub.all {
+			h.passive--
+		}
 		h.deliveredTotal += d
 		h.droppedTotal += dr
 	}
@@ -305,6 +335,7 @@ type SubStats struct {
 type Subscription struct {
 	hub  *Hub
 	keys map[string]bool
+	all  bool // SubscribeAll tap: wants every key, excluded from client counts
 
 	mu        sync.Mutex
 	pending   map[string]Snapshot
@@ -317,7 +348,7 @@ type Subscription struct {
 	done   chan struct{}
 }
 
-func (s *Subscription) wants(key string) bool { return s.keys[key] }
+func (s *Subscription) wants(key string) bool { return s.all || s.keys[key] }
 
 // offer buffers snap for the subscriber, coalescing onto any undelivered
 // snapshot for the same key. Never blocks.

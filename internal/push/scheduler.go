@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 )
@@ -69,6 +70,7 @@ type schedSource struct {
 	Source
 	nextDue      time.Time
 	lastDegraded bool
+	refreshes    int64 // fetches attempted for this source
 }
 
 // Scheduler proactively re-fetches registered sources on their TTL cadence
@@ -134,6 +136,46 @@ func (s *Scheduler) Register(src Source) (bool, error) {
 	}
 	s.stats.Sources = len(s.sources)
 	return true, nil
+}
+
+// Unregister removes the source for key and reports whether it existed.
+// The fleet layer uses it when refresh ownership of a key moves to another
+// replica, and when an idle source is reaped.
+func (s *Scheduler) Unregister(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sources[key]; !ok {
+		return false
+	}
+	delete(s.sources, key)
+	s.stats.Sources = len(s.sources)
+	return true
+}
+
+// Keys returns the registered source keys in sorted order — the fleet
+// drill's evidence that each key is scheduled on exactly one replica.
+func (s *Scheduler) Keys() []string {
+	s.mu.Lock()
+	out := make([]string, 0, len(s.sources))
+	for k := range s.sources {
+		out = append(out, k)
+	}
+	s.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// SourceRefreshes returns the per-key fetch-attempt counts. Counts survive
+// only as long as the source is registered (Unregister drops them with the
+// source).
+func (s *Scheduler) SourceRefreshes() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.sources))
+	for k, src := range s.sources {
+		out[k] = src.refreshes
+	}
+	return out
 }
 
 // Refresh fetches key immediately (regardless of due time) and publishes
@@ -218,6 +260,7 @@ func (s *Scheduler) refreshOne(ctx context.Context, src Source) (Snapshot, error
 		s.stats.Errors++
 	}
 	if st, ok := s.sources[src.Key]; ok {
+		st.refreshes++
 		st.lastDegraded = err == nil && degraded
 		if st.lastDegraded && s.opts.SkipWhenDegraded {
 			// Degraded means the upstream is failing and the cache served

@@ -448,11 +448,20 @@ func (e *Env) NewServerTraced(newsBaseURL string, pushCfg core.PushConfig, trace
 // knobs like the fill-admission cap). An empty ClusterName takes the
 // environment's; the environment's services and shared clock always win.
 func (e *Env) NewServerConfig(newsBaseURL string, cfg core.Config) (*core.Server, error) {
+	return e.NewServerRunner(newsBaseURL, cfg, e.Runner)
+}
+
+// NewServerRunner is NewServerConfig with an explicit Slurm runner. The
+// fleet tier uses it to give each replica its own (counted) runner over the
+// shared simulated cluster while every other dependency — clock, users,
+// storage, news, logs — stays shared, exactly like N dashboard processes in
+// front of one Slurm.
+func (e *Env) NewServerRunner(newsBaseURL string, cfg core.Config, runner slurmcli.Runner) (*core.Server, error) {
 	if cfg.ClusterName == "" {
 		cfg.ClusterName = e.Cluster.Name
 	}
 	deps := core.Deps{
-		Runner:  e.Runner,
+		Runner:  runner,
 		News:    &newsfeed.Client{BaseURL: newsBaseURL},
 		Storage: e.Storage,
 		Users:   e.Users,
