@@ -22,6 +22,8 @@
 //	        [-fill-cap 24] [-bench-out BENCH_chaos.json]
 //	loadgen -backend-ab [-ab-requests 300] [-max-rest-p95-ratio 1.5]
 //	        [-bench-out BENCH_rest.json]
+//	loadgen -rollup [-rollup-requests 60] [-max-rollup-p95-ratio 1.5]
+//	        [-bench-out BENCH_rollup.json]
 //
 // With -backend-ab, loadgen times the same Slurm query mix through both
 // dashboard backends — the CLI parse-text path and the slurmrestd-style
@@ -302,6 +304,10 @@ func main() {
 		maxRESTRatio = flag.Float64("max-rest-p95-ratio", -1, "exit 1 if the revalidating REST side's pooled p95 exceeds this multiple of the CLI side's (negative disables; scope violations always fail)")
 		maxColdRatio = flag.Float64("max-rest-cold-p95-ratio", -1, "exit 1 if the cold (non-revalidating) REST side's pooled p95 exceeds this multiple of the CLI side's (negative disables)")
 
+		rollupMode     = flag.Bool("rollup", false, "rollup benchmark: O(buckets) pre-aggregated reads vs the raw accounting-scan ablation at 1x/100x/1000x synthesized history, with a byte-equality golden check at each scale")
+		rollupRequests = flag.Int("rollup-requests", 60, "timed rollup-path requests per scale in -rollup mode")
+		maxRollupP95   = flag.Float64("max-rollup-p95-ratio", -1, "exit 1 if rollup-path p95 at 1000x history exceeds this multiple of the 1x p95 (negative disables; golden mismatches always fail)")
+
 		chaosName   = flag.String("chaos", "", "chaos mode: run this internal/chaos scenario (or \"all\") under open-loop load with per-scenario SLO gates")
 		arrivalRate = flag.Float64("arrival-rate", 400, "chaos mode: open-loop Poisson arrival rate, requests/second (latency measured from intended arrival)")
 		seed        = flag.Int64("seed", 7, "chaos mode: seed for the workload, fault injector, and arrival schedule (recorded in BENCH_chaos.json)")
@@ -332,6 +338,10 @@ func main() {
 	}
 	if *backendAB {
 		runRESTBench(*abRequests, *benchOut, *maxRESTRatio, *maxColdRatio)
+		return
+	}
+	if *rollupMode {
+		runRollupBench(*rollupRequests, *benchOut, *maxRollupP95)
 		return
 	}
 

@@ -86,6 +86,13 @@ type pushStack struct {
 }
 
 func buildPushStack() (*pushStack, error) {
+	return buildPushStackConfig(core.Config{})
+}
+
+// buildPushStackConfig is buildPushStack with full control of the core
+// configuration (the rollup bench raises the per-attempt resilience timeout
+// so its raw-ablation scans are measured rather than clipped to 503s).
+func buildPushStackConfig(cfg core.Config) (*pushStack, error) {
 	env, err := workload.Build(workload.SmallSpec())
 	if err != nil {
 		return nil, fmt.Errorf("workload: %w", err)
@@ -98,7 +105,7 @@ func buildPushStack() (*pushStack, error) {
 		return nil, fmt.Errorf("news listener: %w", err)
 	}
 	go func() { _ = http.Serve(newsLn, env.Feed) }()
-	server, err := env.NewServer(fmt.Sprintf("http://%s/", newsLn.Addr()))
+	server, err := env.NewServerConfig(fmt.Sprintf("http://%s/", newsLn.Addr()), cfg)
 	if err != nil {
 		newsLn.Close()
 		return nil, fmt.Errorf("server: %w", err)

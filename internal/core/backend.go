@@ -13,11 +13,12 @@ import (
 // in the typed-row vocabulary of internal/slurmcli. Two implementations
 // exist: the CLI shell-out emulation (parse text) and the slurmrestd-style
 // REST client (decode JSON). Write commands (scancel, hold/release) and the
-// queries without a REST endpoint (assoc, reservations, sprio, sreport)
-// always go through the CLI runner.
+// queries without a REST endpoint (assoc, reservations, sprio, the
+// per-account sreport) always go through the CLI runner.
 type slurmBackend interface {
 	Squeue(ctx context.Context, opts slurmcli.SqueueOptions) ([]slurmcli.QueueEntry, error)
 	Sacct(ctx context.Context, opts slurmcli.SacctOptions) ([]slurmcli.SacctRow, error)
+	Rollup(ctx context.Context, opts slurmcli.RollupOptions) (slurmcli.RollupResult, error)
 	Sinfo(ctx context.Context) ([]slurmcli.PartitionStatus, error)
 	ShowAllNodes(ctx context.Context) ([]*slurmcli.NodeDetail, error)
 	ShowNode(ctx context.Context, name string) (*slurmcli.NodeDetail, error)
@@ -35,6 +36,10 @@ func (b cliBackend) Squeue(ctx context.Context, opts slurmcli.SqueueOptions) ([]
 
 func (b cliBackend) Sacct(ctx context.Context, opts slurmcli.SacctOptions) ([]slurmcli.SacctRow, error) {
 	return slurmcli.Sacct(b.s.runnerCtx(ctx), opts)
+}
+
+func (b cliBackend) Rollup(ctx context.Context, opts slurmcli.RollupOptions) (slurmcli.RollupResult, error) {
+	return slurmcli.SreportRollup(b.s.runnerCtx(ctx), opts)
 }
 
 func (b cliBackend) Sinfo(ctx context.Context) ([]slurmcli.PartitionStatus, error) {
@@ -68,6 +73,10 @@ func (b restBackend) Squeue(ctx context.Context, opts slurmcli.SqueueOptions) ([
 
 func (b restBackend) Sacct(ctx context.Context, opts slurmcli.SacctOptions) ([]slurmcli.SacctRow, error) {
 	return b.c.Sacct(ctx, opts)
+}
+
+func (b restBackend) Rollup(ctx context.Context, opts slurmcli.RollupOptions) (slurmcli.RollupResult, error) {
+	return b.c.Rollup(ctx, opts)
 }
 
 func (b restBackend) Sinfo(ctx context.Context) ([]slurmcli.PartitionStatus, error) {

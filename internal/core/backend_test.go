@@ -52,6 +52,10 @@ func TestBackendSwapEquivalence(t *testing.T) {
 		"/api/jobperf?range=24h",
 		"/api/node/c001",
 		"/api/node/c001/jobs",
+		"/api/jobperf/timeseries?range=24h&bucket=hour",
+		"/api/usage/cluster?range=1y",
+		"/api/usage/accounts?range=90d",
+		"/api/usage/efficiency?range=30d",
 	}
 	for _, path := range paths {
 		cs, cb := cli.get("alice", path)

@@ -17,27 +17,30 @@ type flakyRunner struct {
 	inner slurmcli.Runner
 
 	mu        sync.Mutex
-	failCmd   string // command name to sabotage; empty = none
-	failures  int    // remaining failures
+	failures  map[string]int // remaining failures per sabotaged command
 	callCount map[string]int
 }
 
 func newFlakyRunner(inner slurmcli.Runner) *flakyRunner {
-	return &flakyRunner{inner: inner, callCount: make(map[string]int)}
+	return &flakyRunner{
+		inner:     inner,
+		failures:  make(map[string]int),
+		callCount: make(map[string]int),
+	}
 }
 
 func (f *flakyRunner) failNext(cmd string, times int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.failCmd, f.failures = cmd, times
+	f.failures[cmd] = times
 }
 
 func (f *flakyRunner) Run(name string, args ...string) (string, error) {
 	f.mu.Lock()
 	f.callCount[name]++
-	shouldFail := name == f.failCmd && f.failures > 0
+	shouldFail := f.failures[name] > 0
 	if shouldFail {
-		f.failures--
+		f.failures[name]--
 	}
 	f.mu.Unlock()
 	if shouldFail {
@@ -140,7 +143,10 @@ func TestRecoveredResultIsCachedAgain(t *testing.T) {
 
 func TestSacctOutageBreaksHistoryRoutesOnly(t *testing.T) {
 	e, flaky := newFlakyEnv(t)
+	// Both accounting commands ride slurmdbd: sacct feeds the job tables,
+	// sreport feeds the rollup widgets. A daemon outage fails them together.
 	flaky.failNext("sacct", 100)
+	flaky.failNext("sreport", 100)
 	// Three consecutive failed requests trip the slurmdbd breaker (threshold
 	// 3); whether short-circuited or not, each surfaces as 503.
 	e.wantStatus("alice", "/api/myjobs?range=24h", 503)

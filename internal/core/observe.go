@@ -12,6 +12,7 @@ import (
 	"ooddash/internal/obs"
 	"ooddash/internal/push"
 	"ooddash/internal/resilience"
+	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/trace"
 )
@@ -77,6 +78,10 @@ type serverObs struct {
 	// degraded stale copy, or local fallthrough with no owner reachable).
 	fleetPeerServes *obs.CounterVec // ooddash_fleet_peer_serves_total{widget,mode}
 
+	// rollupQueries counts historical rollup reads by the resolution served
+	// and how it was chosen (auto selection vs an explicit bucket request).
+	rollupQueries *obs.CounterVec // ooddash_rollup_queries_total{resolution,selection}
+
 	// fetchOutcome holds the per-source result counters pre-resolved at
 	// construction: fetchVia bumps one on every widget request, and
 	// CounterVec.With allocates its variadic slice and joined key per call —
@@ -131,6 +136,9 @@ func newServerObs(s *Server) *serverObs {
 		fleetPeerServes: reg.CounterVec("ooddash_fleet_peer_serves_total",
 			"Widget polls answered from peer-propagated fleet snapshots, by widget and mode (fresh, ensured, stale, local).",
 			"widget", "mode"),
+		rollupQueries: reg.CounterVec("ooddash_rollup_queries_total",
+			"Historical rollup queries by resolution served and selection mode (auto, explicit).",
+			"resolution", "selection"),
 	}
 	o.fetchOutcome = make(map[string]*fetchOutcomeCounters, 4)
 	for _, src := range []string{srcCtld, srcDBD, srcNews, srcStorage} {
@@ -233,6 +241,43 @@ func newServerObs(s *Server) *serverObs {
 		func() float64 { return float64(s.rendered.Len()) })
 	cacheCounter("ooddash_cache_purged_total", "Entries dropped from both caches by the periodic purge sweep.",
 		func() int64 { return s.purgedTotal.Load() })
+
+	// Rollup store health: how much pre-aggregated state the accounting
+	// daemon holds and how the compaction cascade is keeping up. Only wired
+	// when Deps.RollupStats is set (the in-process simulator).
+	if s.rollupStats != nil {
+		reg.CollectorFunc("ooddash_rollup_buckets", obs.KindGauge,
+			"Rollup store buckets held per resolution.", func() []obs.Sample {
+				st := s.rollupStats()
+				return []obs.Sample{
+					{Labels: []obs.Label{{Name: "resolution", Value: "minute"}}, Value: float64(st.MinuteBuckets)},
+					{Labels: []obs.Label{{Name: "resolution", Value: "hour"}}, Value: float64(st.HourBuckets)},
+					{Labels: []obs.Label{{Name: "resolution", Value: "day"}}, Value: float64(st.DayBuckets)},
+				}
+			})
+		reg.CollectorFunc("ooddash_rollup_compactions_total", obs.KindCounter,
+			"Rollup buckets sealed by the compaction cascade, per destination level.", func() []obs.Sample {
+				st := s.rollupStats()
+				return []obs.Sample{
+					{Labels: []obs.Label{{Name: "level", Value: "hour"}}, Value: float64(st.CompactionsHour)},
+					{Labels: []obs.Label{{Name: "level", Value: "day"}}, Value: float64(st.CompactionsDay)},
+				}
+			})
+		rollupCounter := func(name, help string, read func(slurm.RollupStats) int64) {
+			reg.CollectorFunc(name, obs.KindCounter, help, func() []obs.Sample {
+				return []obs.Sample{{Value: float64(read(s.rollupStats()))}}
+			})
+		}
+		rollupCounter("ooddash_rollup_ingested_total",
+			"Terminal jobs folded into the rollup store.",
+			func(st slurm.RollupStats) int64 { return st.Ingested })
+		rollupCounter("ooddash_rollup_late_direct_total",
+			"Rollup ingests that landed in already-sealed buckets (backfill writes).",
+			func(st slurm.RollupStats) int64 { return st.LateDirect })
+		rollupCounter("ooddash_rollup_evicted_buckets_total",
+			"Rollup buckets dropped past their resolution's retention.",
+			func(st slurm.RollupStats) int64 { return st.EvictedBuckets })
+	}
 
 	// Breaker state and counters, one sample per data source.
 	breakerCollector := func(name, help string, kind obs.Kind, read func(resilience.Stats) float64) {

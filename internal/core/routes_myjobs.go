@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ooddash/internal/efficiency"
+	"ooddash/internal/efficiency/effmath"
 	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
 )
@@ -27,9 +28,17 @@ func explainReason(r slurm.PendingReason) (string, bool) {
 // My Jobs and Job Performance Metrics (§5: last 24 hours through all time,
 // plus a custom range).
 func parseTimeRange(r *http.Request, now time.Time) (start, end time.Time, err error) {
+	return parseTimeRangeDefault(r, now, "7d")
+}
+
+// parseTimeRangeDefault is parseTimeRange with a caller-chosen default
+// range, for the long-horizon usage widgets that default to a year. An
+// empty custom window (from == to, or ending before it starts) is rejected:
+// every range here is half-open, so such a window can only ever be empty.
+func parseTimeRangeDefault(r *http.Request, now time.Time, def string) (start, end time.Time, err error) {
 	rng := r.URL.Query().Get("range")
 	if rng == "" {
-		rng = "7d"
+		rng = def
 	}
 	switch rng {
 	case "24h":
@@ -40,6 +49,8 @@ func parseTimeRange(r *http.Request, now time.Time) (start, end time.Time, err e
 		return now.Add(-30 * 24 * time.Hour), now, nil
 	case "90d":
 		return now.Add(-90 * 24 * time.Hour), now, nil
+	case "1y":
+		return now.Add(-365 * 24 * time.Hour), now, nil
 	case "all":
 		return time.Time{}, now, nil
 	case "custom":
@@ -53,8 +64,8 @@ func parseTimeRange(r *http.Request, now time.Time) (start, end time.Time, err e
 		if err != nil {
 			return start, end, fmt.Errorf("%w: bad to %q", errBadRequest, to)
 		}
-		if end.Before(start) {
-			return start, end, fmt.Errorf("%w: range ends before it starts", errBadRequest)
+		if !end.After(start) {
+			return start, end, fmt.Errorf("%w: range ends on or before it starts", errBadRequest)
 		}
 		return start, end, nil
 	default:
@@ -484,86 +495,61 @@ func (s *Server) handleJobPerf(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	// Job Performance Metrics covers the user's own jobs only.
-	key := fmt.Sprintf("jobperf:%s:%d:%d", user.Name, start.Unix(), end.Unix())
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
-		return s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
-			User: user.Name, Start: start, End: end,
-		})
+	// Job Performance Metrics covers the user's own terminal jobs, summed
+	// from the rollup pipeline over the bucket-aligned window. Queued and
+	// running work has no end time yet and so no bucket; the queue views
+	// cover it.
+	if start.IsZero() {
+		minEnd, _, ok, berr := s.rollupBounds(r, slurm.RollupScopeUser, user.Name)
+		if berr != nil {
+			writeFetchError(w, berr)
+			return
+		}
+		if !ok {
+			writeJSON(w, http.StatusOK, JobPerfResponse{RangeStart: start, RangeEnd: end})
+			return
+		}
+		start = time.Unix(minEnd, 0).UTC()
+	}
+	series, meta, err := s.fetchRollup(r, rollupQuery{
+		scope: slurm.RollupScopeUser, name: user.Name, start: start, end: end,
 	})
 	if err != nil {
 		writeFetchError(w, err)
 		return
 	}
 	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
-		return aggregateJobPerf(v.([]slurmcli.SacctRow), start, end, now), nil
+		return aggregateJobPerf(start, end, series), nil
 	})
 }
 
-// aggregateJobPerf folds accounting rows into the summary metrics.
-func aggregateJobPerf(rows []slurmcli.SacctRow, start, end, now time.Time) JobPerfResponse {
+// aggregateJobPerf folds a rollup window into the summary metrics. The
+// efficiency averages come from the store's exact fixed-point sums, so they
+// equal a per-job mean recomputed from accounting rows.
+func aggregateJobPerf(start, end time.Time, sr rollupSeries) JobPerfResponse {
 	resp := JobPerfResponse{RangeStart: start, RangeEnd: end}
-	var (
-		waitSum    time.Duration
-		waited     int
-		durSum     time.Duration
-		ran        int
-		timeEffSum float64
-		timeEffN   int
-		cpuEffSum  float64
-		cpuEffN    int
-		memEffSum  float64
-		memEffN    int
-	)
-	for i := range rows {
-		row := &rows[i]
-		resp.TotalJobs++
-		switch row.State {
-		case slurm.StateCompleted:
-			resp.CompletedJobs++
-		case slurm.StateFailed, slurm.StateNodeFail, slurm.StateOutOfMemory, slurm.StateTimeout:
-			resp.FailedJobs++
-		}
-		if !row.StartTime.IsZero() {
-			waitSum += row.StartTime.Sub(row.SubmitTime)
-			waited++
-			durSum += row.Elapsed
-			ran++
-			resp.TotalWallSeconds += int64(row.Elapsed / time.Second)
-			resp.TotalCPUHours += row.TotalCPU.Hours()
-			resp.TotalGPUHours += row.GPUHours()
-		} else if row.State == slurm.StatePending {
-			waitSum += now.Sub(row.SubmitTime)
-			waited++
-		}
-		m := efficiency.Compute(row)
-		if m.TimePercent >= 0 {
-			timeEffSum += m.TimePercent
-			timeEffN++
-		}
-		if m.CPUPercent >= 0 {
-			cpuEffSum += m.CPUPercent
-			cpuEffN++
-		}
-		if m.MemoryPercent >= 0 {
-			memEffSum += m.MemoryPercent
-			memEffN++
-		}
+	var total slurm.RollupAgg
+	for i := range sr.Rows {
+		total.Add(&sr.Rows[i].RollupAgg)
 	}
-	if waited > 0 {
-		resp.AvgWaitSeconds = (waitSum / time.Duration(waited)).Seconds()
+	resp.TotalJobs = int(total.Jobs)
+	resp.CompletedJobs = int(total.Completed)
+	resp.FailedJobs = int(total.Failed)
+	if total.Started > 0 {
+		resp.AvgWaitSeconds = float64(total.WaitSec) / float64(total.Started)
+		resp.MeanDurationSecs = float64(total.WallSec) / float64(total.Started)
 	}
-	if ran > 0 {
-		resp.MeanDurationSecs = (durSum / time.Duration(ran)).Seconds()
+	resp.TotalWallSeconds = total.WallSec
+	resp.TotalCPUHours = float64(total.CPUSec) / 3600
+	resp.TotalGPUHours = float64(total.GPUSec) / 3600
+	if v := effmath.FromMicro(total.TimeEffMicro, total.TimeEffN); v >= 0 {
+		resp.AvgTimeEfficiency = v
 	}
-	if timeEffN > 0 {
-		resp.AvgTimeEfficiency = timeEffSum / float64(timeEffN)
+	if v := effmath.FromMicro(total.CPUEffMicro, total.CPUEffN); v >= 0 {
+		resp.AvgCPUEfficiency = v
 	}
-	if cpuEffN > 0 {
-		resp.AvgCPUEfficiency = cpuEffSum / float64(cpuEffN)
-	}
-	if memEffN > 0 {
-		resp.AvgMemoryEfficiency = memEffSum / float64(memEffN)
+	if v := effmath.FromMicro(total.MemEffMicro, total.MemEffN); v >= 0 {
+		resp.AvgMemoryEfficiency = v
 	}
 	return resp
 }

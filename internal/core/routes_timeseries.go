@@ -5,11 +5,9 @@ import (
 	"fmt"
 	"log"
 	"net/http"
-	"sort"
 	"time"
 
 	"ooddash/internal/slurm"
-	"ooddash/internal/slurmcli"
 )
 
 // TimeBucket is one point of the usage time series: jobs and consumption
@@ -24,17 +22,25 @@ type TimeBucket struct {
 	WallHours float64   `json:"wall_hours"`
 }
 
-// TimeseriesResponse is the jobperf chart payload: evenly bucketed usage
-// over the selected range, the data behind a Chart.js line/bar chart.
+// TimeseriesResponse is the jobperf chart payload: bucketed usage over the
+// selected range, the data behind a Chart.js line/bar chart. Resolution
+// names the bucket width actually served (auto selection may differ from
+// the request); PartialStart/PartialEnd flag edge buckets that extend past
+// the requested window rather than silently scaling them.
 type TimeseriesResponse struct {
-	User       string       `json:"user"`
-	BucketSecs int64        `json:"bucket_seconds"`
-	Buckets    []TimeBucket `json:"buckets"`
+	User         string       `json:"user"`
+	BucketSecs   int64        `json:"bucket_seconds"`
+	Resolution   string       `json:"resolution,omitempty"`
+	PartialStart bool         `json:"partial_start,omitempty"`
+	PartialEnd   bool         `json:"partial_end,omitempty"`
+	Buckets      []TimeBucket `json:"buckets"`
 }
 
 // handleJobPerfTimeseries serves /api/jobperf/timeseries?range=&bucket=
-// (bucket: hour|day, default day). Scope is the user's own jobs, matching
-// the Job Performance Metrics app.
+// (bucket: minute|hour|day; default picks the finest resolution that keeps
+// the chart under ~400 points). Scope is the user's own jobs, matching the
+// Job Performance Metrics app. The series reads slurmdbd's incremental
+// rollups, so cost is O(buckets in the window), not O(jobs in accounting).
 func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request) {
 	user, err := s.currentUser(r)
 	if err != nil {
@@ -47,93 +53,53 @@ func (s *Server) handleJobPerfTimeseries(w http.ResponseWriter, r *http.Request)
 		writeError(w, err)
 		return
 	}
-	var bucket time.Duration
-	switch b := r.URL.Query().Get("bucket"); b {
-	case "", "day":
-		bucket = 24 * time.Hour
-	case "hour":
-		bucket = time.Hour
-	default:
-		writeError(w, fmt.Errorf("%w: unknown bucket %q", errBadRequest, b))
-		return
-	}
 	if start.IsZero() {
-		// "all" range: anchor at the earliest record rather than the epoch.
-		// Uncached, so the call still goes through the slurmdbd policy.
-		v, err := s.runResilient(r, srcDBD, func(ctx context.Context) (any, error) {
-			return s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{User: user.Name, Limit: 0})
-		})
+		// "all" range: anchor at the earliest terminal record rather than
+		// the epoch.
+		minEnd, _, ok, err := s.rollupBounds(r, slurm.RollupScopeUser, user.Name)
 		if err != nil {
 			writeFetchError(w, err)
 			return
 		}
-		rows := v.([]slurmcli.SacctRow)
-		if len(rows) == 0 {
-			writeJSON(w, http.StatusOK, TimeseriesResponse{
-				User: user.Name, BucketSecs: int64(bucket / time.Second),
-			})
+		if !ok {
+			writeJSON(w, http.StatusOK, TimeseriesResponse{User: user.Name})
 			return
 		}
-		start = rows[0].SubmitTime.Truncate(bucket)
+		start = time.Unix(minEnd, 0).UTC()
 	}
-
-	key := fmt.Sprintf("jobperf_ts:%s:%d:%d:%d", user.Name, start.Unix(), end.Unix(), bucket/time.Second)
-	v, meta, err := s.fetchVia(r, srcDBD, key, s.cfg.TTLs.JobHistory, func(ctx context.Context) (any, error) {
-		rows, err := s.dbdBk.Sacct(ctx, slurmcli.SacctOptions{
-			User: user.Name, Start: start, End: end,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return buildTimeseries(user.Name, rows, start, end, bucket), nil
+	series, meta, err := s.fetchRollup(r, rollupQuery{
+		scope: slurm.RollupScopeUser, name: user.Name,
+		start: start, end: end, bucket: r.URL.Query().Get("bucket"),
 	})
 	if err != nil {
 		writeFetchError(w, err)
 		return
 	}
 	s.serveRendered(w, r, meta, user.Name, func() (any, error) {
-		return v.(*TimeseriesResponse), nil
+		return buildTimeseries(user.Name, series), nil
 	})
 }
 
-// buildTimeseries folds accounting rows into evenly spaced buckets keyed by
-// job end time; running/pending jobs are excluded (no end yet).
-func buildTimeseries(user string, rows []slurmcli.SacctRow, start, end time.Time, bucket time.Duration) *TimeseriesResponse {
-	resp := &TimeseriesResponse{User: user, BucketSecs: int64(bucket / time.Second)}
-	if !end.After(start) {
-		return resp
+// buildTimeseries shapes a rollup window into the chart payload. Buckets
+// are sparse — only buckets with activity appear — and arrive ordered by
+// start time.
+func buildTimeseries(user string, sr rollupSeries) *TimeseriesResponse {
+	resp := &TimeseriesResponse{
+		User: user, BucketSecs: sr.Res, Resolution: resolutionName(sr.Res),
+		PartialStart: sr.PartialStart, PartialEnd: sr.PartialEnd,
 	}
-	byStart := make(map[int64]*TimeBucket)
-	for i := range rows {
-		row := &rows[i]
-		if row.EndTime.IsZero() || row.EndTime.Before(start) || row.EndTime.After(end) {
-			continue
-		}
-		bs := row.EndTime.Sub(start) / bucket
-		key := start.Add(bs * bucket).Unix()
-		b := byStart[key]
-		if b == nil {
-			b = &TimeBucket{Start: time.Unix(key, 0).UTC()}
-			byStart[key] = b
-		}
-		b.Jobs++
-		switch row.State {
-		case slurm.StateCompleted:
-			b.Completed++
-		case slurm.StateFailed, slurm.StateNodeFail, slurm.StateOutOfMemory, slurm.StateTimeout:
-			b.Failed++
-		}
-		b.CPUHours += row.TotalCPU.Hours()
-		b.GPUHours += row.GPUHours()
-		b.WallHours += row.Elapsed.Hours()
+	for i := range sr.Rows {
+		row := &sr.Rows[i]
+		resp.Buckets = append(resp.Buckets, TimeBucket{
+			Start:     time.Unix(row.BucketStart, 0).UTC(),
+			Jobs:      int(row.Jobs),
+			Completed: int(row.Completed),
+			Failed:    int(row.Failed),
+			CPUHours:  float64(row.CPUSec) / 3600,
+			GPUHours:  float64(row.GPUSec) / 3600,
+			WallHours: float64(row.WallSec) / 3600,
+		})
 	}
-	resp.Buckets = make([]TimeBucket, 0, len(byStart))
-	for _, b := range byStart {
-		resp.Buckets = append(resp.Buckets, *b)
-	}
-	sort.Slice(resp.Buckets, func(i, j int) bool {
-		return resp.Buckets[i].Start.Before(resp.Buckets[j].Start)
-	})
 	return resp
 }
 

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"ooddash/internal/efficiency/effmath"
+	"ooddash/internal/slurm"
+)
+
+// The long-range usage widgets: cluster-wide views that only became
+// affordable with the rollup pipeline — a year of day buckets costs 365
+// rows no matter how many jobs accounting holds. All three serve any
+// authenticated user (the series aggregate across users, so per-job privacy
+// does not apply) and ride the encode-once rendered cache with a single
+// shared variant.
+
+// ClusterUsageResponse is the cluster-wide usage chart: one series of
+// bucketed totals, defaulting to the last year at day resolution.
+type ClusterUsageResponse struct {
+	BucketSecs   int64        `json:"bucket_seconds"`
+	Resolution   string       `json:"resolution,omitempty"`
+	PartialStart bool         `json:"partial_start,omitempty"`
+	PartialEnd   bool         `json:"partial_end,omitempty"`
+	Buckets      []TimeBucket `json:"buckets"`
+}
+
+// handleUsageCluster serves /api/usage/cluster?range=&bucket= — total
+// cluster consumption over time (default range 1y).
+func (s *Server) handleUsageCluster(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.currentUser(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	now := s.clock.Now()
+	start, end, err := parseTimeRangeDefault(r, now, "1y")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if start.IsZero() {
+		minEnd, _, ok, berr := s.rollupBounds(r, slurm.RollupScopeTotal, "")
+		if berr != nil {
+			writeFetchError(w, berr)
+			return
+		}
+		if !ok {
+			writeJSON(w, http.StatusOK, ClusterUsageResponse{})
+			return
+		}
+		start = time.Unix(minEnd, 0).UTC()
+	}
+	series, meta, err := s.fetchRollup(r, rollupQuery{
+		scope: slurm.RollupScopeTotal,
+		start: start, end: end, bucket: r.URL.Query().Get("bucket"),
+	})
+	if err != nil {
+		writeFetchError(w, err)
+		return
+	}
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		resp := &ClusterUsageResponse{
+			BucketSecs: series.Res, Resolution: resolutionName(series.Res),
+			PartialStart: series.PartialStart, PartialEnd: series.PartialEnd,
+		}
+		for i := range series.Rows {
+			row := &series.Rows[i]
+			resp.Buckets = append(resp.Buckets, TimeBucket{
+				Start:     time.Unix(row.BucketStart, 0).UTC(),
+				Jobs:      int(row.Jobs),
+				Completed: int(row.Completed),
+				Failed:    int(row.Failed),
+				CPUHours:  float64(row.CPUSec) / 3600,
+				GPUHours:  float64(row.GPUSec) / 3600,
+				WallHours: float64(row.WallSec) / 3600,
+			})
+		}
+		return resp, nil
+	})
+}
+
+// AccountUsage is one account's consumption over the window.
+type AccountUsage struct {
+	Account   string  `json:"account"`
+	Jobs      int64   `json:"jobs"`
+	CPUHours  float64 `json:"cpu_hours"`
+	GPUHours  float64 `json:"gpu_hours"`
+	WallHours float64 `json:"wall_hours"`
+}
+
+// TopAccountsResponse ranks accounts by CPU-hours consumed in the window.
+type TopAccountsResponse struct {
+	RangeStart time.Time      `json:"range_start"`
+	RangeEnd   time.Time      `json:"range_end"`
+	Resolution string         `json:"resolution,omitempty"`
+	Accounts   []AccountUsage `json:"accounts"`
+}
+
+// handleUsageAccounts serves /api/usage/accounts?range=&top= — the heaviest
+// accounts in the window (default range 90d, top 10), ordered by CPU-hours.
+func (s *Server) handleUsageAccounts(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.currentUser(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	now := s.clock.Now()
+	start, end, err := parseTimeRangeDefault(r, now, "90d")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	top := 10
+	if v := r.URL.Query().Get("top"); v != "" {
+		top, err = strconv.Atoi(v)
+		if err != nil || top < 1 {
+			writeError(w, fmt.Errorf("%w: bad top %q", errBadRequest, v))
+			return
+		}
+	}
+	if start.IsZero() {
+		minEnd, _, ok, berr := s.rollupBounds(r, slurm.RollupScopeAccount, "")
+		if berr != nil {
+			writeFetchError(w, berr)
+			return
+		}
+		if !ok {
+			writeJSON(w, http.StatusOK, TopAccountsResponse{
+				RangeStart: start, RangeEnd: end, Accounts: []AccountUsage{},
+			})
+			return
+		}
+		start = time.Unix(minEnd, 0).UTC()
+	}
+	series, meta, err := s.fetchRollup(r, rollupQuery{
+		scope: slurm.RollupScopeAccount, start: start, end: end,
+	})
+	if err != nil {
+		writeFetchError(w, err)
+		return
+	}
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		byAccount := make(map[string]*AccountUsage)
+		for i := range series.Rows {
+			row := &series.Rows[i]
+			a := byAccount[row.Name]
+			if a == nil {
+				a = &AccountUsage{Account: row.Name}
+				byAccount[row.Name] = a
+			}
+			a.Jobs += row.Jobs
+			a.CPUHours += float64(row.CPUSec) / 3600
+			a.GPUHours += float64(row.GPUSec) / 3600
+			a.WallHours += float64(row.WallSec) / 3600
+		}
+		ranked := make([]AccountUsage, 0, len(byAccount))
+		for _, a := range byAccount {
+			ranked = append(ranked, *a)
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].CPUHours != ranked[j].CPUHours {
+				return ranked[i].CPUHours > ranked[j].CPUHours
+			}
+			return ranked[i].Account < ranked[j].Account
+		})
+		if len(ranked) > top {
+			ranked = ranked[:top]
+		}
+		return &TopAccountsResponse{
+			RangeStart: start, RangeEnd: end,
+			Resolution: resolutionName(series.Res), Accounts: ranked,
+		}, nil
+	})
+}
+
+// EfficiencyPoint is one bucket of the cluster efficiency trend. The
+// percentages are means over the jobs that ended in the bucket; nil means
+// not applicable (no jobs carried that metric).
+type EfficiencyPoint struct {
+	Start         time.Time `json:"start"`
+	Jobs          int64     `json:"jobs"`
+	TimePercent   *float64  `json:"time_percent"`
+	CPUPercent    *float64  `json:"cpu_percent"`
+	MemoryPercent *float64  `json:"memory_percent"`
+	GPUPercent    *float64  `json:"gpu_percent"`
+}
+
+// EfficiencyTrendResponse is the cluster-wide efficiency-over-time payload.
+type EfficiencyTrendResponse struct {
+	BucketSecs   int64             `json:"bucket_seconds"`
+	Resolution   string            `json:"resolution,omitempty"`
+	PartialStart bool              `json:"partial_start,omitempty"`
+	PartialEnd   bool              `json:"partial_end,omitempty"`
+	Points       []EfficiencyPoint `json:"points"`
+}
+
+// handleUsageEfficiency serves /api/usage/efficiency?range=&bucket= — mean
+// time/CPU/memory/GPU efficiency per bucket across the whole cluster
+// (default range 30d), from the rollup store's exact fixed-point sums.
+func (s *Server) handleUsageEfficiency(w http.ResponseWriter, r *http.Request) {
+	if _, err := s.currentUser(r); err != nil {
+		writeError(w, err)
+		return
+	}
+	now := s.clock.Now()
+	start, end, err := parseTimeRangeDefault(r, now, "30d")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if start.IsZero() {
+		minEnd, _, ok, berr := s.rollupBounds(r, slurm.RollupScopeTotal, "")
+		if berr != nil {
+			writeFetchError(w, berr)
+			return
+		}
+		if !ok {
+			writeJSON(w, http.StatusOK, EfficiencyTrendResponse{})
+			return
+		}
+		start = time.Unix(minEnd, 0).UTC()
+	}
+	series, meta, err := s.fetchRollup(r, rollupQuery{
+		scope: slurm.RollupScopeTotal,
+		start: start, end: end, bucket: r.URL.Query().Get("bucket"),
+	})
+	if err != nil {
+		writeFetchError(w, err)
+		return
+	}
+	s.serveRendered(w, r, meta, "", func() (any, error) {
+		resp := &EfficiencyTrendResponse{
+			BucketSecs: series.Res, Resolution: resolutionName(series.Res),
+			PartialStart: series.PartialStart, PartialEnd: series.PartialEnd,
+		}
+		conv := func(sumMicro, n int64) *float64 {
+			v := effmath.FromMicro(sumMicro, n)
+			if v < 0 {
+				return nil
+			}
+			return &v
+		}
+		for i := range series.Rows {
+			row := &series.Rows[i]
+			resp.Points = append(resp.Points, EfficiencyPoint{
+				Start:         time.Unix(row.BucketStart, 0).UTC(),
+				Jobs:          row.Jobs,
+				TimePercent:   conv(row.TimeEffMicro, row.TimeEffN),
+				CPUPercent:    conv(row.CPUEffMicro, row.CPUEffN),
+				MemoryPercent: conv(row.MemEffMicro, row.MemEffN),
+				GPUPercent:    conv(row.GPUEffMicro, row.GPUEffN),
+			})
+		}
+		return resp, nil
+	})
+}

@@ -16,6 +16,7 @@ import (
 	"ooddash/internal/newsfeed"
 	"ooddash/internal/push"
 	"ooddash/internal/resilience"
+	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/slurmrest"
 	"ooddash/internal/storagedb"
@@ -54,6 +55,11 @@ type Deps struct {
 	// Events enables the real-time monitoring feed (§9 extension); nil
 	// disables the /api/events route's data source.
 	Events EventSource
+	// RollupStats, when set, snapshots the accounting daemon's rollup store
+	// (bucket counts, compactions, eviction) for /metrics. The in-process
+	// simulator wires it to DBD.RollupStats; a real deployment would scrape
+	// slurmdbd directly instead.
+	RollupStats func() slurm.RollupStats
 	// Sleep pauses between retry attempts; nil means time.Sleep, unless
 	// Clock itself exposes a Sleep method (slurm.SimClock does), in which
 	// case retry backoff advances the simulated clock instead of blocking.
@@ -120,6 +126,12 @@ type Server struct {
 	// push-enabled widget polls consult it for refresh ownership and
 	// peer-propagated snapshots before touching the local fetch path.
 	fleet fleetPtr
+
+	// rollupStats feeds the rollup store gauges on /metrics (may be nil);
+	// rollupOff switches the historical widgets to the raw-recompute
+	// ablation (see rollup.go).
+	rollupStats func() slurm.RollupStats
+	rollupOff   atomic.Bool
 }
 
 // NewServer builds the dashboard from its dependencies.
@@ -155,6 +167,7 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 		cache:   cache.New(deps.Clock),
 		mux:     http.NewServeMux(),
 	}
+	s.rollupStats = deps.RollupStats
 	s.rendered = cache.New(deps.Clock)
 	s.lastPurge = deps.Clock.Now()
 	s.fills = newFillGates(s.cfg.Resilience.MaxConcurrentFills)
@@ -326,7 +339,7 @@ func (s *Server) registerWidgets() {
 			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
 			Handler: s.handleMyJobsCharts},
 		{Name: "job_perf", Route: "GET /api/jobperf",
-			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sreport rollup (slurmdbd)",
 			Handler: s.handleJobPerf},
 		{Name: "cluster_status", Route: "GET /api/cluster_status",
 			TTL: s.cfg.TTLs.ClusterNodes, DataSource: "scontrol show node (Slurm)",
@@ -357,8 +370,18 @@ func (s *Server) registerWidgets() {
 			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
 			Handler: s.handleAdminOverview},
 		{Name: "jobperf_timeseries", Route: "GET /api/jobperf/timeseries",
-			TTL: s.cfg.TTLs.JobHistory, DataSource: "sacct (Slurm)",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sreport rollup (slurmdbd)",
 			Handler: s.handleJobPerfTimeseries},
+		// Long-range usage views, affordable only through the rollup pipeline.
+		{Name: "usage_cluster", Route: "GET /api/usage/cluster",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sreport rollup (slurmdbd)",
+			Handler: s.handleUsageCluster},
+		{Name: "usage_accounts", Route: "GET /api/usage/accounts",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sreport rollup (slurmdbd)",
+			Handler: s.handleUsageAccounts},
+		{Name: "usage_efficiency", Route: "GET /api/usage/efficiency",
+			TTL: s.cfg.TTLs.JobHistory, DataSource: "sreport rollup (slurmdbd)",
+			Handler: s.handleUsageEfficiency},
 		{Name: "admin_health", Route: "GET /api/admin/health",
 			TTL: 0, DataSource: "backend cache stats + sdiag (Slurm)",
 			Handler: s.handleAdminHealth},

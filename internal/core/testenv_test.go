@@ -104,13 +104,14 @@ func newEnvDeps(t testing.TB, mutate func(*Config), wrapRunner func(slurmcli.Run
 		runner = wrapRunner(runner)
 	}
 	deps := Deps{
-		Runner:  runner,
-		News:    &newsfeed.Client{BaseURL: feedSrv.URL, HTTPClient: feedSrv.Client()},
-		Storage: storage,
-		Users:   users,
-		Logs:    logs,
-		Clock:   clock,
-		Events:  cluster.Ctl,
+		Runner:      runner,
+		News:        &newsfeed.Client{BaseURL: feedSrv.URL, HTTPClient: feedSrv.Client()},
+		Storage:     storage,
+		Users:       users,
+		Logs:        logs,
+		Clock:       clock,
+		Events:      cluster.Ctl,
+		RollupStats: cluster.DBD.RollupStats,
 	}
 	if mutateDeps != nil {
 		mutateDeps(&deps, cluster)

@@ -99,12 +99,12 @@ func TestTraceSpanDepthEndToEnd(t *testing.T) {
 	}
 }
 
-// TestSacctSlowdownTraceAttribution is the deterministic failure-drill E2E:
-// a FaultRunner slows sacct on the simulated clock, the resulting trace is
-// retained as slow with its latency concentrated in the slurmdbd child span,
-// the slow-request log line fires with the trace ID, and a fast request made
-// alongside is NOT retained.
-func TestSacctSlowdownTraceAttribution(t *testing.T) {
+// TestSreportSlowdownTraceAttribution is the deterministic failure-drill
+// E2E: a FaultRunner slows sreport (the rollup query command) on the
+// simulated clock, the resulting trace is retained as slow with its latency
+// concentrated in the slurmdbd child span, the slow-request log line fires
+// with the trace ID, and a fast request made alongside is NOT retained.
+func TestSreportSlowdownTraceAttribution(t *testing.T) {
 	var clk *slurm.SimClock
 	var fr *slurmcli.FaultRunner
 	e := newEnvWith(t, func(c *Config) {
@@ -116,7 +116,7 @@ func TestSacctSlowdownTraceAttribution(t *testing.T) {
 		return fr
 	})
 	clk = e.clock
-	fr.SetRules(slurmcli.FaultRule{Command: "sacct", Latency: 800 * time.Millisecond})
+	fr.SetRules(slurmcli.FaultRule{Command: "sreport", Latency: 800 * time.Millisecond})
 
 	var mu sync.Mutex
 	var logLines []string
@@ -126,7 +126,7 @@ func TestSacctSlowdownTraceAttribution(t *testing.T) {
 		mu.Unlock()
 	})
 
-	e.wantStatus("alice", "/api/jobperf", 200)     // sacct: slowed by 800ms
+	e.wantStatus("alice", "/api/jobperf", 200)     // sreport: slowed by 800ms
 	e.wantStatus("alice", "/api/recent_jobs", 200) // squeue: fast
 
 	var list TraceListResponse

@@ -21,7 +21,7 @@ func TestWidgetTableMatchesTable1(t *testing.T) {
 		"accounts":       "scontrol show assoc (Slurm)",
 		"storage":        "ZFS and GPFS storage database",
 		"my_jobs":        "sacct (Slurm)",
-		"job_perf":       "sacct (Slurm)",
+		"job_perf":       "sreport rollup (slurmdbd)",
 		"cluster_status": "scontrol show node (Slurm)",
 		"job_overview":   "scontrol show job (Slurm)",
 		"node_overview":  "scontrol show node (Slurm)",

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"time"
 
+	"ooddash/internal/efficiency/effmath"
 	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
 )
@@ -26,29 +27,29 @@ type Metrics struct {
 }
 
 // NotApplicable marks a metric that cannot be computed.
-const NotApplicable = -1
+const NotApplicable = effmath.NotApplicable
 
 // Compute derives the metrics from one accounting row. Jobs that have not
 // started report NotApplicable for every metric.
+//
+// The formulas live in effmath and take whole seconds, so the rollup
+// pipeline — which aggregates the same metrics from integer-second wire
+// fields — reproduces these values bit for bit. Every duration the CLI and
+// REST backends carry is already second-granular, so the truncation here
+// loses nothing.
 func Compute(row *slurmcli.SacctRow) Metrics {
 	m := Metrics{TimePercent: NotApplicable, CPUPercent: NotApplicable,
 		MemoryPercent: NotApplicable, GPUPercent: NotApplicable}
 	if row.StartTime.IsZero() || row.Elapsed <= 0 {
 		return m
 	}
+	elapsedSec := int64(row.Elapsed / time.Second)
 	if row.AllocTRES.GPUs > 0 && row.GPUUtilPercent >= 0 {
 		m.GPUPercent = row.GPUUtilPercent
 	}
-	if row.TimeLimit > 0 {
-		m.TimePercent = 100 * float64(row.Elapsed) / float64(row.TimeLimit)
-	}
-	if row.AllocCPUs > 0 {
-		denom := float64(row.Elapsed) * float64(row.AllocCPUs)
-		m.CPUPercent = 100 * float64(row.TotalCPU) / denom
-	}
-	if row.ReqMemMB > 0 && row.MaxRSSMB >= 0 {
-		m.MemoryPercent = 100 * float64(row.MaxRSSMB) / float64(row.ReqMemMB)
-	}
+	m.TimePercent = effmath.Time(elapsedSec, int64(row.TimeLimit/time.Second))
+	m.CPUPercent = effmath.CPU(int64(row.TotalCPU/time.Second), elapsedSec, row.AllocCPUs)
+	m.MemoryPercent = effmath.Mem(row.MaxRSSMB, row.ReqMemMB)
 	return m
 }
 

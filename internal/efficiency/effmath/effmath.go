@@ -1,0 +1,69 @@
+// Package effmath holds the scalar efficiency formulas shared by the
+// per-row analyzer (internal/efficiency) and the rollup pipeline
+// (internal/slurm). Both must produce bit-identical float64 results for the
+// golden equivalence test — a rollup-backed response byte-equal to the
+// raw-recompute one — so the formulas live here once and every caller feeds
+// them the same integer inputs.
+//
+// All inputs are whole seconds (or MB / counts), never time.Duration: the
+// nanosecond form float64(elapsed)*float64(cpus) can exceed 2^53 and round
+// differently than the seconds form, which would break byte equivalence
+// between a path that computed from Durations and one that computed from
+// the wire's integer seconds.
+package effmath
+
+import "math"
+
+// NotApplicable marks a metric that could not be measured for a job (no
+// GPU, no limit, job never started). Every formula returns it instead of a
+// garbage ratio.
+const NotApplicable = -1
+
+// Time is elapsed as a percentage of the requested time limit.
+func Time(elapsedSec, limitSec int64) float64 {
+	if limitSec <= 0 {
+		return NotApplicable
+	}
+	return 100 * float64(elapsedSec) / float64(limitSec)
+}
+
+// CPU is consumed CPU time as a percentage of the allocated CPU-seconds.
+func CPU(totalCPUSec, elapsedSec int64, cpus int) float64 {
+	if cpus <= 0 || elapsedSec <= 0 {
+		return NotApplicable
+	}
+	return 100 * float64(totalCPUSec) / (float64(elapsedSec) * float64(cpus))
+}
+
+// Mem is peak RSS as a percentage of requested memory. A negative maxRSSMB
+// means RSS was never sampled (the job never started).
+func Mem(maxRSSMB, reqMemMB int64) float64 {
+	if reqMemMB <= 0 || maxRSSMB < 0 {
+		return NotApplicable
+	}
+	return 100 * float64(maxRSSMB) / float64(reqMemMB)
+}
+
+// GPUPercent converts a 0..1 utilization fraction to the one-decimal
+// percentage the CLI prints (gres/gpuutil=%.1f) and the REST wire carries,
+// so every backend reports the identical rounded value.
+func GPUPercent(util float64) float64 {
+	return math.Round(util*1000) / 10
+}
+
+// Micro converts a percentage to the fixed-point micro-percent integer the
+// rollup store sums (order-independent integer addition; the float average
+// is recovered only at response-build time). Percentages here are exact
+// ratios well under 2^43, so the round-trip is lossless at six decimals.
+func Micro(pct float64) int64 {
+	return int64(math.Round(pct * 1e6))
+}
+
+// FromMicro recovers the mean percentage from a micro-percent sum and its
+// sample count. n == 0 yields NotApplicable.
+func FromMicro(sumMicro, n int64) float64 {
+	if n == 0 {
+		return NotApplicable
+	}
+	return float64(sumMicro) / float64(n) / 1e6
+}

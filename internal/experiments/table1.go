@@ -103,7 +103,7 @@ func Table1(s *Stack) ([]Table1Row, error) {
 		{"Accounts widget", "scontrol show assoc (Slurm)", "/api/accounts", sub.User},
 		{"Storage widget", "ZFS and GPFS storage database", "/api/storage", sub.User},
 		{"My Jobs", "sacct (Slurm)", "/api/myjobs?range=7d", sub.User},
-		{"Job Performance Metrics", "sacct (Slurm)", "/api/jobperf?range=7d", sub.User},
+		{"Job Performance Metrics", "sreport rollup (slurmdbd)", "/api/jobperf?range=7d", sub.User},
 		{"Cluster Status", "scontrol show node (Slurm)", "/api/cluster_status", sub.User},
 		{"Job Overview", "scontrol show job (Slurm)", fmt.Sprintf("/api/job/%d", sub.JobID), sub.User},
 		{"Node Overview", "scontrol show node (Slurm)", "/api/node/" + sub.Node, sub.User},
@@ -158,7 +158,7 @@ func VerifyTable1Sources(s *Stack) (map[string]bool, error) {
 		{"System Status widget", "/api/system_status", "ctl", slurm.RPCSinfo},
 		{"Accounts widget", "/api/accounts", "dbd", slurm.RPCUsageRollup},
 		{"My Jobs", "/api/myjobs?range=7d", "dbd", slurm.RPCSacct},
-		{"Job Performance Metrics", "/api/jobperf?range=7d", "dbd", slurm.RPCSacct},
+		{"Job Performance Metrics", "/api/jobperf?range=7d", "dbd", slurm.RPCRollup},
 		{"Cluster Status", "/api/cluster_status", "ctl", slurm.RPCNodeInfo},
 		{"Node Overview", "/api/node/" + sub.Node, "ctl", slurm.RPCNodeInfo},
 		{"Job Overview", fmt.Sprintf("/api/job/%d", sub.JobID), "ctl", slurm.RPCJobInfo},

@@ -18,6 +18,10 @@ type DBD struct {
 	assocs map[AssocKey]*Association
 	stats  *DaemonStats
 
+	// rollups holds the incremental time-bucketed aggregates maintained as
+	// jobs reach a terminal state (see rollup.go). Guarded by mu.
+	rollups rollupStore
+
 	// healthGate simulates accounting-database outages; sacct-style queries
 	// are gated at the command surface (slurmcli.SimRunner).
 	healthGate healthGate
@@ -26,9 +30,10 @@ type DBD struct {
 // NewDBD returns an empty accounting database.
 func NewDBD() *DBD {
 	return &DBD{
-		jobs:   make(map[JobID]*Job),
-		assocs: make(map[AssocKey]*Association),
-		stats:  NewDaemonStats("slurmdbd"),
+		jobs:    make(map[JobID]*Job),
+		assocs:  make(map[AssocKey]*Association),
+		stats:   NewDaemonStats("slurmdbd"),
+		rollups: newRollupStore(),
 	}
 }
 
@@ -49,7 +54,8 @@ func (d *DBD) AddAssociation(a Association) {
 func (d *DBD) recordJob(j *Job) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if _, exists := d.jobs[j.ID]; !exists {
+	old, exists := d.jobs[j.ID]
+	if !exists {
 		d.order = append(d.order, j.ID)
 		// Keep order sorted; submissions arrive roughly in order so the
 		// common case is an append.
@@ -60,6 +66,12 @@ func (d *DBD) recordJob(j *Job) {
 			}
 			d.order[i-1], d.order[i] = d.order[i], d.order[i-1]
 		}
+	}
+	// A job folds into the rollups exactly once: on its transition into a
+	// terminal state. Requeued jobs re-enter as non-terminal and fold again
+	// when they finish for real.
+	if (old == nil || !old.State.Terminal()) && j.State.Terminal() && !j.EndTime.IsZero() {
+		d.rollups.ingest(j)
 	}
 	d.jobs[j.ID] = j.Clone()
 }

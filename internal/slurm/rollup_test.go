@@ -1,0 +1,256 @@
+package slurm
+
+import (
+	"testing"
+	"time"
+)
+
+// rtJob builds a terminal accounting record for rollup tests.
+func rtJob(id JobID, user, account, partition string, state JobState, start, end time.Time, cpus, gpus int, limit time.Duration) *Job {
+	j := &Job{
+		ID:         id,
+		User:       user,
+		Account:    account,
+		Partition:  partition,
+		State:      state,
+		SubmitTime: start.Add(-2 * time.Minute),
+		StartTime:  start,
+		EndTime:    end,
+		TimeLimit:  limit,
+		ReqTRES:    TRES{CPUs: cpus, MemMB: 4096, GPUs: gpus, Nodes: 1},
+		AllocTRES:  TRES{CPUs: cpus, MemMB: 4096, GPUs: gpus, Nodes: 1},
+	}
+	j.Profile.CPUUtilization = 0.5
+	j.Profile.MemUtilization = 0.6
+	j.Profile.GPUUtilization = 0.7
+	return j
+}
+
+func sumRollup(rows []RollupRow) RollupAgg {
+	var total RollupAgg
+	for i := range rows {
+		total.Add(&rows[i].RollupAgg)
+	}
+	return total
+}
+
+func TestRollupIngestOnTerminalTransitionOnly(t *testing.T) {
+	d := NewDBD()
+	base := time.Date(2026, 6, 1, 10, 0, 0, 0, time.UTC)
+
+	run := rtJob(1, "alice", "physics", "batch", StateRunning, base, time.Time{}, 4, 0, time.Hour)
+	run.EndTime = time.Time{}
+	d.recordJob(run)
+	if got := d.RollupStats().Ingested; got != 0 {
+		t.Fatalf("running job ingested: %d", got)
+	}
+
+	fin := rtJob(1, "alice", "physics", "batch", StateCompleted, base, base.Add(30*time.Minute), 4, 0, time.Hour)
+	d.recordJob(fin)
+	d.recordJob(fin) // terminal re-record must not double count
+	if got := d.RollupStats().Ingested; got != 1 {
+		t.Fatalf("ingested = %d, want 1", got)
+	}
+
+	rows := d.RollupQuery(RollupScopeUser, "alice", base.Unix(), base.Add(time.Hour).Unix(), RollupMinute)
+	total := sumRollup(rows)
+	if total.Jobs != 1 || total.Completed != 1 {
+		t.Fatalf("user rows total = %+v, want 1 job completed", total)
+	}
+	if total.WallSec != 1800 || total.CPUSec != 3600 {
+		t.Fatalf("wall/cpu = %d/%d, want 1800/3600", total.WallSec, total.CPUSec)
+	}
+}
+
+func TestRollupHalfOpenBucketBoundaries(t *testing.T) {
+	d := NewDBD()
+	// End exactly on a day boundary: the job must land in the bucket that
+	// STARTS there, at every resolution, and in exactly one bucket.
+	boundary := time.Date(2026, 6, 2, 0, 0, 0, 0, time.UTC)
+	d.recordJob(rtJob(1, "alice", "physics", "batch", StateCompleted,
+		boundary.Add(-10*time.Minute), boundary, 2, 0, time.Hour))
+
+	for _, res := range []int64{RollupMinute, RollupHour, RollupDay} {
+		before := d.RollupQuery(RollupScopeTotal, "", boundary.Unix()-res, boundary.Unix(), res)
+		if n := sumRollup(before).Jobs; n != 0 {
+			t.Fatalf("res %d: bucket before boundary has %d jobs, want 0", res, n)
+		}
+		at := d.RollupQuery(RollupScopeTotal, "", boundary.Unix(), boundary.Unix()+res, res)
+		if n := sumRollup(at).Jobs; n != 1 {
+			t.Fatalf("res %d: bucket at boundary has %d jobs, want 1", res, n)
+		}
+	}
+}
+
+func TestRollupCascadeMatchesAcrossResolutions(t *testing.T) {
+	d := NewDBD()
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	// Spread 50 completions over ~36 hours, then advance two days so hours
+	// and one day seal.
+	for i := 0; i < 50; i++ {
+		end := base.Add(time.Duration(i) * 43 * time.Minute)
+		state := StateCompleted
+		if i%7 == 0 {
+			state = StateFailed
+		}
+		d.recordJob(rtJob(JobID(100+i), "alice", "physics", "batch", state,
+			end.Add(-20*time.Minute), end, 2, i%3, time.Hour))
+	}
+	d.AdvanceRollups(base.Add(48 * time.Hour))
+
+	st := d.RollupStats()
+	if st.CompactionsHour == 0 || st.CompactionsDay == 0 {
+		t.Fatalf("no compactions ran: %+v", st)
+	}
+	start, end := base.Unix(), base.Add(48*time.Hour).Unix()
+	var totals []RollupAgg
+	for _, res := range []int64{RollupMinute, RollupHour, RollupDay} {
+		totals = append(totals, sumRollup(d.RollupQuery(RollupScopeTotal, "", start, end, res)))
+	}
+	for i := 1; i < len(totals); i++ {
+		if totals[i] != totals[0] {
+			t.Fatalf("resolution %d total %+v != minute total %+v", i, totals[i], totals[0])
+		}
+	}
+	if totals[0].Jobs != 50 || totals[0].Failed != 8 {
+		t.Fatalf("total = %+v, want 50 jobs / 8 failed", totals[0])
+	}
+
+	// Per-dimension sums across scopes must each cover every job.
+	for _, scope := range []string{RollupScopeUser, RollupScopeAccount, RollupScopePartition} {
+		got := sumRollup(d.RollupQuery(scope, "", start, end, RollupDay))
+		if got != totals[0] {
+			t.Fatalf("scope %s total %+v != %+v", scope, got, totals[0])
+		}
+	}
+}
+
+func TestRollupLateIngestNoDoubleCount(t *testing.T) {
+	d := NewDBD()
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	d.recordJob(rtJob(1, "alice", "physics", "batch", StateCompleted,
+		base, base.Add(5*time.Minute), 2, 0, time.Hour))
+	d.AdvanceRollups(base.Add(72 * time.Hour)) // seal the hour and two days
+
+	// Late event landing in an already-sealed hour (and sealed day).
+	late := base.Add(30 * time.Minute)
+	d.recordJob(rtJob(2, "bob", "physics", "batch", StateCompleted,
+		late.Add(-10*time.Minute), late, 2, 0, time.Hour))
+	if got := d.RollupStats().LateDirect; got != 1 {
+		t.Fatalf("lateDirect = %d, want 1", got)
+	}
+
+	start, end := base.Unix(), base.Add(24*time.Hour).Unix()
+	for _, res := range []int64{RollupHour, RollupDay} {
+		got := sumRollup(d.RollupQuery(RollupScopeTotal, "", start, end, res))
+		if got.Jobs != 2 {
+			t.Fatalf("res %d: jobs = %d, want 2 (no double count)", res, got.Jobs)
+		}
+	}
+	// Re-sealing must not happen: advancing again leaves the count alone.
+	d.AdvanceRollups(base.Add(96 * time.Hour))
+	got := sumRollup(d.RollupQuery(RollupScopeTotal, "", start, end, RollupDay))
+	if got.Jobs != 2 {
+		t.Fatalf("after re-advance: jobs = %d, want 2", got.Jobs)
+	}
+}
+
+func TestRollupRetentionEviction(t *testing.T) {
+	d := NewDBD()
+	base := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	d.recordJob(rtJob(1, "alice", "physics", "batch", StateCompleted,
+		base, base.Add(5*time.Minute), 2, 0, time.Hour))
+	d.AdvanceRollups(base.Add(time.Hour))
+	if st := d.RollupStats(); st.MinuteBuckets == 0 {
+		t.Fatalf("expected minute buckets, got %+v", st)
+	}
+
+	// Jump past minute retention (48h) but inside hour retention.
+	d.AdvanceRollups(base.Add(72 * time.Hour))
+	st := d.RollupStats()
+	if st.MinuteBuckets != 0 {
+		t.Fatalf("minute buckets survived retention: %+v", st)
+	}
+	if st.EvictedBuckets == 0 {
+		t.Fatalf("no evictions counted: %+v", st)
+	}
+	// The hour and day levels still answer for the old window.
+	got := sumRollup(d.RollupQuery(RollupScopeTotal, "", base.Unix(), base.Add(time.Hour).Unix(), RollupHour))
+	if got.Jobs != 1 {
+		t.Fatalf("hour query after minute eviction = %+v, want 1 job", got)
+	}
+}
+
+func TestRollupBackfillAndBounds(t *testing.T) {
+	d := NewDBD()
+	now := time.Date(2026, 6, 1, 0, 0, 0, 0, time.UTC)
+	// Live job first so the watermarks initialize at "now".
+	d.recordJob(rtJob(1, "alice", "physics", "batch", StateCompleted,
+		now.Add(-10*time.Minute), now, 2, 0, time.Hour))
+
+	var old []*Job
+	for i := 0; i < 10; i++ {
+		end := now.AddDate(-1, 0, 0).Add(time.Duration(i) * 24 * time.Hour)
+		old = append(old, rtJob(JobID(1000+i), "bob", "chem", "gpu", StateCompleted,
+			end.Add(-time.Hour), end, 4, 1, 2*time.Hour))
+	}
+	// Non-terminal and duplicate records must be skipped.
+	run := rtJob(2000, "bob", "chem", "gpu", StateRunning, now, time.Time{}, 1, 0, time.Hour)
+	run.EndTime = time.Time{}
+	old = append(old, run, old[0])
+
+	if added := d.Backfill(old); added != 10 {
+		t.Fatalf("Backfill added %d, want 10", added)
+	}
+	if got := d.JobCount(); got != 11 {
+		t.Fatalf("JobCount = %d, want 11", got)
+	}
+	d.AdvanceRollups(now)
+
+	minEnd, maxEnd, ok := d.RollupBounds(RollupScopeUser, "bob")
+	if !ok {
+		t.Fatalf("no bounds for bob")
+	}
+	wantMin := now.AddDate(-1, 0, 0).Unix()
+	if minEnd != wantMin || maxEnd != wantMin+9*86400 {
+		t.Fatalf("bounds = [%d, %d], want [%d, %d]", minEnd, maxEnd, wantMin, wantMin+9*86400)
+	}
+	// Year-old history answers at day resolution.
+	got := sumRollup(d.RollupQuery(RollupScopeUser, "bob", wantMin-86400, wantMin+11*86400, RollupDay))
+	if got.Jobs != 10 || got.GPUSec != 10*3600 {
+		t.Fatalf("backfilled day query = %+v, want 10 jobs / %d gpu-sec", got, 10*3600)
+	}
+	// The raw accounting path sees the backfilled records too (ablation
+	// baseline scans them).
+	jobs := d.Jobs(JobFilter{Users: []string{"bob"}}, now)
+	if len(jobs) != 10 {
+		t.Fatalf("raw filter sees %d bob jobs, want 10", len(jobs))
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].SubmitTime.Before(jobs[i-1].SubmitTime) {
+			t.Fatalf("order not sorted after backfill")
+		}
+	}
+}
+
+func TestRollupAggSampleGating(t *testing.T) {
+	var a RollupAgg
+	// Never-started cancelled job: counted, no usage, no efficiency samples.
+	a.AddSample(StateCancelled, false, 0, 3600, 0, 0, 0, 0, -1, 4096, -1)
+	if a.Jobs != 1 || a.Started != 0 || a.WallSec != 0 || a.TimeEffN != 0 || a.CPUEffN != 0 {
+		t.Fatalf("unstarted sample = %+v", a)
+	}
+	// Started GPU job with all metrics applicable.
+	a.AddSample(StateCompleted, true, 1800, 3600, 1800, 60, 2, 1, 1024, 4096, 70.0)
+	if a.Started != 1 || a.TimeEffN != 1 || a.CPUEffN != 1 || a.MemEffN != 1 || a.GPUEffN != 1 {
+		t.Fatalf("started sample counts = %+v", a)
+	}
+	if a.GPUSec != 1800 || a.WaitSec != 60 {
+		t.Fatalf("gpu/wait = %d/%d", a.GPUSec, a.WaitSec)
+	}
+	// OOM counts as failed; no GPU sample when gpus == 0.
+	a.AddSample(StateOutOfMemory, true, 600, 3600, 600, 10, 1, 0, 512, 1024, -1)
+	if a.Failed != 1 || a.GPUEffN != 1 {
+		t.Fatalf("failed/gpu = %d/%d", a.Failed, a.GPUEffN)
+	}
+}

@@ -80,6 +80,9 @@ func (c *Controller) Tick() {
 		c.dbd.recordJob(f.job)
 		c.dbd.chargeUsage(f.job, now)
 	}
+	// Seal rollup buckets the clock has moved fully past and evict buckets
+	// older than their retention (cascade compaction, see rollup.go).
+	c.dbd.AdvanceRollups(now)
 }
 
 // scheduledEnd returns when a running job will finish and in which state.

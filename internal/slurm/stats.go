@@ -19,6 +19,7 @@ const (
 	RPCCancel      RPCKind = "REQUEST_CANCEL_JOB"       // scancel
 	RPCSacct       RPCKind = "DBD_GET_JOBS"             // sacct
 	RPCUsageRollup RPCKind = "DBD_GET_USAGE"            // sreport-style usage query
+	RPCRollup      RPCKind = "DBD_GET_ROLLUP_USAGE"     // pre-aggregated rollup query
 )
 
 // DaemonStats counts RPCs served by one daemon. All methods are safe for

@@ -16,9 +16,12 @@ import (
 // (account, user) within the window, computed from finished accounting
 // records the way slurmdbd's rollups are.
 func runSreport(cl *slurm.Cluster, args []string) (string, error) {
+	if len(args) >= 2 && args[0] == "cluster" && strings.EqualFold(args[1], "Rollup") {
+		return runSreportRollup(cl, args[2:])
+	}
 	if len(args) < 2 || args[0] != "cluster" ||
 		!strings.EqualFold(args[1], "AccountUtilizationByUser") {
-		return "", fmt.Errorf("slurmcli: sreport: only 'cluster AccountUtilizationByUser' is supported")
+		return "", fmt.Errorf("slurmcli: sreport: only 'cluster AccountUtilizationByUser' and 'cluster Rollup' are supported")
 	}
 	var (
 		start, end time.Time

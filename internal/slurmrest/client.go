@@ -72,7 +72,7 @@ func NewClient(h http.Handler, token string) *Client {
 // daemonFor attributes an endpoint to the daemon that serves it, matching
 // slurmcli.DaemonFor's split for the equivalent commands.
 func daemonFor(endpoint string) string {
-	if endpoint == "accounting" {
+	if endpoint == "accounting" || endpoint == "rollups" {
 		return "slurmdbd"
 	}
 	return "slurmctld"

@@ -1,0 +1,204 @@
+package slurmrest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// GET /slurm/v1/accounting/rollups exposes slurmdbd's pre-aggregated time
+// buckets over the REST backend. Every field on this wire is an integer
+// (unix seconds, whole-second durations, fixed-point micro-percent sums), so
+// decoding reconstructs exactly what the daemon aggregated — the property
+// the rollup-vs-raw golden test relies on when the backends swap.
+
+// RollupBucket is one (bucket, dimension) aggregate on the wire.
+type RollupBucket struct {
+	BucketStart int64  `json:"bucket_start"`
+	Scope       string `json:"scope"`
+	Name        string `json:"name,omitempty"`
+
+	Jobs      int64 `json:"jobs"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Started   int64 `json:"started"`
+	WallSec   int64 `json:"wall_seconds"`
+	CPUSec    int64 `json:"cpu_seconds"`
+	GPUSec    int64 `json:"gpu_seconds"`
+	WaitSec   int64 `json:"wait_seconds"`
+
+	TimeEffMicro int64 `json:"time_eff_micro"`
+	TimeEffN     int64 `json:"time_eff_n"`
+	CPUEffMicro  int64 `json:"cpu_eff_micro"`
+	CPUEffN      int64 `json:"cpu_eff_n"`
+	MemEffMicro  int64 `json:"mem_eff_micro"`
+	MemEffN      int64 `json:"mem_eff_n"`
+	GPUEffMicro  int64 `json:"gpu_eff_micro"`
+	GPUEffN      int64 `json:"gpu_eff_n"`
+}
+
+// RollupsResponse is the rollups endpoint envelope. A query returns Buckets;
+// a bounds request returns the min/max terminal end times instead.
+type RollupsResponse struct {
+	Buckets   []RollupBucket `json:"buckets"`
+	MinEnd    int64          `json:"min_end,omitempty"`
+	MaxEnd    int64          `json:"max_end,omitempty"`
+	HasBounds bool           `json:"has_bounds,omitempty"`
+}
+
+func rollupBucketFromRow(r *slurm.RollupRow) RollupBucket {
+	return RollupBucket{
+		BucketStart:  r.BucketStart,
+		Scope:        r.Scope,
+		Name:         r.Name,
+		Jobs:         r.Jobs,
+		Completed:    r.Completed,
+		Failed:       r.Failed,
+		Started:      r.Started,
+		WallSec:      r.WallSec,
+		CPUSec:       r.CPUSec,
+		GPUSec:       r.GPUSec,
+		WaitSec:      r.WaitSec,
+		TimeEffMicro: r.TimeEffMicro,
+		TimeEffN:     r.TimeEffN,
+		CPUEffMicro:  r.CPUEffMicro,
+		CPUEffN:      r.CPUEffN,
+		MemEffMicro:  r.MemEffMicro,
+		MemEffN:      r.MemEffN,
+		GPUEffMicro:  r.GPUEffMicro,
+		GPUEffN:      r.GPUEffN,
+	}
+}
+
+// RollupRow converts the wire bucket back to the daemon's row type.
+func (b *RollupBucket) RollupRow() slurm.RollupRow {
+	row := slurm.RollupRow{BucketStart: b.BucketStart, Scope: b.Scope, Name: b.Name}
+	row.Jobs = b.Jobs
+	row.Completed = b.Completed
+	row.Failed = b.Failed
+	row.Started = b.Started
+	row.WallSec = b.WallSec
+	row.CPUSec = b.CPUSec
+	row.GPUSec = b.GPUSec
+	row.WaitSec = b.WaitSec
+	row.TimeEffMicro = b.TimeEffMicro
+	row.TimeEffN = b.TimeEffN
+	row.CPUEffMicro = b.CPUEffMicro
+	row.CPUEffN = b.CPUEffN
+	row.MemEffMicro = b.MemEffMicro
+	row.MemEffN = b.MemEffN
+	row.GPUEffMicro = b.GPUEffMicro
+	row.GPUEffN = b.GPUEffN
+	return row
+}
+
+// handleRollups serves the pre-aggregated accounting buckets. Parameters:
+// scope (total|user|account|partition), name, start_time/end_time (unix
+// seconds), resolution (seconds: 60|3600|86400), op=bounds. User tokens may
+// only read their own user series — rollups aggregate other users' activity,
+// which per-job redaction cannot hide after the fact.
+func (s *Server) handleRollups(r *http.Request, p Principal) ([]byte, error) {
+	q := r.URL.Query()
+	scope, name, op := q.Get("scope"), q.Get("name"), q.Get("op")
+	validScope := false
+	for _, sc := range slurm.RollupScopes {
+		if scope == sc {
+			validScope = true
+			break
+		}
+	}
+	if !validScope {
+		return nil, fmt.Errorf("%w: scope %q", errBadRequest, scope)
+	}
+	if p.Kind == KindUser && (scope != slurm.RollupScopeUser || name != p.Name) {
+		return nil, fmt.Errorf("%w: user tokens may only read their own rollup series", errForbidden)
+	}
+	parse := func(key string) (int64, error) {
+		v := q.Get(key)
+		if v == "" {
+			return 0, fmt.Errorf("%w: missing %s", errBadRequest, key)
+		}
+		sec, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("%w: %s %q", errBadRequest, key, v)
+		}
+		return sec, nil
+	}
+
+	var resp RollupsResponse
+	resp.Buckets = []RollupBucket{}
+	if op == "bounds" {
+		_, err := s.cluster.DBD.Handle(r.Context(), "DBD_GET_ROLLUP_USAGE", func() (string, error) {
+			resp.MinEnd, resp.MaxEnd, resp.HasBounds = s.cluster.DBD.RollupBounds(scope, name)
+			return "", nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(resp)
+	}
+	if op != "" && op != "query" {
+		return nil, fmt.Errorf("%w: op %q", errBadRequest, op)
+	}
+	start, err := parse("start_time")
+	if err != nil {
+		return nil, err
+	}
+	end, err := parse("end_time")
+	if err != nil {
+		return nil, err
+	}
+	res, err := parse("resolution")
+	if err != nil {
+		return nil, err
+	}
+	if res != slurm.RollupMinute && res != slurm.RollupHour && res != slurm.RollupDay {
+		return nil, fmt.Errorf("%w: resolution %d", errBadRequest, res)
+	}
+	_, err = s.cluster.DBD.Handle(r.Context(), "DBD_GET_ROLLUP_USAGE", func() (string, error) {
+		rows := s.cluster.DBD.RollupQuery(scope, name, start, end, res)
+		resp.Buckets = make([]RollupBucket, len(rows))
+		for i := range rows {
+			resp.Buckets[i] = rollupBucketFromRow(&rows[i])
+		}
+		return "", nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(resp)
+}
+
+// Rollup mirrors slurmcli.SreportRollup over the REST backend.
+func (c *Client) Rollup(ctx context.Context, opts slurmcli.RollupOptions) (slurmcli.RollupResult, error) {
+	q := url.Values{}
+	q.Set("scope", opts.Scope)
+	if opts.Name != "" {
+		q.Set("name", opts.Name)
+	}
+	if opts.Op == "bounds" {
+		q.Set("op", "bounds")
+	} else {
+		q.Set("start_time", strconv.FormatInt(opts.Start, 10))
+		q.Set("end_time", strconv.FormatInt(opts.End, 10))
+		q.Set("resolution", strconv.FormatInt(opts.Resolution, 10))
+	}
+	var resp RollupsResponse
+	if err := c.get(ctx, "rollups", "/slurm/v1/accounting/rollups", q, &resp); err != nil {
+		return slurmcli.RollupResult{}, err
+	}
+	res := slurmcli.RollupResult{MinEnd: resp.MinEnd, MaxEnd: resp.MaxEnd, HasBounds: resp.HasBounds}
+	if len(resp.Buckets) > 0 {
+		res.Rows = make([]slurm.RollupRow, len(resp.Buckets))
+		for i := range resp.Buckets {
+			res.Rows[i] = resp.Buckets[i].RollupRow()
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,157 @@
+package slurmrest
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+
+	"ooddash/internal/slurm"
+	"ooddash/internal/slurmcli"
+)
+
+// rollupWindow is the last 24 hours as whole hour buckets — wide enough to
+// cover everything seedJobs produced.
+func rollupWindow(e *restEnv) (start, end int64) {
+	now := e.clock.Now().Unix()
+	start = now - 24*3600
+	start -= start % 3600
+	end = now + 3600
+	end -= end % 3600
+	return start, end
+}
+
+// settle advances far enough that every runnable seed job reaches a
+// terminal state and lands in the rollup store.
+func settle(e *restEnv) {
+	e.clock.Advance(3 * time.Hour)
+	e.cluster.Ctl.Tick()
+}
+
+func TestRollupsEndpointMatchesDaemon(t *testing.T) {
+	e := newRestEnv(t, Options{})
+	e.seedJobs(t)
+	settle(e)
+	start, end := rollupWindow(e)
+
+	rec := e.get(tokStaff, fmt.Sprintf(
+		"/slurm/v1/accounting/rollups?scope=total&start_time=%d&end_time=%d&resolution=3600", start, end))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp RollupsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Buckets) == 0 {
+		t.Fatal("no buckets in the window; seed jobs never reached the rollup store")
+	}
+	got := make([]slurm.RollupRow, len(resp.Buckets))
+	for i := range resp.Buckets {
+		got[i] = resp.Buckets[i].RollupRow()
+	}
+	want := e.cluster.DBD.RollupQuery(slurm.RollupScopeTotal, "", start, end, slurm.RollupHour)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("wire rows != daemon rows\nwire:   %+v\ndaemon: %+v", got, want)
+	}
+
+	// The typed client decodes the same rows.
+	cl := NewClient(e.server, tokStaff)
+	res, err := cl.Rollup(context.Background(), slurmcli.RollupOptions{
+		Scope: slurm.RollupScopeTotal, Start: start, End: end, Resolution: slurm.RollupHour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows, want) {
+		t.Errorf("client rows != daemon rows\nclient: %+v\ndaemon: %+v", res.Rows, want)
+	}
+}
+
+func TestRollupsBoundsOp(t *testing.T) {
+	e := newRestEnv(t, Options{})
+	e.seedJobs(t)
+	settle(e)
+
+	rec := e.get(tokStaff, "/slurm/v1/accounting/rollups?scope=total&op=bounds")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d: %s", rec.Code, rec.Body)
+	}
+	var resp RollupsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	minEnd, maxEnd, ok := e.cluster.DBD.RollupBounds(slurm.RollupScopeTotal, "")
+	if !ok || !resp.HasBounds {
+		t.Fatalf("bounds missing: daemon ok=%v wire=%+v", ok, resp)
+	}
+	if resp.MinEnd != minEnd || resp.MaxEnd != maxEnd {
+		t.Errorf("bounds = [%d, %d], want [%d, %d]", resp.MinEnd, resp.MaxEnd, minEnd, maxEnd)
+	}
+}
+
+// TestRollupsUserTokenOwnSeriesOnly: rollups aggregate everyone's activity,
+// which per-job redaction cannot hide after the fact — a user token may
+// only read its own user series.
+func TestRollupsUserTokenOwnSeriesOnly(t *testing.T) {
+	e := newRestEnv(t, Options{})
+	e.seedJobs(t)
+	settle(e)
+	start, end := rollupWindow(e)
+	q := fmt.Sprintf("&start_time=%d&end_time=%d&resolution=3600", start, end)
+
+	for _, path := range []string{
+		"/slurm/v1/accounting/rollups?scope=total" + q,
+		"/slurm/v1/accounting/rollups?scope=account&name=lab-a" + q,
+		"/slurm/v1/accounting/rollups?scope=partition&name=cpu" + q,
+		"/slurm/v1/accounting/rollups?scope=user&name=bob" + q,
+		"/slurm/v1/accounting/rollups?scope=user" + q, // empty name = all users
+	} {
+		if rec := e.get(tokAlice, path); rec.Code != http.StatusForbidden {
+			t.Errorf("%s as alice: status %d, want 403", path, rec.Code)
+		}
+	}
+	rec := e.get(tokAlice, "/slurm/v1/accounting/rollups?scope=user&name=alice"+q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("own series as alice: status %d: %s", rec.Code, rec.Body)
+	}
+	var resp RollupsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range resp.Buckets {
+		if b.Name != "alice" {
+			t.Errorf("user token received series %q", b.Name)
+		}
+	}
+}
+
+func TestRollupsValidation(t *testing.T) {
+	e := newRestEnv(t, Options{})
+	e.seedJobs(t)
+	settle(e)
+	start, end := rollupWindow(e)
+	q := fmt.Sprintf("&start_time=%d&end_time=%d&resolution=3600", start, end)
+
+	cases := []struct {
+		path string
+		want int
+	}{
+		{"/slurm/v1/accounting/rollups?scope=galaxy" + q, http.StatusBadRequest},
+		{fmt.Sprintf("/slurm/v1/accounting/rollups?scope=total&start_time=%d&end_time=%d&resolution=123", start, end), http.StatusBadRequest},
+		{fmt.Sprintf("/slurm/v1/accounting/rollups?scope=total&end_time=%d&resolution=3600", end), http.StatusBadRequest},
+		{"/slurm/v1/accounting/rollups?scope=total&op=frobnicate" + q, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if rec := e.get(tokStaff, c.path); rec.Code != c.want {
+			t.Errorf("%s: status %d, want %d: %s", c.path, rec.Code, c.want, rec.Body)
+		}
+	}
+	// Service tokens have no accounting scope at all.
+	if rec := e.get(tokSvc, "/slurm/v1/accounting/rollups?scope=total"+q); rec.Code != http.StatusForbidden {
+		t.Errorf("service token: status %d, want 403", rec.Code)
+	}
+}

@@ -59,6 +59,7 @@ func NewServer(cluster *slurm.Cluster, ts *TokenStore, opts Options) *Server {
 	mux.HandleFunc("GET /slurm/v1/nodes/{name}", s.endpoint("node", s.handleNode))
 	mux.HandleFunc("GET /slurm/v1/partitions", s.endpoint("partitions", s.handlePartitions))
 	mux.HandleFunc("GET /slurm/v1/accounting", s.endpoint("accounting", s.handleAccounting))
+	mux.HandleFunc("GET /slurm/v1/accounting/rollups", s.endpoint("rollups", s.handleRollups))
 	mux.HandleFunc("GET /slurm/v1/diag", s.endpoint("diag", s.handleDiag))
 	s.mux = mux
 	return s
@@ -114,7 +115,7 @@ func writeError(w http.ResponseWriter, status int, msg string) {
 // redaction for user tokens happens inside the handlers.
 func scopeAllows(endpoint string, kind Kind) bool {
 	switch endpoint {
-	case "jobs", "job", "accounting":
+	case "jobs", "job", "accounting", "rollups":
 		return kind != KindService
 	case "diag":
 		return kind != KindUser
@@ -129,6 +130,10 @@ type handlerFunc func(r *http.Request, p Principal) ([]byte, error)
 
 // errNotFound marks semantic lookups that found nothing; mapped to 404.
 var errNotFound = errors.New("slurmrest: not found")
+
+// errForbidden marks requests a principal's scope admits but whose
+// parameters reach past what that principal may see; mapped to 403.
+var errForbidden = errors.New("slurmrest: forbidden")
 
 // endpoint wraps a handler with the shared request pipeline:
 // authenticate → scope check → rendered-cache lookup → build → ETag/304.
@@ -159,6 +164,8 @@ func (s *Server) endpoint(name string, fn handlerFunc) http.HandlerFunc {
 				status = http.StatusNotFound
 			case errors.Is(err, errBadRequest):
 				status = http.StatusBadRequest
+			case errors.Is(err, errForbidden):
+				status = http.StatusForbidden
 			}
 			s.count(name, status)
 			writeError(w, status, err.Error())

@@ -461,13 +461,14 @@ func (e *Env) NewServerRunner(newsBaseURL string, cfg core.Config, runner slurmc
 		cfg.ClusterName = e.Cluster.Name
 	}
 	deps := core.Deps{
-		Runner:  runner,
-		News:    &newsfeed.Client{BaseURL: newsBaseURL},
-		Storage: e.Storage,
-		Users:   e.Users,
-		Logs:    e.Logs,
-		Clock:   e.Clock,
-		Events:  e.Cluster.Ctl,
+		Runner:      runner,
+		News:        &newsfeed.Client{BaseURL: newsBaseURL},
+		Storage:     e.Storage,
+		Users:       e.Users,
+		Logs:        e.Logs,
+		Clock:       e.Clock,
+		Events:      e.Cluster.Ctl,
+		RollupStats: e.Cluster.DBD.RollupStats,
 	}
 	if cfg.Backend.Slurmctld == core.BackendREST || cfg.Backend.Slurmdbd == core.BackendREST {
 		if e.REST == nil {
@@ -479,6 +480,68 @@ func (e *Env) NewServerRunner(newsBaseURL string, cfg core.Config, runner slurmc
 		deps.RESTServer = e.REST
 	}
 	return core.NewServer(cfg, deps)
+}
+
+// SynthesizeHistory bulk-loads count synthetic terminal jobs into the
+// accounting daemon's job store and rollup pipeline, spread over the two
+// years before the current sim time. It stands in for a long-lived
+// cluster's accounting depth: the loadgen rollup bench uses it to scale
+// history 100x/1000x past the replayed trace without paying scheduler
+// replay time. Deterministic for a given spec and call sequence; returns
+// the number of records loaded. IDs start far above the scheduler's range
+// so repeated calls with growing counts only add the new tail.
+func (e *Env) SynthesizeHistory(offset, count int) int {
+	rng := rand.New(rand.NewSource(e.Spec.Seed ^ int64(offset)<<20 ^ 0x4011))
+	now := e.Clock.Now()
+	const idBase = slurm.JobID(1 << 30)
+	partitions := []string{"cpu", "cpu", "cpu", "highmem", "gpu"}
+	const spanSec = int64(2 * 366 * 86400)
+	jobs := make([]*slurm.Job, 0, count)
+	for i := 0; i < count; i++ {
+		part := partitions[rng.Intn(len(partitions))]
+		end := now.Add(-time.Duration(1+rng.Int63n(spanSec)) * time.Second)
+		dur := time.Duration(5+rng.Intn(235)) * time.Minute
+		wait := time.Duration(rng.Intn(3600)) * time.Second
+		state, exit := slurm.StateCompleted, 0
+		switch f := rng.Float64(); {
+		case f < 0.08:
+			state, exit = slurm.StateFailed, 1+rng.Intn(125)
+		case f < 0.11:
+			state = slurm.StateTimeout
+		}
+		cpus := 2 << rng.Intn(4)
+		gpus := 0
+		if part == "gpu" {
+			gpus = 1 + rng.Intn(4)
+		}
+		tres := slurm.TRES{CPUs: cpus, GPUs: gpus, MemMB: int64(4<<rng.Intn(4)) * 1024, Nodes: 1}
+		j := &slurm.Job{
+			ID:         idBase + slurm.JobID(offset+i),
+			Name:       fmt.Sprintf("hist-%08d", offset+i),
+			User:       e.UserNames[rng.Intn(len(e.UserNames))],
+			Account:    e.GroupNames[rng.Intn(len(e.GroupNames))],
+			Partition:  part,
+			QOS:        "normal",
+			WorkDir:    "/home/hist",
+			State:      state,
+			SubmitTime: end.Add(-dur - wait),
+			StartTime:  end.Add(-dur),
+			EndTime:    end,
+			TimeLimit:  dur + time.Duration(30+rng.Intn(90))*time.Minute,
+			ReqTRES:    tres,
+			AllocTRES:  tres,
+			ExitCode:   exit,
+		}
+		j.Profile.CPUUtilization = 0.2 + 0.7*rng.Float64()
+		j.Profile.MemUtilization = 0.1 + 0.8*rng.Float64()
+		if gpus > 0 {
+			j.Profile.GPUUtilization = 0.3 + 0.6*rng.Float64()
+		}
+		jobs = append(jobs, j)
+	}
+	added := e.Cluster.DBD.Backfill(jobs)
+	e.Cluster.DBD.AdvanceRollups(now)
+	return added
 }
 
 // ProvisionREST starts the in-process slurmrestd-style daemon over the
