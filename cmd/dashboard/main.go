@@ -66,6 +66,7 @@ import (
 	"ooddash/internal/auth"
 	"ooddash/internal/core"
 	"ooddash/internal/fleet"
+	"ooddash/internal/slo"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/workload"
 )
@@ -118,6 +119,8 @@ func main() {
 
 		replicas = flag.Int("replicas", 1, "dashboard replicas behind the simulated load balancer (>1 enables the fleet tier)")
 		lbPolicy = flag.String("lb-policy", "round_robin", "fleet load-balancing policy: round_robin, least_conn, or sticky")
+
+		sloConfig = flag.String("slo-config", "", "JSON file of SLO objectives (empty = built-in defaults: 99.9% availability, 99% latency under 250ms, 28d budgets)")
 
 		traceSample   = flag.Float64("trace-sample", 1, "head-sampling probability for span tracing (0 disables tracing)")
 		traceSlowMS   = flag.Int("trace-slow-ms", 500, "slow-request threshold in milliseconds: slower traces are always retained and logged (0 disables the slow class)")
@@ -224,6 +227,18 @@ func main() {
 		Push:    core.PushConfig{Disabled: *noPush, Heartbeat: hb},
 		Trace:   traceCfg,
 		Backend: backendCfg,
+	}
+	if *sloConfig != "" {
+		data, err := os.ReadFile(*sloConfig)
+		if err != nil {
+			log.Fatalf("-slo-config: %v", err)
+		}
+		objectives, err := slo.ParseConfig(data)
+		if err != nil {
+			log.Fatalf("-slo-config %s: %v", *sloConfig, err)
+		}
+		cfg.SLO.Objectives = objectives
+		log.Printf("SLO objectives loaded from %s (%d objectives)", *sloConfig, len(objectives))
 	}
 
 	// handler is what the main listener serves: a single server, or the

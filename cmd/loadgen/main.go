@@ -308,6 +308,10 @@ func main() {
 		rollupRequests = flag.Int("rollup-requests", 60, "timed rollup-path requests per scale in -rollup mode")
 		maxRollupP95   = flag.Float64("max-rollup-p95-ratio", -1, "exit 1 if rollup-path p95 at 1000x history exceeds this multiple of the 1x p95 (negative disables; golden mismatches always fail)")
 
+		sloMode      = flag.Bool("slo", false, "SLO benchmark: hit-path allocation cost of SLI recording (off vs on) plus the chaos-catalog alert truth table (see -slo-requests, -max-slo-allocs)")
+		sloRequests  = flag.Int("slo-requests", 21000, "requests per overhead phase in -slo mode (rounded down to the request-mix size)")
+		maxSLOAllocs = flag.Float64("max-slo-allocs", 1, "exit 1 if SLI recording adds more than this many allocs/op over the recording-off hit path (negative disables)")
+
 		chaosName   = flag.String("chaos", "", "chaos mode: run this internal/chaos scenario (or \"all\") under open-loop load with per-scenario SLO gates")
 		arrivalRate = flag.Float64("arrival-rate", 400, "chaos mode: open-loop Poisson arrival rate, requests/second (latency measured from intended arrival)")
 		seed        = flag.Int64("seed", 7, "chaos mode: seed for the workload, fault injector, and arrival schedule (recorded in BENCH_chaos.json)")
@@ -342,6 +346,10 @@ func main() {
 	}
 	if *rollupMode {
 		runRollupBench(*rollupRequests, *benchOut, *maxRollupP95)
+		return
+	}
+	if *sloMode {
+		runSLOBench(*sloRequests, *seed, *benchOut, *maxSLOAllocs)
 		return
 	}
 

@@ -22,16 +22,66 @@ import (
 	"math/rand"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"ooddash/internal/auth"
 	"ooddash/internal/core"
 	"ooddash/internal/push"
+	"ooddash/internal/slo"
 	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/workload"
 )
+
+// Objectives are the chaos-tuned SLO objectives every run installs: the
+// production defaults watch 28 days with hour-scale windows, far too slow
+// for a 14-minute scripted storm, so drills run the same engine with
+// minute-scale windows and a latency threshold sized to the catalog's
+// injected stalls (login_rush stalls every upstream command well past it;
+// un-stalled simulated handlers finish far under it, so quiet scenarios
+// cannot trip it on wall-clock noise).
+func Objectives() []slo.Objective {
+	return []slo.Objective{
+		{
+			Name: "availability", Kind: slo.KindAvailability, Target: 0.9,
+			Rules: []slo.Rule{{
+				Name: "page", Severity: "page", Burn: 2,
+				Short: 2 * time.Minute, Long: 5 * time.Minute,
+				For: 2 * time.Minute, KeepFor: time.Minute,
+			}},
+		},
+		// The latency target is tighter than availability's: rush traffic
+		// mixes stalled Slurm-backed widgets with storage requests that
+		// never touch the injected faults, so the bad fraction tops out
+		// around 15% — enough to burn a 5% budget at 2x, invisible to a
+		// 10% one.
+		{
+			Name: "latency", Kind: slo.KindLatency, Target: 0.95,
+			Threshold: 20 * time.Millisecond,
+			Rules: []slo.Rule{{
+				Name: "ticket", Severity: "ticket", Burn: 2,
+				Short: 2 * time.Minute, Long: 5 * time.Minute,
+				For: time.Minute, KeepFor: time.Minute,
+			}},
+		},
+	}
+}
+
+// AlertExpectation gates a scenario's SLO alerting behavior, checked by
+// Execute after the scenario's own Verify. Keys are "objective/rule" pairs.
+// The zero value is the strictest gate: no rule may fire at all — a quiet
+// scenario that trips an alert is a false positive and fails the drill.
+type AlertExpectation struct {
+	// MustFire rules must have fired at least once by scenario end.
+	MustFire []string
+	// MustResolve rules must have fired and also resolved by scenario end.
+	MustResolve []string
+	// MayFire rules are exempt from the false-positive gate without being
+	// required to fire.
+	MayFire []string
+}
 
 // AdminUser is the operator identity every run provisions for the admin
 // routes (accounting overview, trace inspection).
@@ -117,6 +167,9 @@ func NewRun(opts Options) (*Run, error) {
 		Push: core.PushConfig{DisableIdlePause: true, Jitter: -1},
 		// Record every request; tail retention keeps the interesting ones.
 		Trace: core.TraceConfig{Sample: 1},
+		// Minute-scale objectives so the scripted storms can walk alerts
+		// through fire and resolve on the simulated clock.
+		SLO: core.SLOConfig{Objectives: Objectives()},
 	})
 	if err != nil {
 		return nil, fmt.Errorf("chaos: %w", err)
@@ -170,6 +223,67 @@ func (r *Run) Execute(sc Scenario) error {
 	if sc.Verify != nil {
 		if err := sc.Verify(r); err != nil {
 			return fmt.Errorf("chaos: %s verify: %w", sc.Name, err)
+		}
+	}
+	if err := r.CheckAlerts(sc.Alerts); err != nil {
+		return fmt.Errorf("chaos: %s alerts: %w", sc.Name, err)
+	}
+	return nil
+}
+
+// CheckAlerts verifies the run's SLO alerting against a scenario's
+// expectation: every MustFire rule fired, every MustResolve rule fired and
+// resolved, and nothing outside the expectation fired at all (false
+// positives fail the drill). The loadgen wall harness deliberately skips
+// this — under open-loop load at real wall latencies the alert timeline is
+// not deterministic; only the scripted simulated-clock drills gate on it.
+func (r *Run) CheckAlerts(exp AlertExpectation) error {
+	eng := r.Server.SLO()
+	split := func(key string) (string, string, error) {
+		obj, rule, ok := strings.Cut(key, "/")
+		if !ok || obj == "" || rule == "" {
+			return "", "", fmt.Errorf("bad alert key %q, want objective/rule", key)
+		}
+		return obj, rule, nil
+	}
+	allowed := make(map[string]bool)
+	for _, keys := range [][]string{exp.MustFire, exp.MustResolve, exp.MayFire} {
+		for _, k := range keys {
+			allowed[k] = true
+		}
+	}
+	for _, k := range exp.MustFire {
+		obj, rule, err := split(k)
+		if err != nil {
+			return err
+		}
+		fired, _, ok := eng.AlertCounts(obj, rule)
+		if !ok {
+			return fmt.Errorf("expected rule %s not configured", k)
+		}
+		if fired == 0 {
+			return fmt.Errorf("rule %s never fired", k)
+		}
+	}
+	for _, k := range exp.MustResolve {
+		obj, rule, err := split(k)
+		if err != nil {
+			return err
+		}
+		fired, resolved, ok := eng.AlertCounts(obj, rule)
+		if !ok {
+			return fmt.Errorf("expected rule %s not configured", k)
+		}
+		if fired == 0 || resolved == 0 {
+			return fmt.Errorf("rule %s fired=%d resolved=%d, want both >= 1", k, fired, resolved)
+		}
+	}
+	for _, o := range eng.Status().Objectives {
+		for _, a := range o.Alerts {
+			key := o.Name + "/" + a.Rule
+			if a.Fired > 0 && !allowed[key] {
+				return fmt.Errorf("false positive: rule %s fired %d time(s)", key, a.Fired)
+			}
 		}
 	}
 	return nil

@@ -135,9 +135,10 @@ func TestDrillLoginRush(t *testing.T) {
 	// A tight cap makes the stampede bite: 300 cold users cannot all fill at
 	// once, so the gate must reject the overflow as retriable 503s while the
 	// server never drops a 500. The fill gate bounds WALL-time concurrency,
-	// so this one drill gives the scenario's injected 2ms command stall real
+	// so this one drill gives the scenario's injected command stall real
 	// wall duration (every other drill keeps the simulated-clock sleep);
-	// total added wall time stays well under a second.
+	// the admitted fills' real stalls are also what makes the latency
+	// ticket fire. Total added wall time stays around a second.
 	r := drill(t, "login_rush", Options{FillCap: 8, Sleep: time.Sleep})
 	h := r.Health()
 	if h.Rejected == 0 {
@@ -145,5 +146,42 @@ func TestDrillLoginRush(t *testing.T) {
 	}
 	if h.OK == 0 {
 		t.Fatalf("health = %+v: nobody got through the rush", h)
+	}
+}
+
+// TestSLOChaosAlertGates pins the per-scenario alerting contract directly
+// (Execute already enforces each scenario's AlertExpectation; this test
+// asserts the counts themselves so a gate regression cannot hide behind an
+// accidentally-empty expectation).
+func TestSLOChaosAlertGates(t *testing.T) {
+	// The storm fires the availability page and resolves it after recovery;
+	// the latency ticket stays silent.
+	storm := drill(t, "node_failure_storm", Options{})
+	fired, resolved, ok := storm.Server.SLO().AlertCounts("availability", "page")
+	if !ok || fired < 1 || resolved < 1 {
+		t.Fatalf("storm availability/page fired=%d resolved=%d ok=%t, want both >= 1", fired, resolved, ok)
+	}
+	if fired, _, _ := storm.Server.SLO().AlertCounts("latency", "ticket"); fired != 0 {
+		t.Fatalf("storm latency/ticket fired %d time(s), want 0", fired)
+	}
+
+	// The rush fires the latency ticket but never the availability page:
+	// 503 backpressure is excluded from the availability SLI by design.
+	rush := drill(t, "login_rush", Options{FillCap: 8, Sleep: time.Sleep})
+	if fired, _, ok := rush.Server.SLO().AlertCounts("latency", "ticket"); !ok || fired < 1 {
+		t.Fatalf("rush latency/ticket fired=%d ok=%t, want >= 1", fired, ok)
+	}
+	if fired, _, _ := rush.Server.SLO().AlertCounts("availability", "page"); fired != 0 {
+		t.Fatalf("rush availability/page fired %d time(s), want 0", fired)
+	}
+
+	// A quiet scenario ends with zero lifetime fires on every rule.
+	quiet := drill(t, "maintenance_drain", Options{})
+	for _, o := range quiet.Server.SLO().Status().Objectives {
+		for _, a := range o.Alerts {
+			if a.Fired != 0 {
+				t.Fatalf("quiet drill fired %s/%s %d time(s)", o.Name, a.Rule, a.Fired)
+			}
+		}
 	}
 }

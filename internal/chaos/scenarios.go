@@ -37,6 +37,9 @@ type Scenario struct {
 	Steps       int
 	StepEvery   time.Duration
 	SLO         SLO
+	// Alerts gates the run's burn-rate alerting per scenario; the zero
+	// value demands that no alert fires at all (see Run.CheckAlerts).
+	Alerts AlertExpectation
 
 	Setup  func(*Run) error
 	OnStep func(*Run, int) error
@@ -228,6 +231,15 @@ func nodeFailureStorm() Scenario {
 		Steps:     14,
 		StepEvery: time.Minute,
 		SLO:       SLO{P99: 1500 * time.Millisecond, MaxDegradedRate: 0.85, MaxRejectedRate: 0.30},
+		// The outage must page: degraded stale serves burn the availability
+		// budget fast enough to walk the page rule through pending, firing,
+		// and — once the controller recovers — resolution, all within the
+		// scripted 14 minutes. Latency stays quiet (outage errors are
+		// instant; nothing stalls the handlers).
+		Alerts: AlertExpectation{
+			MustFire:    []string{"availability/page"},
+			MustResolve: []string{"availability/page"},
+		},
 		Draw: func(r *Run, rng *rand.Rand) (string, string) {
 			user := r.Env.UserNames[rng.Intn(len(r.Env.UserNames))]
 			paths := []string{"/api/system_status", "/api/cluster_status", "/api/recent_jobs"}
@@ -483,6 +495,14 @@ func accountingBackfill() Scenario {
 		Steps:     10,
 		StepEvery: time.Minute,
 		SLO:       SLO{P99: 2 * time.Second, MaxDegradedRate: 0.25, MaxRejectedRate: 0.10},
+		// The latency SLI is wall-clock and this scenario's whole point is
+		// slow accounting queries: in the wall-mode harness the injected
+		// sacct stalls are real, and even in sim-sleep drills the cold
+		// accounting scans can cross the 20ms threshold on a slow machine
+		// (the race detector). A latency ticket is legitimate here but
+		// environment-dependent, so it is allowed, not required — the
+		// availability page must still never fire.
+		Alerts: AlertExpectation{MayFire: []string{"latency/ticket"}},
 		Draw: func(r *Run, rng *rand.Rand) (string, string) {
 			user := r.Env.UserNames[rng.Intn(len(r.Env.UserNames))]
 			paths := []string{"/api/myjobs", "/api/myjobs/charts", "/api/insights", "/api/recent_jobs"}
@@ -580,6 +600,13 @@ func loginRush() Scenario {
 		Steps:     4,
 		StepEvery: 30 * time.Second,
 		SLO:       SLO{P99: 2 * time.Second, MaxDegradedRate: 0.60, MaxRejectedRate: 0.80},
+		// The rush is a latency story, never an availability one: every
+		// admitted request waits out the injected stall (well past the
+		// chaos latency threshold), so the latency ticket must fire — but
+		// the overflow fails fast as 503s, which the availability SLI
+		// excludes as intentional backpressure, so the page must stay
+		// silent.
+		Alerts: AlertExpectation{MustFire: []string{"latency/ticket"}},
 		Draw: func(r *Run, rng *rand.Rand) (string, string) {
 			user := r.RushUsers[rng.Intn(len(r.RushUsers))]
 			return user, rushPaths[rng.Intn(len(rushPaths))]
@@ -592,10 +619,12 @@ func loginRush() Scenario {
 				r.Env.Users.AddUser(auth.User{Name: name, Accounts: []string{r.Env.GroupNames[i%len(r.Env.GroupNames)]}})
 				r.Env.Storage.ProvisionUser(name)
 			}
-			// A real controller under a login rush answers in milliseconds,
-			// not instantly; this small per-command stall is what makes the
-			// cold fills overlap so the admission gate has something to bound.
-			r.Faults.SetRules(slurmcli.FaultRule{Latency: 2 * time.Millisecond})
+			// A real controller under a login rush answers in tens of
+			// milliseconds, not instantly; this per-command stall is what
+			// makes the cold fills overlap so the admission gate has
+			// something to bound, and it sits well past the chaos latency
+			// threshold so every admitted fill is a bad latency SLI event.
+			r.Faults.SetRules(slurmcli.FaultRule{Latency: 40 * time.Millisecond})
 			return nil
 		},
 		OnStep: func(r *Run, i int) error {

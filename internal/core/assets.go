@@ -71,6 +71,12 @@ th, td { border-bottom: 1px solid #d0d7de; padding: .3rem .5rem; text-align: lef
 .waterfall .span-bar.layer-slurmctld, .waterfall .span-bar.layer-slurmdbd,
 .waterfall .span-bar.layer-daemon { background: var(--red); }
 .waterfall .span-dur { flex: 0 0 6rem; text-align: right; color: var(--gray); }
+.budget-track { display: inline-block; width: 8rem; height: .7rem;
+  background: #f6f8fa; border-radius: 2px; vertical-align: middle; }
+.budget-spent { display: block; height: 100%; border-radius: 2px;
+  background: var(--orange); }
+tr.slo-firing td { background: #fff1f0; }
+tr.slo-pending td { background: #fffbe6; }
 `
 
 // assetCacheJS is the IndexedDB helper (§2.4): get/put JSON blobs keyed by

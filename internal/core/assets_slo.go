@@ -1,0 +1,103 @@
+package core
+
+// assetSLOJS drives the staff admin SLO page: one fetch of /api/admin/slo
+// renders the error-budget ledger per objective, every burn-rate rule's
+// live state and window burns, and the recent alert transition log. The
+// page re-polls on a slow cadence — the snapshot is self-evaluating
+// server-side, so each fetch reflects the alert state machines at that
+// instant.
+const assetSLOJS = `"use strict";
+(() => {
+  const budgetsEl = document.querySelector("#slo-budgets .widget-body");
+  const alertsEl = document.querySelector("#slo-alerts .widget-body");
+  const transEl = document.querySelector("#slo-transitions .widget-body");
+  const asOfEl = document.getElementById("slo-asof");
+  const refreshBtn = document.getElementById("slo-refresh");
+  if (!budgetsEl || !alertsEl || !transEl) return;
+
+  const esc = (s) => String(s).replace(/[&<>"]/g,
+    (c) => ({"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}[c]));
+  const pct = (x) => (100 * x).toFixed(2) + "%";
+  const days = (secs) => secs > 0 ? (secs / 86400).toFixed(1) + " d" : "—";
+
+  function objectiveLabel(o) {
+    let label = esc(o.name) + " ≥ " + pct(o.target);
+    if (o.kind === "latency" && o.threshold_seconds) {
+      label += " under " + (o.threshold_seconds * 1000).toFixed(0) + " ms";
+    }
+    return label;
+  }
+
+  function renderBudgets(objs) {
+    const rows = objs.map((o) => {
+      const b = o.budget;
+      const spentW = Math.min(100, Math.max(0, 100 * b.spent_ratio));
+      return "<tr><td>" + objectiveLabel(o) + "</td>" +
+        "<td>" + b.total + " (" + b.bad + " bad)</td>" +
+        "<td><span class='budget-track'><span class='budget-spent' style='width:" +
+        spentW.toFixed(1) + "%'></span></span> " + pct(b.spent_ratio) + "</td>" +
+        "<td>" + pct(b.remaining_ratio) + "</td>" +
+        "<td>" + days(b.exhaustion_seconds) + "</td></tr>";
+    });
+    budgetsEl.innerHTML = "<table><thead><tr><th>Objective</th><th>Events (28d)</th>" +
+      "<th>Budget spent</th><th>Remaining</th><th>Exhaustion</th></tr></thead><tbody>" +
+      rows.join("") + "</tbody></table>";
+  }
+
+  function renderAlerts(objs) {
+    const rows = [];
+    for (const o of objs) {
+      for (const a of o.alerts || []) {
+        rows.push("<tr class='slo-" + esc(a.state) + "'>" +
+          "<td>" + esc(o.name) + "/" + esc(a.rule) + "</td>" +
+          "<td>" + esc(a.severity) + "</td>" +
+          "<td><strong>" + esc(a.state) + "</strong></td>" +
+          "<td>" + a.short_burn.toFixed(2) + "× / " + a.long_burn.toFixed(2) +
+          "× (≥ " + a.burn_threshold + "×)</td>" +
+          "<td>" + (a.short_window_seconds / 60) + "m / " +
+          (a.long_window_seconds / 60) + "m</td>" +
+          "<td>" + a.fired_total + " / " + a.resolved_total + "</td></tr>");
+      }
+    }
+    alertsEl.innerHTML = "<table><thead><tr><th>Rule</th><th>Severity</th><th>State</th>" +
+      "<th>Burn (short/long)</th><th>Windows</th><th>Fired/Resolved</th></tr></thead><tbody>" +
+      rows.join("") + "</tbody></table>";
+  }
+
+  function renderTransitions(trans) {
+    if (!trans || trans.length === 0) {
+      transEl.textContent = "None yet.";
+      return;
+    }
+    const rows = trans.slice().reverse().map((t) =>
+      "<tr><td>" + esc(new Date(t.at).toISOString()) + "</td>" +
+      "<td>" + esc(t.objective) + "/" + esc(t.rule) + "</td>" +
+      "<td>" + esc(t.from) + " → " + esc(t.to) + "</td></tr>");
+    transEl.innerHTML = "<table><thead><tr><th>At</th><th>Rule</th>" +
+      "<th>Transition</th></tr></thead><tbody>" + rows.join("") + "</tbody></table>";
+  }
+
+  async function refresh() {
+    let st;
+    try {
+      const resp = await fetch("/api/admin/slo");
+      if (!resp.ok) {
+        budgetsEl.textContent = "SLO fetch failed: " + resp.status;
+        return;
+      }
+      st = await resp.json();
+    } catch (err) {
+      budgetsEl.textContent = "SLO fetch failed: " + err;
+      return;
+    }
+    renderBudgets(st.objectives || []);
+    renderAlerts(st.objectives || []);
+    renderTransitions(st.transitions);
+    if (asOfEl) asOfEl.textContent = "as of " + new Date(st.now).toISOString();
+  }
+
+  if (refreshBtn) refreshBtn.addEventListener("click", refresh);
+  setInterval(refresh, 30000);
+  refresh();
+})();
+`

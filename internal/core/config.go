@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ooddash/internal/resilience"
+	"ooddash/internal/slo"
 )
 
 // CacheTTLs holds the per-data-source cache expiration times. The defaults
@@ -134,6 +135,19 @@ type TraceConfig struct {
 	Window time.Duration
 }
 
+// SLOConfig tunes the live SLO engine (internal/slo): per-objective SLI
+// recording from the instrument middleware, the 28-day error-budget
+// ledger, and multi-window burn-rate alerting.
+type SLOConfig struct {
+	// Disabled turns hit-path SLI recording off (the engine still exists,
+	// so /api/admin/slo answers with empty windows). The benchmarks use
+	// the runtime toggle (SetSLORecordingDisabled) instead.
+	Disabled bool
+	// Objectives overrides the objective set; empty means
+	// slo.DefaultObjectives(). Invalid objectives fail NewServer.
+	Objectives []slo.Objective
+}
+
 // Config configures a dashboard Server.
 type Config struct {
 	// ClusterName appears in page titles and the CSV exports.
@@ -159,6 +173,9 @@ type Config struct {
 	Push PushConfig
 	// Trace tunes per-request span tracing and tail-based trace retention.
 	Trace TraceConfig
+	// SLO tunes the live SLO engine (objectives, error budgets, burn-rate
+	// alerting).
+	SLO SLOConfig
 	// PurgeInterval is how often the long-running server sweeps entries past
 	// their stale grace window out of the server and rendered-response
 	// caches, bounding memory growth. Zero means the default (1 minute);

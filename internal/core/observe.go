@@ -12,6 +12,7 @@ import (
 	"ooddash/internal/obs"
 	"ooddash/internal/push"
 	"ooddash/internal/resilience"
+	"ooddash/internal/slo"
 	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/trace"
@@ -328,6 +329,112 @@ func newServerObs(s *Server) *serverObs {
 			}
 		})
 
+	// Live SLO engine: the event stream, current burn rates, the 28-day
+	// error-budget ledger, and alert states per objective/rule. The
+	// bad-event series and any firing alert carry an OpenMetrics exemplar
+	// linking to the most recent bad request's trace, so a page alert on
+	// the scrape points straight at a culpable retained flame trace.
+	sloLabel := func(pairs ...string) []obs.Label {
+		out := make([]obs.Label, 0, len(pairs)/2)
+		for i := 0; i+1 < len(pairs); i += 2 {
+			out = append(out, obs.Label{Name: pairs[i], Value: pairs[i+1]})
+		}
+		return out
+	}
+	sloExemplar := func(objective string) *obs.Exemplar {
+		if id, v, ts, ok := s.sloEng.LastBadExemplar(objective); ok {
+			return &obs.Exemplar{TraceID: id, Value: v, Ts: ts}
+		}
+		return nil
+	}
+	reg.CollectorFunc("ooddash_slo_events_total", obs.KindCounter,
+		"SLI events recorded by objective and result (good, bad); the bad series carries the last bad event's trace exemplar.",
+		func() []obs.Sample {
+			st := s.sloEng.Status()
+			out := make([]obs.Sample, 0, 2*len(st.Objectives))
+			for _, o := range st.Objectives {
+				good, bad := s.sloEng.EventTotals(o.Name)
+				out = append(out,
+					obs.Sample{Labels: sloLabel("objective", o.Name, "result", "good"), Value: float64(good)},
+					obs.Sample{Labels: sloLabel("objective", o.Name, "result", "bad"),
+						Value: float64(bad), Exemplar: sloExemplar(o.Name)})
+			}
+			return out
+		})
+	reg.CollectorFunc("ooddash_slo_burn_rate", obs.KindGauge,
+		"Current burn rate in multiples of the budgeted error rate, by objective, rule, and window (short, long).",
+		func() []obs.Sample {
+			st := s.sloEng.Status()
+			var out []obs.Sample
+			for _, o := range st.Objectives {
+				for _, a := range o.Alerts {
+					out = append(out,
+						obs.Sample{Labels: sloLabel("objective", o.Name, "rule", a.Rule, "window", "short"), Value: a.ShortBurn},
+						obs.Sample{Labels: sloLabel("objective", o.Name, "rule", a.Rule, "window", "long"), Value: a.LongBurn})
+				}
+			}
+			return out
+		})
+	sloBudgetGauge := func(name, help string, read func(slo.BudgetStatus) float64) {
+		reg.CollectorFunc(name, obs.KindGauge, help, func() []obs.Sample {
+			st := s.sloEng.Status()
+			out := make([]obs.Sample, 0, len(st.Objectives))
+			for _, o := range st.Objectives {
+				out = append(out, obs.Sample{
+					Labels: sloLabel("objective", o.Name), Value: read(o.Budget)})
+			}
+			return out
+		})
+	}
+	sloBudgetGauge("ooddash_slo_budget_spent_ratio",
+		"Share of the 28d error budget consumed, per objective (may exceed 1).",
+		func(b slo.BudgetStatus) float64 { return b.SpentRatio })
+	sloBudgetGauge("ooddash_slo_budget_remaining_ratio",
+		"Share of the 28d error budget remaining, per objective (may go negative).",
+		func(b slo.BudgetStatus) float64 { return b.RemainingRatio })
+	sloBudgetGauge("ooddash_slo_budget_exhaustion_seconds",
+		"Projected seconds until budget exhaustion at the current 1h burn rate (0 when not burning).",
+		func(b slo.BudgetStatus) float64 { return b.ExhaustionSeconds })
+	reg.CollectorFunc("ooddash_slo_alert_state", obs.KindGauge,
+		"Alert state by objective and rule (0 inactive, 1 pending, 2 firing); firing alerts carry the last bad event's trace exemplar.",
+		func() []obs.Sample {
+			st := s.sloEng.Status()
+			var out []obs.Sample
+			for _, o := range st.Objectives {
+				for _, a := range o.Alerts {
+					sample := obs.Sample{Labels: sloLabel("objective", o.Name, "rule", a.Rule)}
+					switch a.State {
+					case "pending":
+						sample.Value = 1
+					case "firing":
+						sample.Value = 2
+						sample.Exemplar = sloExemplar(o.Name)
+					}
+					out = append(out, sample)
+				}
+			}
+			return out
+		})
+	sloAlertCounter := func(name, help string, read func(slo.AlertStatus) uint64) {
+		reg.CollectorFunc(name, obs.KindCounter, help, func() []obs.Sample {
+			st := s.sloEng.Status()
+			var out []obs.Sample
+			for _, o := range st.Objectives {
+				for _, a := range o.Alerts {
+					out = append(out, obs.Sample{
+						Labels: sloLabel("objective", o.Name, "rule", a.Rule), Value: float64(read(a))})
+				}
+			}
+			return out
+		})
+	}
+	sloAlertCounter("ooddash_slo_alerts_fired_total",
+		"Alerts that reached firing, per objective and rule.",
+		func(a slo.AlertStatus) uint64 { return a.Fired })
+	sloAlertCounter("ooddash_slo_alerts_resolved_total",
+		"Firing alerts that resolved, per objective and rule.",
+		func(a slo.AlertStatus) uint64 { return a.Resolved })
+
 	// The simulator's own RPC counters via sdiag, so the dashboard's command
 	// cost (ooddash_slurm_commands_total) can be read next to what the
 	// daemons served in total. During an outage sdiag fails like everything
@@ -466,6 +573,12 @@ func (r *statusRecorder) Flush() {
 // allocation-free direct map reads in the middleware.
 const pushRefreshHeaderKey = "X-Ooddash-Push"
 
+// degradedHeaderKey is degradedHeader in canonical MIME form: the
+// middleware reads degradation on every response by direct map access, and
+// Header.Get would re-canonicalize (and allocate) the mixed-case spelling
+// per request.
+const degradedHeaderKey = "X-Ooddash-Degraded"
+
 // selfObserving marks the widgets the middleware never opens spans for:
 // the observability surface itself ("metrics" and the admin trace
 // endpoints, where tracing would make every trace-store read mint its
@@ -474,9 +587,12 @@ const pushRefreshHeaderKey = "X-Ooddash-Push"
 // lifetime rather than work and retain every disconnect as a bogus
 // slow trace. Upstream work triggered by push stays traced: the
 // scheduler's loopback refreshes own their push.refresh roots.
+// The SLO admin view joins the list for the same reason: reading alert
+// state must not perturb the SLIs it reports (or mint traces about
+// reading traces of itself).
 func selfObserving(widget string) bool {
 	switch widget {
-	case "metrics", "admin_traces", "admin_trace", "events":
+	case "metrics", "admin_traces", "admin_trace", "admin_slo", "events":
 		return true
 	}
 	return false
@@ -530,8 +646,18 @@ func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc 
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		elapsed := time.Since(start)
+		seconds := elapsed.Seconds()
+		degraded := len(w.Header()[degradedHeaderKey]) > 0
 
-		lat.Observe(elapsed.Seconds())
+		lat.Observe(seconds)
+		if spannable && !s.sloOff.Load() {
+			// SLI recording: latency uses the wall-clock elapsed (stalls are
+			// real time even when the scenario script runs on the simulated
+			// clock); window bucketing and alert evaluation happen on the
+			// shared clock inside the engine. Zero allocs — the hit path's
+			// budget is gated in the slo bench.
+			s.sloEng.Record(seconds, rec.status, degraded, traceID)
+		}
 		switch rec.status {
 		case http.StatusOK:
 			req200.Inc()
@@ -541,7 +667,6 @@ func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc 
 			s.obsm.widgetRequests.With(widget, statusLabel(rec.status)).Inc()
 		}
 		if sp != nil {
-			degraded := w.Header().Get(degradedHeader) != ""
 			sp.SetAttr("status", statusLabel(rec.status))
 			if degraded {
 				sp.SetAttr("degraded", "true")
@@ -551,7 +676,7 @@ func (s *Server) instrument(widget string, h http.HandlerFunc) http.HandlerFunc 
 					// A retained trace becomes the histogram exemplar: the
 					// /metrics scrape links the latest interesting request's
 					// latency sample back to its stored flame trace.
-					lat.SetExemplar(traceID, elapsed.Seconds(),
+					lat.SetExemplar(traceID, seconds,
 						float64(s.clock.Now().UnixMilli())/1e3)
 				}
 			} else {

@@ -1,0 +1,101 @@
+// Exposition validity for the fleet registry. This lives in package
+// core_test (not core) because it imports internal/fleet, which itself
+// imports core; the in-package observability tests cover the single-server
+// /metrics document, and this file extends the same full-document check to
+// the fleet's /metrics/fleet registry and to a replica's /metrics served
+// through the load balancer.
+package core_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ooddash/internal/auth"
+	"ooddash/internal/core"
+	"ooddash/internal/fleet"
+	"ooddash/internal/obs/obstest"
+	"ooddash/internal/slurmcli"
+	"ooddash/internal/workload"
+)
+
+// TestSLOFleetExpositionValidity drives traffic through a two-replica fleet
+// and machine-parses both exposition documents: the fleet registry
+// (/metrics/fleet) and one replica's own /metrics routed via the load
+// balancer. Every family must be well-formed — HELP/TYPE pairing,
+// histogram monotonicity, exemplar syntax — and the fleet SLO families
+// must be present.
+func TestSLOFleetExpositionValidity(t *testing.T) {
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Users.AddUser(auth.User{Name: "fleetadmin", Admin: true})
+	newsSrv := httptest.NewServer(env.Feed)
+	t.Cleanup(newsSrv.Close)
+	fl, err := fleet.New(fleet.Options{
+		Replicas: 2,
+		Clock:    env.Clock,
+		Runner:   env.Runner,
+		Build: func(id string, r slurmcli.Runner) (*core.Server, error) {
+			return env.NewServerRunner(newsSrv.URL, core.Config{
+				Push: core.PushConfig{DisableIdlePause: true, Jitter: -1},
+			}, r)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fl.Close)
+
+	get := func(user, path string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodGet, path, nil)
+		req.Header.Set(auth.UserHeader, user)
+		rec := httptest.NewRecorder()
+		fl.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Traffic through the LB populates replica SLIs; ticks evaluate both
+	// the per-replica engines and the fleet aggregator.
+	user := env.UserNames[0]
+	for i := 0; i < 4; i++ {
+		if rec := get(user, "/api/system_status"); rec.Code != http.StatusOK {
+			t.Fatalf("system_status = %d", rec.Code)
+		}
+		env.Clock.Advance(30 * time.Second)
+		fl.Tick()
+	}
+
+	// The fleet's own registry document.
+	rec := httptest.NewRecorder()
+	if err := fl.Metrics().WritePrometheus(rec); err != nil {
+		t.Fatal(err)
+	}
+	fleetDoc := rec.Body.String()
+	obstest.Validate(t, fleetDoc)
+	for _, fam := range []string{
+		"ooddash_fleet_slo_burn_rate",
+		"ooddash_fleet_slo_alert_state",
+		"ooddash_fleet_slo_budget_spent_ratio",
+		"ooddash_fleet_slo_alerts_fired_total",
+	} {
+		if !strings.Contains(fleetDoc, "# TYPE "+fam) {
+			t.Errorf("fleet exposition missing family %s", fam)
+		}
+	}
+
+	// A replica's /metrics, reached through the load balancer like an
+	// operator scrape would be.
+	mrec := get("fleetadmin", "/metrics")
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("/metrics through LB = %d", mrec.Code)
+	}
+	replicaDoc := mrec.Body.String()
+	obstest.Validate(t, replicaDoc)
+	if !strings.Contains(replicaDoc, "# TYPE ooddash_slo_burn_rate") {
+		t.Error("replica exposition missing ooddash_slo_burn_rate")
+	}
+}

@@ -29,6 +29,7 @@ const baseTemplate = `<!DOCTYPE html>
   <a href="/clusterstatus">Cluster Status</a>
   <a href="/insights">Insights</a>
 {{if .IsAdmin}}  <a href="/admin">Traces</a>
+  <a href="/admin/slo">SLO</a>
 {{end}}  <span class="spacer"></span>
   <span class="user">{{.User}}</span>
 </nav>
@@ -173,6 +174,31 @@ var pageTemplates = map[string]string{
 </section>
 <script src="/assets/traces.js"></script>
 {{end}}`,
+
+	// The admin SLO page is staff-only like /admin: each objective's error
+	// budget (spent/remaining/exhaustion ETA), every burn-rate rule's live
+	// state, and the recent alert transition log. Driven by slo.js against
+	// /api/admin/slo — admin-scoped, never cached client-side.
+	"slo": `{{define "content"}}
+<h1>Service Objectives</h1>
+<div class="controls">
+  <button id="slo-refresh">Refresh</button>
+  <span id="slo-asof" role="status"></span>
+</div>
+<section class="widget" id="slo-budgets">
+  <h2>Error budgets</h2>
+  <div class="widget-body loading" role="status">Loading objectives…</div>
+</section>
+<section class="widget" id="slo-alerts">
+  <h2>Burn-rate alerts</h2>
+  <div class="widget-body loading" role="status">Loading alerts…</div>
+</section>
+<section class="widget" id="slo-transitions">
+  <h2>Recent transitions</h2>
+  <div class="widget-body" role="status">None yet.</div>
+</section>
+<script src="/assets/slo.js"></script>
+{{end}}`,
 }
 
 // pages holds the parsed template set, one entry per page.
@@ -263,10 +289,23 @@ func (s *Server) registerPages(mux *http.ServeMux) {
 		}
 		s.renderPage(w, r, "admin", "Request Traces", "")
 	})
+	mux.HandleFunc("GET /admin/slo", func(w http.ResponseWriter, r *http.Request) {
+		user, err := s.currentUser(r)
+		if err != nil {
+			http.Error(w, "authentication required", http.StatusUnauthorized)
+			return
+		}
+		if !user.Admin {
+			http.Error(w, "admin access required", http.StatusForbidden)
+			return
+		}
+		s.renderPage(w, r, "slo", "Service Objectives", "")
+	})
 	mux.HandleFunc("GET /assets/dashboard.css", serveAsset("text/css", assetCSS))
 	mux.HandleFunc("GET /assets/cache.js", serveAsset("application/javascript", assetCacheJS))
 	mux.HandleFunc("GET /assets/widgets.js", serveAsset("application/javascript", assetWidgetsJS))
 	mux.HandleFunc("GET /assets/traces.js", serveAsset("application/javascript", assetTracesJS))
+	mux.HandleFunc("GET /assets/slo.js", serveAsset("application/javascript", assetSLOJS))
 }
 
 func serveAsset(contentType, body string) http.HandlerFunc {

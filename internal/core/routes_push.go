@@ -344,7 +344,13 @@ func (s *Server) StartPush(interval time.Duration) {
 // clock. It also runs the cache purge sweep when one is due on that clock.
 func (s *Server) TickPush() int {
 	s.maybePurge()
-	return s.pushSched.Tick()
+	n := s.pushSched.Tick()
+	// Advance the SLO alert state machines after the refreshes so events
+	// this tick produced are visible to the evaluation at the new clock
+	// reading. (Wall-clock servers also evaluate lazily on every
+	// /api/admin/slo and /metrics read — Status is self-evaluating.)
+	s.sloEng.Evaluate()
+	return n
 }
 
 // PushHub exposes the snapshot hub for tests and experiments.

@@ -16,6 +16,7 @@ import (
 	"ooddash/internal/newsfeed"
 	"ooddash/internal/push"
 	"ooddash/internal/resilience"
+	"ooddash/internal/slo"
 	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/slurmrest"
@@ -132,6 +133,13 @@ type Server struct {
 	// ablation (see rollup.go).
 	rollupStats func() slurm.RollupStats
 	rollupOff   atomic.Bool
+
+	// sloEng is the live SLO engine: the instrument middleware records
+	// every response into it, TickPush advances its alert state machines,
+	// and /api/admin/slo plus the ooddash_slo_* families render it. sloOff
+	// gates hit-path recording (the overhead-ablation benchmarks toggle it).
+	sloEng *slo.Engine
+	sloOff atomic.Bool
 }
 
 // NewServer builds the dashboard from its dependencies.
@@ -155,6 +163,11 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 			deps.Sleep = time.Sleep
 		}
 	}
+	if len(cfg.SLO.Objectives) > 0 {
+		if err := slo.Validate(cfg.SLO.Objectives); err != nil {
+			return nil, fmt.Errorf("core: NewServer: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:     cfg.withDefaults(),
 		runner:  deps.Runner,
@@ -168,6 +181,11 @@ func NewServer(cfg Config, deps Deps) (*Server, error) {
 		mux:     http.NewServeMux(),
 	}
 	s.rollupStats = deps.RollupStats
+	// The SLO engine precedes the metrics registry so its budget and alert
+	// collectors can be registered; it shares the server clock, so chaos
+	// drills evaluate alerts deterministically on simulated time.
+	s.sloEng = slo.New(deps.Clock, s.cfg.SLO.Objectives)
+	s.sloOff.Store(s.cfg.SLO.Disabled)
 	s.rendered = cache.New(deps.Clock)
 	s.lastPurge = deps.Clock.Now()
 	s.fills = newFillGates(s.cfg.Resilience.MaxConcurrentFills)
@@ -282,6 +300,14 @@ func (s *Server) Tracer() *trace.Tracer { return s.tracer }
 // hotpath benchmark uses this to measure the sampled-out overhead.
 func (s *Server) SetTraceSample(p float64) { s.tracer.SetSample(p) }
 
+// SLO exposes the live SLO engine (fleet aggregation, tests, drills).
+func (s *Server) SLO() *slo.Engine { return s.sloEng }
+
+// SetSLORecordingDisabled toggles hit-path SLI recording at runtime. The
+// overhead benchmark measures the same request stream with recording off
+// and on to prove the delta stays within its alloc budget.
+func (s *Server) SetSLORecordingDisabled(off bool) { s.sloOff.Store(off) }
+
 // runnerCtx returns the server's runner bound to ctx so Slurm commands made
 // on behalf of this request contribute spans; outside a traced request it is
 // the runner itself.
@@ -388,6 +414,9 @@ func (s *Server) registerWidgets() {
 		{Name: "metrics", Route: "GET /metrics",
 			TTL: 0, DataSource: "backend cache stats + sdiag (Slurm)",
 			Handler: s.handleMetrics},
+		{Name: "admin_slo", Route: "GET /api/admin/slo",
+			TTL: 0, DataSource: "SLO engine (error budgets + burn-rate alerts)",
+			Handler: s.handleAdminSLO},
 		{Name: "admin_traces", Route: "GET /api/admin/traces",
 			TTL: 0, DataSource: "trace store (tail-sampled request spans)",
 			Handler: s.handleAdminTraces},

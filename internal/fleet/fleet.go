@@ -30,6 +30,7 @@ import (
 
 	"ooddash/internal/core"
 	"ooddash/internal/push"
+	"ooddash/internal/slo"
 	"ooddash/internal/slurmcli"
 )
 
@@ -182,6 +183,12 @@ type Fleet struct {
 	ringPtr atomic.Pointer[ring] // rebuilt on membership change
 	rr      atomic.Int64         // round-robin cursor
 
+	// sloAgg layers fleet-level SLO objectives over the healthy replicas'
+	// engines: pooled counts decide whether the *fleet* meets an objective
+	// even while one replica burns its budget. Built in New after the first
+	// replica exists (objectives are copied from its engine).
+	sloAgg *slo.Aggregator
+
 	// ensuring coalesces concurrent Ensure calls per key, fleet-wide: when
 	// many replicas miss on the same cold key at once, exactly one owner
 	// refresh runs and every caller shares its result (the fleet-tier
@@ -241,8 +248,31 @@ func New(opts Options) (*Fleet, error) {
 		}
 	}
 	fl.rebuildRing()
+	fl.sloAgg = slo.NewAggregator(opts.Clock, fl.replicas[0].srv.SLO().Objectives(), fl.sloMembers)
 	return fl, nil
 }
+
+// sloMembers returns the healthy replicas' SLO engines; the aggregator
+// re-resolves membership at every evaluation, so killed or dead replicas
+// drop out of the fleet SLIs the moment the detector declares them.
+func (fl *Fleet) sloMembers() []*slo.Engine {
+	reps := fl.replicaList()
+	out := make([]*slo.Engine, 0, len(reps))
+	for _, rep := range reps {
+		if rep.healthy() {
+			out = append(out, rep.srv.SLO())
+		}
+	}
+	return out
+}
+
+// SLO returns the fleet-level aggregator. Replica-local views stay on each
+// replica's own Server.SLO(); both remain queryable side by side.
+func (fl *Fleet) SLO() *slo.Aggregator { return fl.sloAgg }
+
+// SLOStatus returns the fleet-level SLO snapshot (same shape as one
+// replica's /api/admin/slo).
+func (fl *Fleet) SLOStatus() slo.Status { return fl.sloAgg.Status() }
 
 // addReplica builds and registers one replica (no resync; callers decide).
 func (fl *Fleet) addReplica() (*replica, error) {
@@ -465,6 +495,7 @@ func (fl *Fleet) Tick() {
 		rep.srv.TickPush()
 		fl.drainTap(rep, now)
 	}
+	fl.sloAgg.Evaluate()
 	fl.reap(now)
 }
 

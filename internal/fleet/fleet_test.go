@@ -10,7 +10,9 @@ import (
 	"ooddash/internal/auth"
 	"ooddash/internal/browser"
 	"ooddash/internal/core"
+	"ooddash/internal/obs/obstest"
 	"ooddash/internal/push"
+	"ooddash/internal/slo"
 	"ooddash/internal/slurm"
 	"ooddash/internal/slurmcli"
 	"ooddash/internal/workload"
@@ -370,9 +372,117 @@ func TestFleetMetricsExposition(t *testing.T) {
 		"ooddash_fleet_replicas_live 2",
 		"ooddash_fleet_lb_requests_total",
 		"ooddash_fleet_upstream_rpcs_total",
+		"ooddash_fleet_slo_burn_rate",
+		"ooddash_fleet_slo_alert_state",
+		"ooddash_fleet_slo_budget_spent_ratio",
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("exposition missing %q:\n%s", want, body)
 		}
+	}
+	obstest.Validate(t, body)
+}
+
+// sloFleetObjectives are tight-window objectives for the dual-view test:
+// one page rule that fires after a minute of sustained burn.
+func sloFleetObjectives() []slo.Objective {
+	return []slo.Objective{{
+		Name: "availability", Kind: slo.KindAvailability, Target: 0.9,
+		Rules: []slo.Rule{{
+			Name: "page", Severity: "page", Burn: 2,
+			Short: 2 * time.Minute, Long: 5 * time.Minute,
+			For: time.Minute, KeepFor: time.Minute,
+		}},
+	}}
+}
+
+// TestSLOFleetDualView drives one replica's SLIs into sustained burn while
+// its peers stay healthy: the replica-local page alert must fire while the
+// fleet-level objective — pooled across all replicas — stays met. Then the
+// whole fleet burns and the aggregated alert must fire too. Both views stay
+// queryable side by side throughout.
+func TestSLOFleetDualView(t *testing.T) {
+	env, err := workload.Build(workload.SmallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	newsSrv := httptest.NewServer(env.Feed)
+	t.Cleanup(newsSrv.Close)
+	fl, err := New(Options{
+		Replicas:         3,
+		Policy:           PolicyRoundRobin,
+		Clock:            env.Clock,
+		Runner:           env.Runner,
+		HeartbeatTimeout: 40 * time.Second,
+		Build: func(id string, r slurmcli.Runner) (*core.Server, error) {
+			// SLO recording disabled: the script records synthetic SLI
+			// events directly, so incidental request traffic can't skew the
+			// windows. The aggregator copies these tight objectives from
+			// replica r0's engine.
+			return env.NewServerRunner(newsSrv.URL, core.Config{
+				Push: core.PushConfig{DisableIdlePause: true, Jitter: -1},
+				SLO:  core.SLOConfig{Disabled: true, Objectives: sloFleetObjectives()},
+			}, r)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fl.Close)
+	burner := fl.Server("r0").SLO()
+	peers := []*slo.Engine{fl.Server("r1").SLO(), fl.Server("r2").SLO()}
+
+	record := func(eng *slo.Engine, n int, status int) {
+		for i := 0; i < n; i++ {
+			eng.Record(0.001, status, false, "")
+		}
+	}
+
+	// Phase 1: r0 burns hard (every request 500), peers serve clean traffic
+	// that keeps the pooled bad fraction inside the fleet budget.
+	for step := 0; step < 4; step++ {
+		record(burner, 10, 500)
+		for _, p := range peers {
+			record(p, 200, 200)
+		}
+		env.Clock.Advance(time.Minute)
+		fl.Tick()
+	}
+
+	localSt := fl.Server("r0").SLO().Status()
+	fleetSt := fl.SLOStatus()
+	localAlert := localSt.Objectives[0].Alerts[0]
+	fleetAlert := fleetSt.Objectives[0].Alerts[0]
+	if localAlert.State != "firing" {
+		t.Fatalf("replica-local page alert = %q, want firing (short burn %.1f, long burn %.1f)",
+			localAlert.State, localAlert.ShortBurn, localAlert.LongBurn)
+	}
+	if fleetAlert.State != "inactive" {
+		t.Fatalf("fleet page alert = %q, want inactive while only one replica burns (short burn %.2f)",
+			fleetAlert.State, fleetAlert.ShortBurn)
+	}
+	if fleetSt.Objectives[0].Budget.Bad == 0 {
+		t.Fatal("fleet budget ledger should still count the burning replica's bad events")
+	}
+
+	// Phase 2: the whole fleet burns; the pooled view must fire as well.
+	for step := 0; step < 8; step++ {
+		record(burner, 10, 500)
+		for _, p := range peers {
+			record(p, 200, 500)
+		}
+		env.Clock.Advance(time.Minute)
+		fl.Tick()
+	}
+	if st := fl.SLOStatus().Objectives[0].Alerts[0]; st.State != "firing" {
+		t.Fatalf("fleet page alert = %q after fleet-wide burn, want firing (short %.2f long %.2f)",
+			st.State, st.ShortBurn, st.LongBurn)
+	}
+	if fired, _, ok := fl.SLO().AlertCounts("availability", "page"); !ok || fired < 1 {
+		t.Fatalf("fleet AlertCounts(availability, page) = %d/%v, want fired >= 1", fired, ok)
+	}
+	// The replica view is unchanged by fleet evaluation: still its own.
+	if _, _, ok := fl.Server("r0").SLO().AlertCounts("availability", "page"); !ok {
+		t.Fatal("replica-local alert counts must stay queryable")
 	}
 }

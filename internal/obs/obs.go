@@ -58,10 +58,20 @@ type Label struct {
 }
 
 // Sample is one rendered series of a collector-backed family: its labels
-// and current value.
+// and current value, optionally annotated with an exemplar linking the
+// series back to a trace (rendered OpenMetrics-style after the value).
 type Sample struct {
-	Labels []Label
-	Value  float64
+	Labels   []Label
+	Value    float64
+	Exemplar *Exemplar
+}
+
+// Exemplar links a rendered sample to the trace that produced a
+// representative observation.
+type Exemplar struct {
+	TraceID string
+	Value   float64
+	Ts      float64
 }
 
 // --- scalar metrics ---------------------------------------------------------
@@ -181,7 +191,9 @@ func (h *Histogram) Sum() float64 { return h.sum.Value() }
 // a floor, as with PromQL's histogram_quantile).
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
-	if total == 0 {
+	if total == 0 || len(h.bounds) == 0 {
+		// A zero-bound histogram has only the +Inf bucket: no finite bound
+		// exists to floor the estimate at, so the estimate is 0.
 		return 0
 	}
 	if q < 0 {
@@ -535,7 +547,12 @@ func (f *family) write(w io.Writer) error {
 		return err
 	case f.collect != nil:
 		for _, s := range f.collect() {
-			if _, err := io.WriteString(w, sampleLine(f.name, s.Labels, s.Value)); err != nil {
+			line := sampleLine(f.name, s.Labels, s.Value)
+			if s.Exemplar != nil {
+				line = withExemplar(line, &exemplar{
+					traceID: s.Exemplar.TraceID, value: s.Exemplar.Value, ts: s.Exemplar.Ts})
+			}
+			if _, err := io.WriteString(w, line); err != nil {
 				return err
 			}
 		}

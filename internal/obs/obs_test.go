@@ -6,6 +6,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"ooddash/internal/obs/obstest"
 )
 
 func TestCounterAndGauge(t *testing.T) {
@@ -183,67 +185,7 @@ func TestExpositionValidity(t *testing.T) {
 	if err := r.WritePrometheus(&sb); err != nil {
 		t.Fatal(err)
 	}
-	ValidateExposition(t, sb.String())
-}
-
-// ValidateExposition asserts text is structurally valid Prometheus text
-// exposition. Shared with the core package's /metrics test via copy — the
-// invariants are few enough to state twice.
-func ValidateExposition(t *testing.T, text string) {
-	t.Helper()
-	type famInfo struct{ help, typ bool }
-	fams := map[string]*famInfo{}
-	var current string
-	for _, line := range strings.Split(text, "\n") {
-		if line == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
-			// (checked before exemplar stripping: exemplars also start " # ")
-			parts := strings.SplitN(line, " ", 4)
-			if len(parts) < 4 {
-				t.Fatalf("malformed comment line: %q", line)
-			}
-			name := parts[2]
-			f := fams[name]
-			if f == nil {
-				f = &famInfo{}
-				fams[name] = f
-			}
-			if parts[1] == "HELP" {
-				if f.help {
-					t.Fatalf("duplicate HELP for %s", name)
-				}
-				f.help = true
-			} else {
-				if f.typ {
-					t.Fatalf("duplicate TYPE for %s", name)
-				}
-				f.typ = true
-			}
-			current = name
-			continue
-		}
-		// Strip any OpenMetrics exemplar suffix (` # {trace_id="..."} v ts`)
-		// before parsing the sample itself.
-		if i := strings.Index(line, " # "); i >= 0 {
-			line = line[:i]
-		}
-		name := line
-		if i := strings.IndexAny(line, "{ "); i >= 0 {
-			name = line[:i]
-		}
-		base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
-			"_bucket"), "_sum"), "_count")
-		if base != current && name != current {
-			t.Fatalf("sample %q outside its family (current %q): %q", name, current, line)
-		}
-	}
-	for name, f := range fams {
-		if !f.help || !f.typ {
-			t.Fatalf("family %s missing HELP or TYPE", name)
-		}
-	}
+	obstest.Validate(t, sb.String())
 }
 
 func TestConcurrentUse(t *testing.T) {

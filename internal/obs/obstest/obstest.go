@@ -1,0 +1,137 @@
+// Package obstest holds the Prometheus text-exposition validator shared by
+// every registry's full-document test (the obs package itself, core's
+// /metrics, the fleet registry's /metrics/fleet). It imports nothing from
+// the repo, so any package — including obs's own tests — can use it.
+package obstest
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Validate checks the document against the Prometheus text format rules a
+// scraper enforces: one HELP and one TYPE per family, no duplicate family
+// declarations, every sample belonging to the family most recently
+// declared, and histogram series that are internally consistent
+// (cumulative buckets ending in +Inf, with _count matching the +Inf
+// bucket). OpenMetrics exemplar suffixes (` # {trace_id="..."} v ts`) are
+// tolerated on any sample line.
+func Validate(t testing.TB, text string) {
+	t.Helper()
+	helpSeen := map[string]bool{}
+	typeSeen := map[string]string{}
+	current := ""
+	// bucketLast tracks cumulative bucket counts per histogram series
+	// (family + labels minus le); counts records the series' _count samples.
+	bucketLast := map[string]float64{}
+	bucketInf := map[string]float64{}
+	counts := map[string]float64{}
+
+	stripLe := func(labels string) string {
+		parts := strings.Split(labels, ",")
+		kept := parts[:0]
+		for _, p := range parts {
+			if !strings.HasPrefix(p, "le=") {
+				kept = append(kept, p)
+			}
+		}
+		return strings.Join(kept, ",")
+	}
+
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			name := strings.Fields(line)[2]
+			if helpSeen[name] {
+				t.Errorf("line %d: duplicate HELP for %s", ln+1, name)
+			}
+			helpSeen[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			name, kind := f[2], f[3]
+			if _, dup := typeSeen[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for %s", ln+1, name)
+			}
+			if !helpSeen[name] {
+				t.Errorf("line %d: TYPE for %s without preceding HELP", ln+1, name)
+			}
+			typeSeen[name] = kind
+			current = name
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Strip any OpenMetrics exemplar suffix so label and value parsing
+		// see only the sample itself.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
+		}
+		// Sample line: name{labels} value  |  name value
+		name := line
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Errorf("line %d: unterminated label set: %s", ln+1, line)
+				continue
+			}
+			labels = line[i+1 : j]
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		}
+		val, err := strconv.ParseFloat(line[strings.LastIndexByte(line, ' ')+1:], 64)
+		if err != nil {
+			t.Errorf("line %d: unparsable sample value: %s", ln+1, line)
+			continue
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if typeSeen[current] == "histogram" && strings.HasSuffix(name, suf) &&
+				strings.TrimSuffix(name, suf) == current {
+				base = current
+			}
+		}
+		if base != current {
+			t.Errorf("line %d: sample %s outside its family block (current %s)", ln+1, name, current)
+			continue
+		}
+		if typeSeen[current] == "histogram" {
+			series := current + "|" + stripLe(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if val+1e-9 < bucketLast[series] {
+					t.Errorf("line %d: non-cumulative bucket for %s: %g < %g",
+						ln+1, series, val, bucketLast[series])
+				}
+				bucketLast[series] = val
+				if strings.Contains(labels, `le="+Inf"`) {
+					bucketInf[series] = val
+				}
+			case strings.HasSuffix(name, "_count"):
+				counts[series] = val
+			}
+		}
+	}
+	for name := range helpSeen {
+		if _, ok := typeSeen[name]; !ok {
+			t.Errorf("HELP without TYPE for %s", name)
+		}
+	}
+	for series, c := range counts {
+		inf, ok := bucketInf[series]
+		if !ok {
+			t.Errorf("histogram series %s has no +Inf bucket", series)
+			continue
+		}
+		if c != inf {
+			t.Errorf("histogram series %s: _count %g != +Inf bucket %g", series, c, inf)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestQuantileZeroBoundsRegression is the regression test for the
+// zero-bound panic: a histogram with no finite bounds (only the implicit
+// +Inf bucket) used to index bounds[len(bounds)-1] with an empty slice.
+// The public constructor substitutes DefLatencyBuckets for empty bounds,
+// so the degenerate shape is built directly here.
+func TestQuantileZeroBoundsRegression(t *testing.T) {
+	h := &Histogram{counts: make([]atomic.Int64, 1)}
+	h.Observe(5)
+	h.Observe(0.25)
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("zero-bound Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// And the constructor path stays safe: nil bounds means the defaults,
+	// never an empty bucket layout.
+	hd := NewHistogram(nil)
+	hd.Observe(0.2)
+	if got := hd.Quantile(0.5); got <= 0 {
+		t.Errorf("NewHistogram(nil).Quantile(0.5) = %v, want > 0", got)
+	}
+}
+
+// TestQuantileEdgeCases table-tests the interpolation corners: ranks
+// landing exactly on a bucket boundary, all mass in the +Inf bucket, and
+// out-of-range q clamping.
+func TestQuantileEdgeCases(t *testing.T) {
+	build := func(perBucket map[float64]int) *Histogram {
+		h := NewHistogram([]float64{1, 2, 3})
+		for v, n := range perBucket {
+			for i := 0; i < n; i++ {
+				h.Observe(v)
+			}
+		}
+		return h
+	}
+
+	tests := []struct {
+		name string
+		obs  map[float64]int
+		q    float64
+		want float64
+	}{
+		// 5 in (0,1], 5 in (1,2]: rank(0.5) = 5 lands exactly on the
+		// first bucket's cumulative edge -> interpolates to the bound.
+		{"rank on bucket boundary", map[float64]int{0.5: 5, 1.5: 5}, 0.5, 1},
+		// rank(1.0) = total also lands exactly on the last occupied
+		// bucket's edge -> its upper bound.
+		{"rank on top boundary", map[float64]int{0.5: 5, 1.5: 5}, 1, 2},
+		// Everything beyond the last finite bound: the estimate floors at
+		// that bound, as with PromQL's histogram_quantile.
+		{"all mass in +Inf", map[float64]int{100: 10}, 0.5, 3},
+		{"all mass in +Inf, q=1", map[float64]int{100: 10}, 1, 3},
+		// q outside [0,1] clamps.
+		{"q below zero clamps", map[float64]int{0.5: 4}, -0.5, 0},
+		{"q above one clamps", map[float64]int{0.5: 4}, 1.5, 1},
+		// Interpolation inside a bucket, for contrast.
+		{"midpoint interpolation", map[float64]int{1.5: 4}, 0.5, 1.5},
+	}
+	for _, tc := range tests {
+		h := build(tc.obs)
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v) = %v, want %v", tc.name, tc.q, got, tc.want)
+		}
+	}
+
+	// No observations at all: always 0, any q.
+	empty := NewHistogram([]float64{1, 2, 3})
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+}

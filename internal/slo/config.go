@@ -1,0 +1,105 @@
+package slo
+
+// JSON objectives file for `dashboard -slo-config`. Durations are Go
+// duration strings ("5m", "1h30m"); omitted rule fields inherit nothing —
+// the file is explicit so an operator can diff it against the defaults.
+//
+//	{
+//	  "objectives": [
+//	    {
+//	      "name": "availability", "kind": "availability", "target": 0.999,
+//	      "rules": [
+//	        {"name": "page", "severity": "page", "burn": 14.4,
+//	         "short": "5m", "long": "1h", "for": "2m", "keep_for": "1m"}
+//	      ]
+//	    },
+//	    {
+//	      "name": "latency", "kind": "latency", "target": 0.99,
+//	      "threshold": "250ms",
+//	      "rules": [
+//	        {"name": "ticket", "severity": "ticket", "burn": 3,
+//	         "short": "30m", "long": "6h", "for": "1m", "keep_for": "1m"}
+//	      ]
+//	    }
+//	  ]
+//	}
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+type fileConfig struct {
+	Objectives []fileObjective `json:"objectives"`
+}
+
+type fileObjective struct {
+	Name      string     `json:"name"`
+	Kind      string     `json:"kind"`
+	Target    float64    `json:"target"`
+	Threshold string     `json:"threshold,omitempty"`
+	Rules     []fileRule `json:"rules"`
+}
+
+type fileRule struct {
+	Name     string  `json:"name"`
+	Severity string  `json:"severity,omitempty"`
+	Burn     float64 `json:"burn"`
+	Short    string  `json:"short"`
+	Long     string  `json:"long"`
+	For      string  `json:"for,omitempty"`
+	KeepFor  string  `json:"keep_for,omitempty"`
+}
+
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("slo config: %s: %w", field, err)
+	}
+	return d, nil
+}
+
+// ParseConfig decodes and validates a JSON objectives file.
+func ParseConfig(data []byte) ([]Objective, error) {
+	var fc fileConfig
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return nil, fmt.Errorf("slo config: %w", err)
+	}
+	objs := make([]Objective, 0, len(fc.Objectives))
+	for _, fo := range fc.Objectives {
+		o := Objective{Name: fo.Name, Kind: Kind(fo.Kind), Target: fo.Target}
+		var err error
+		if o.Threshold, err = parseDur(fo.Name+".threshold", fo.Threshold); err != nil {
+			return nil, err
+		}
+		for _, fr := range fo.Rules {
+			r := Rule{Name: fr.Name, Severity: fr.Severity, Burn: fr.Burn}
+			if r.Severity == "" {
+				r.Severity = r.Name
+			}
+			prefix := fo.Name + "/" + fr.Name
+			if r.Short, err = parseDur(prefix+".short", fr.Short); err != nil {
+				return nil, err
+			}
+			if r.Long, err = parseDur(prefix+".long", fr.Long); err != nil {
+				return nil, err
+			}
+			if r.For, err = parseDur(prefix+".for", fr.For); err != nil {
+				return nil, err
+			}
+			if r.KeepFor, err = parseDur(prefix+".keep_for", fr.KeepFor); err != nil {
+				return nil, err
+			}
+			o.Rules = append(o.Rules, r)
+		}
+		objs = append(objs, o)
+	}
+	if err := Validate(objs); err != nil {
+		return nil, err
+	}
+	return objs, nil
+}
